@@ -1,0 +1,407 @@
+// Root benchmark suite: one testing.B benchmark per table/figure of the
+// paper's evaluation (§8), plus ablation benches for the design choices
+// DESIGN.md calls out. The cmd/mspgemm-bench CLI produces the full data
+// series; these benches give per-kernel steady-state numbers with
+// -benchmem allocation tracking.
+//
+// Run: go test -bench=. -benchmem
+package repro_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/grgen"
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+// Shared inputs, generated once. Sizes chosen so a full -bench=. run
+// finishes in minutes on a laptop.
+var (
+	onceInputs sync.Once
+	rmatG      *matrix.CSR[float64] // R-MAT scale 11, ef 16: the TC/k-truss graph
+	rmatL      *matrix.CSR[float64] // lower triangle after degree relabel
+	erA, erB   *matrix.CSR[float64] // ER inputs for the Fig. 7 density points
+	erMaskEq   *matrix.Pattern      // mask with density comparable to inputs
+	erMaskSp   *matrix.Pattern      // mask much sparser than inputs
+	erMaskDn   *matrix.Pattern      // mask much denser than inputs
+	bcG        *matrix.CSR[float64] // BC graph
+	bcSrcs     []matrix.Index
+)
+
+func loadInputs() {
+	onceInputs.Do(func() {
+		rmatG = grgen.RMAT(11, 16, 1)
+		perm := matrix.DegreeDescPerm(rmatG)
+		rmatL = matrix.Tril(matrix.Permute(rmatG, perm))
+		const n = 1 << 12
+		erA = grgen.ErdosRenyi(n, 16, 11)
+		erB = grgen.ErdosRenyi(n, 16, 12)
+		erMaskEq = grgen.ErdosRenyi(n, 16, 13).Pattern()
+		erMaskSp = grgen.ErdosRenyi(n, 1, 14).Pattern()
+		erMaskDn = grgen.ErdosRenyi(n, 256, 15).Pattern()
+		bcG = grgen.RMAT(10, 16, 2)
+		bcSrcs = make([]matrix.Index, 32)
+		for i := range bcSrcs {
+			bcSrcs[i] = matrix.Index(i * 17 % int(bcG.NRows))
+		}
+	})
+}
+
+func benchVariant(b *testing.B, v core.Variant, m *matrix.Pattern, a, bb *matrix.CSR[float64]) {
+	b.Helper()
+	sr := semiring.Arithmetic()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.MaskedSpGEMM(v, m, a, bb, sr, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig07 times every 1P algorithm at the three regimes of the
+// Fig. 7 grid: mask ≪ inputs (Inner's corner), mask ≈ inputs (MSA/Hash's
+// region), mask ≫ inputs (Heap's corner).
+func BenchmarkFig07(b *testing.B) {
+	loadInputs()
+	regimes := []struct {
+		name string
+		mask *matrix.Pattern
+	}{
+		{"maskSparse_d1", erMaskSp},
+		{"maskEqual_d16", erMaskEq},
+		{"maskDense_d256", erMaskDn},
+	}
+	for _, reg := range regimes {
+		for _, alg := range []core.Algorithm{core.MSA, core.Hash, core.MCA, core.Heap, core.HeapDot, core.Inner} {
+			b.Run(reg.name+"/"+alg.String(), func(b *testing.B) {
+				benchVariant(b, core.Variant{Alg: alg, Phase: core.OnePhase}, reg.mask, erA, erB)
+			})
+		}
+	}
+}
+
+// BenchmarkFig08TriangleCount times the masked product of triangle
+// counting (C = L .* L·L) for all 12 variants (the Fig. 8 profile's data).
+func BenchmarkFig08TriangleCount(b *testing.B) {
+	loadInputs()
+	sr := semiring.PlusPairF()
+	for _, v := range core.AllVariants() {
+		b.Run(v.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MaskedSpGEMM(v, rmatL.Pattern(), rmatL, rmatL, sr, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig09Baselines times the SS:GB-style baselines on the same
+// triangle-counting product (Fig. 9's comparison).
+func BenchmarkFig09Baselines(b *testing.B) {
+	loadInputs()
+	sr := semiring.PlusPairF()
+	b.Run("SS:SAXPY", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baseline.SSSaxpy(rmatL.Pattern(), rmatL, rmatL, sr, baseline.Options{})
+		}
+	})
+	b.Run("SS:DOT", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baseline.SSDot(rmatL.Pattern(), rmatL, rmatL, sr, baseline.Options{})
+		}
+	})
+	b.Run("PlainThenMask", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baseline.PlainThenMask(rmatL.Pattern(), rmatL, rmatL, sr, baseline.Options{})
+		}
+	})
+}
+
+// BenchmarkFig10Scaling times full triangle counting across R-MAT scales
+// (Fig. 10's x-axis) with the overall winner MSA-1P.
+func BenchmarkFig10Scaling(b *testing.B) {
+	for _, scale := range []int{8, 10, 12} {
+		g := grgen.RMAT(scale, 16, 1)
+		eng := apps.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}, core.Options{})
+		b.Run("scale"+itoa(scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := apps.TriangleCount(g, eng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Threads times triangle counting across worker counts
+// (Fig. 11's strong scaling; on a single-core host columns coincide).
+func BenchmarkFig11Threads(b *testing.B) {
+	loadInputs()
+	for _, threads := range []int{1, 2, 4} {
+		eng := apps.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}, core.Options{Threads: threads})
+		b.Run("threads"+itoa(threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := apps.TriangleCount(rmatG, eng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12KTruss times the full k-truss loop per scheme (Figs. 12-13).
+func BenchmarkFig12KTruss(b *testing.B) {
+	loadInputs()
+	engines := []apps.Engine{
+		apps.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}, core.Options{}),
+		apps.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.OnePhase}, core.Options{}),
+		apps.EngineVariant(core.Variant{Alg: core.MCA, Phase: core.OnePhase}, core.Options{}),
+		apps.EngineVariant(core.Variant{Alg: core.Inner, Phase: core.OnePhase}, core.Options{}),
+		apps.EngineSSSaxpy(baseline.Options{}),
+		apps.EngineSSDot(baseline.Options{}),
+	}
+	for _, eng := range engines {
+		b.Run(eng.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := apps.KTruss(rmatG, 5, eng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig14KTrussScaling sweeps k-truss across R-MAT scales with the
+// two families Fig. 14 contrasts (push MSA vs pull Inner).
+func BenchmarkFig14KTrussScaling(b *testing.B) {
+	for _, scale := range []int{8, 10} {
+		g := grgen.RMAT(scale, 16, 1)
+		for _, name := range []string{"MSA-1P", "Inner-1P"} {
+			v, _ := core.VariantByName(name)
+			eng := apps.EngineVariant(v, core.Options{})
+			b.Run("scale"+itoa(scale)+"/"+name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := apps.KTruss(g, 5, eng); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig15BC times batched betweenness centrality per scheme
+// (Figs. 15-16's data).
+func BenchmarkFig15BC(b *testing.B) {
+	loadInputs()
+	engines := []apps.Engine{
+		apps.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}, core.Options{}),
+		apps.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.OnePhase}, core.Options{}),
+		apps.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.TwoPhase}, core.Options{}),
+		apps.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.TwoPhase}, core.Options{}),
+		apps.EngineSSSaxpy(baseline.Options{}),
+	}
+	for _, eng := range engines {
+		b.Run(eng.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := apps.BetweennessCentrality(bcG, bcSrcs, eng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations (design choices DESIGN.md calls out) ---
+
+// BenchmarkAblationPhases isolates the §6 one-vs-two-phase question on the
+// triangle-count product.
+func BenchmarkAblationPhases(b *testing.B) {
+	loadInputs()
+	sr := semiring.PlusPairF()
+	for _, alg := range []core.Algorithm{core.MSA, core.Hash, core.MCA} {
+		for _, ph := range []core.Phase{core.OnePhase, core.TwoPhase} {
+			v := core.Variant{Alg: alg, Phase: ph}
+			b.Run(v.Name(), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := core.MaskedSpGEMM(v, rmatL.Pattern(), rmatL, rmatL, sr, core.Options{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationNInspect sweeps the Heap algorithm's §5.5 mask
+// inspection depth (0 = blind push, 1 = Heap, big = HeapDot).
+func BenchmarkAblationNInspect(b *testing.B) {
+	loadInputs()
+	sr := semiring.Arithmetic()
+	for _, ni := range []int32{0, 1, 2, 8, 1 << 30} {
+		b.Run("NInspect"+itoa(int(ni)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MaskedSpGEMMHeapNInspect(core.OnePhase, erMaskEq, erA, erB, sr, ni, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHashLoad sweeps the hash accumulator load factor around
+// the paper's fixed 0.25.
+func BenchmarkAblationHashLoad(b *testing.B) {
+	loadInputs()
+	sr := semiring.Arithmetic()
+	for _, lf := range [][2]int{{1, 8}, {1, 4}, {1, 2}, {3, 4}} {
+		b.Run("load"+itoa(lf[0])+"over"+itoa(lf[1]), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MaskedSpGEMMHashLoad(core.OnePhase, erMaskEq, erA, erB, sr, lf[0], lf[1], core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGrain sweeps the dynamic scheduler's chunk size.
+func BenchmarkAblationGrain(b *testing.B) {
+	loadInputs()
+	sr := semiring.PlusPairF()
+	for _, grain := range []int{1, 16, 64, 256, 1024} {
+		b.Run("grain"+itoa(grain), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				v := core.Variant{Alg: core.MSA, Phase: core.OnePhase}
+				if _, err := core.MaskedSpGEMM(v, rmatL.Pattern(), rmatL, rmatL, sr, core.Options{Grain: grain}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHybrid compares the per-row adaptive hybrid kernel (the
+// paper's §9 future work) against the best fixed kernel in each Fig. 7
+// regime. A good hybrid should be near the regime winner everywhere.
+func BenchmarkAblationHybrid(b *testing.B) {
+	loadInputs()
+	sr := semiring.Arithmetic()
+	regimes := []struct {
+		name string
+		mask *matrix.Pattern
+	}{
+		{"maskSparse_d1", erMaskSp},
+		{"maskEqual_d16", erMaskEq},
+		{"maskDense_d256", erMaskDn},
+	}
+	for _, reg := range regimes {
+		b.Run(reg.name+"/Hybrid", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MaskedSpGEMMHybrid(core.OnePhase, reg.mask, erA, erB, sr, core.Options{}, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, alg := range []core.Algorithm{core.MSA, core.Inner, core.Heap} {
+			b.Run(reg.name+"/"+alg.String(), func(b *testing.B) {
+				benchVariant(b, core.Variant{Alg: alg, Phase: core.OnePhase}, reg.mask, erA, erB)
+			})
+		}
+	}
+}
+
+// BenchmarkSpGEVM times the vector primitive (one masked row product) for
+// the push and pull kernels plus the direction-optimized auto dispatch.
+func BenchmarkSpGEVM(b *testing.B) {
+	loadInputs()
+	sr := semiring.Arithmetic()
+	u := matrix.RowToVec(erA, 7)
+	m := matrix.RowToVec(matrix.FromPattern(erMaskEq, 1.0), 7)
+	bcsc := matrix.ToCSC(erB)
+	b.Run("MSA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MaskedSpGEVM(core.MSA, m, u, erB, sr, core.Options{Threads: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Inner", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MaskedSpGEVM(core.Inner, m, u, erB, sr, core.Options{Threads: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Auto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.MaskedSpGEVMAuto(m, u, erB, bcsc, sr, core.Options{Threads: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBFSDirectionOptimized times the full direction-optimized BFS.
+func BenchmarkBFSDirectionOptimized(b *testing.B) {
+	loadInputs()
+	for i := 0; i < b.N; i++ {
+		if _, err := apps.BFS(bcG, 0, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTransposeCost contrasts Inner with B transposed per
+// call (what SS:DOT does, §8.4) against a pre-transposed B.
+func BenchmarkAblationTransposeCost(b *testing.B) {
+	loadInputs()
+	sr := semiring.Arithmetic()
+	b.Run("transposePerCall", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v := core.Variant{Alg: core.Inner, Phase: core.OnePhase}
+			if _, err := core.MaskedSpGEMM(v, erMaskEq, erA, erB, sr, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	bcsc := matrix.ToCSC(erB)
+	b.Run("preTransposed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MaskedDotCSC(core.OnePhase, erMaskEq, erA, bcsc, sr, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func itoa(n int) string {
+	if n == 1<<30 {
+		return "inf"
+	}
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,143 @@
+// Command mspgemm-bench regenerates the tables and figures of the paper's
+// evaluation section (§8). Each subcommand emits the data series of one
+// figure as a TSV table on stdout; "all" runs everything (EXPERIMENTS.md is
+// produced from this output).
+//
+// Usage:
+//
+//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|all
+//
+// Flags:
+//
+//	-threads N   worker goroutines (default GOMAXPROCS)
+//	-seed N      generator seed (default 1)
+//	-reps N      timing repetitions, min taken (default 3)
+//	-maxscale N  largest R-MAT scale in sweeps (default 13; paper uses 20)
+//	-batch N     BC batch size (default 64; paper uses 512)
+//	-dims LIST   comma-separated log2 dimensions for fig7 (default "12,14")
+//	-quick       shrink grids/corpora for a smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	threads := flag.Int("threads", runtime.GOMAXPROCS(0), "worker goroutines")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	reps := flag.Int("reps", 3, "timing repetitions (min taken)")
+	maxScale := flag.Int("maxscale", 13, "largest R-MAT scale in sweeps")
+	batch := flag.Int("batch", 64, "betweenness centrality batch size")
+	dims := flag.String("dims", "12,14", "comma-separated log2 dimensions for fig7")
+	quick := flag.Bool("quick", false, "shrink workloads for a smoke run")
+	plot := flag.Bool("plot", false, "also render each table as an ASCII line chart")
+	flag.Parse()
+	plotTables = *plot
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|all")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	cfg := bench.Config{
+		Threads:   *threads,
+		Seed:      *seed,
+		Reps:      *reps,
+		MaxScale:  *maxScale,
+		BatchSize: *batch,
+		Quick:     *quick,
+	}
+	dimList, err := parseDims(*dims)
+	if err != nil {
+		fatal(err)
+	}
+	which := flag.Arg(0)
+	run := func(name string) {
+		switch name {
+		case "fig7":
+			for _, t := range bench.Fig7(cfg, dimList) {
+				t.Fprint(os.Stdout)
+				fmt.Println()
+			}
+		case "fig8":
+			emit(bench.Fig8(cfg))
+		case "fig9":
+			emit(bench.Fig9(cfg))
+		case "fig10":
+			emitT(bench.Fig10(cfg))
+		case "fig11":
+			emitT(bench.Fig11(cfg))
+		case "fig12":
+			emit(bench.Fig12(cfg))
+		case "fig13":
+			emit(bench.Fig13(cfg))
+		case "fig14":
+			emitT(bench.Fig14(cfg))
+		case "fig15":
+			emitT(bench.Fig15(cfg))
+		case "fig16":
+			emit(bench.Fig16(cfg))
+		default:
+			fatal(fmt.Errorf("unknown figure %q", name))
+		}
+	}
+	if which == "all" {
+		for _, name := range []string{"fig7", "fig8", "fig9", "fig10", "fig11",
+			"fig12", "fig13", "fig14", "fig15", "fig16"} {
+			run(name)
+		}
+		return
+	}
+	run(which)
+}
+
+func emit(t *bench.Table, err error) {
+	if err != nil {
+		fatal(err)
+	}
+	emitT(t)
+}
+
+// plotTables is set by the -plot flag.
+var plotTables bool
+
+func emitT(t *bench.Table) {
+	t.Fprint(os.Stdout)
+	if plotTables {
+		if chart := bench.RenderTablePlot(t); chart != "" {
+			fmt.Println(chart)
+		}
+	}
+	fmt.Println()
+}
+
+func parseDims(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v < 4 || v > 24 {
+			return nil, fmt.Errorf("bad -dims entry %q (want log2 sizes in 4..24)", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-dims is empty")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mspgemm-bench:", err)
+	os.Exit(1)
+}

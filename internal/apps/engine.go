@@ -1,0 +1,92 @@
+// Package apps implements the paper's three evaluation benchmarks (§7-§8)
+// on top of masked SpGEMM: Triangle Counting, k-truss, and batched Brandes
+// Betweenness Centrality. Each application is written against the Engine
+// abstraction so it can run with any of the paper's 12 algorithm variants
+// or with the SuiteSparse:GraphBLAS-style baselines, exactly as the paper
+// swaps the Masked SpGEMM implementation inside fixed GraphBLAS-style
+// application code.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+// Index mirrors matrix.Index.
+type Index = matrix.Index
+
+// Engine is one masked SpGEMM implementation under test.
+type Engine struct {
+	// Name is the label used in result tables ("MSA-1P", "SS:SAXPY", ...).
+	Name string
+	// Mult computes M .* (A·B) (or the complement form) over sr.
+	Mult func(m *matrix.Pattern, a, b *matrix.CSR[float64], sr semiring.Semiring[float64], complement bool) (*matrix.CSR[float64], error)
+}
+
+// EngineVariant wraps one of the paper's algorithm variants.
+func EngineVariant(v core.Variant, opt core.Options) Engine {
+	return Engine{
+		Name: v.Name(),
+		Mult: func(m *matrix.Pattern, a, b *matrix.CSR[float64], sr semiring.Semiring[float64], complement bool) (*matrix.CSR[float64], error) {
+			o := opt
+			o.Complement = complement
+			return core.MaskedSpGEMM(v, m, a, b, sr, o)
+		},
+	}
+}
+
+// EngineSSDot wraps the SS:DOT baseline. It does not support complemented
+// masks (the paper excludes SS:DOT from the BC comparison).
+func EngineSSDot(opt baseline.Options) Engine {
+	return Engine{
+		Name: "SS:DOT",
+		Mult: func(m *matrix.Pattern, a, b *matrix.CSR[float64], sr semiring.Semiring[float64], complement bool) (*matrix.CSR[float64], error) {
+			if complement {
+				return nil, fmt.Errorf("apps: SS:DOT does not support complemented masks")
+			}
+			return baseline.SSDot(m, a, b, sr, opt), nil
+		},
+	}
+}
+
+// EngineSSSaxpy wraps the SS:SAXPY baseline.
+func EngineSSSaxpy(opt baseline.Options) Engine {
+	return Engine{
+		Name: "SS:SAXPY",
+		Mult: func(m *matrix.Pattern, a, b *matrix.CSR[float64], sr semiring.Semiring[float64], complement bool) (*matrix.CSR[float64], error) {
+			o := opt
+			o.Complement = complement
+			return baseline.SSSaxpy(m, a, b, sr, o), nil
+		},
+	}
+}
+
+// EnginePlainThenMask wraps the unmasked-multiply-then-filter strawman of
+// Figure 1.
+func EnginePlainThenMask(opt baseline.Options) Engine {
+	return Engine{
+		Name: "PlainThenMask",
+		Mult: func(m *matrix.Pattern, a, b *matrix.CSR[float64], sr semiring.Semiring[float64], complement bool) (*matrix.CSR[float64], error) {
+			o := opt
+			o.Complement = complement
+			return baseline.PlainThenMask(m, a, b, sr, o), nil
+		},
+	}
+}
+
+// AllEngines returns the paper's 14 schemes (§8): the 12 proposed variants
+// plus the two SuiteSparse-style baselines.
+func AllEngines(threads int) []Engine {
+	copt := core.Options{Threads: threads}
+	bopt := baseline.Options{Threads: threads}
+	var out []Engine
+	for _, v := range core.AllVariants() {
+		out = append(out, EngineVariant(v, copt))
+	}
+	out = append(out, EngineSSDot(bopt), EngineSSSaxpy(bopt))
+	return out
+}

@@ -1,0 +1,151 @@
+// Package asciiplot renders simple terminal line charts, so the benchmark
+// harness can show the *shape* of the paper's figures (performance-profile
+// curves, GFLOPS-vs-scale series) directly in a terminal, alongside the
+// TSV data used for exact comparison.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Options configures a chart.
+type Options struct {
+	Width, Height int    // plot area in characters (default 60×16)
+	Title         string // optional banner
+	XLabel        string
+	YLabel        string
+}
+
+// markers distinguish overlapping series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~', '^', '&', '$', '='}
+
+// Render draws the series into a fixed-size character grid with axes and a
+// legend. Series with no finite points are listed in the legend but not
+// drawn.
+func Render(series []Series, opt Options) string {
+	w, h := opt.Width, opt.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			if !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	var b strings.Builder
+	if opt.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opt.Title)
+	}
+	if math.IsInf(minX, 1) {
+		b.WriteString("(no finite data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		// Plot each segment with linear interpolation so curves read as
+		// lines, not scatter.
+		for i := 1; i < len(s.X); i++ {
+			if !finite(s.X[i-1]) || !finite(s.Y[i-1]) || !finite(s.X[i]) || !finite(s.Y[i]) {
+				continue
+			}
+			steps := w
+			for t := 0; t <= steps; t++ {
+				f := float64(t) / float64(steps)
+				x := s.X[i-1] + f*(s.X[i]-s.X[i-1])
+				y := s.Y[i-1] + f*(s.Y[i]-s.Y[i-1])
+				px := int((x - minX) / (maxX - minX) * float64(w-1))
+				py := h - 1 - int((y-minY)/(maxY-minY)*float64(h-1))
+				if px >= 0 && px < w && py >= 0 && py < h {
+					grid[py][px] = mark
+				}
+			}
+		}
+		// Single points still get a marker.
+		if len(s.X) == 1 && finite(s.X[0]) && finite(s.Y[0]) {
+			px := int((s.X[0] - minX) / (maxX - minX) * float64(w-1))
+			py := h - 1 - int((s.Y[0]-minY)/(maxY-minY)*float64(h-1))
+			grid[py][px] = mark
+		}
+	}
+	// Axes and labels.
+	yLo, yHi := fmtTick(minY), fmtTick(maxY)
+	pad := len(yLo)
+	if len(yHi) > pad {
+		pad = len(yHi)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", pad)
+		if r == 0 {
+			label = leftPad(yHi, pad)
+		}
+		if r == h-1 {
+			label = leftPad(yLo, pad)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", pad), strings.Repeat("-", w))
+	xLo, xHi := fmtTick(minX), fmtTick(maxX)
+	gap := w - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", pad), xLo, strings.Repeat(" ", gap), xHi)
+	if opt.XLabel != "" || opt.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", pad), opt.XLabel, opt.YLabel)
+	}
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+func fmtTick(x float64) string {
+	switch {
+	case x == math.Trunc(x) && math.Abs(x) < 1e6:
+		return fmt.Sprintf("%.0f", x)
+	case math.Abs(x) >= 0.01:
+		return fmt.Sprintf("%.2f", x)
+	default:
+		return fmt.Sprintf("%.2g", x)
+	}
+}
+
+func leftPad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return strings.Repeat(" ", n-len(s)) + s
+}

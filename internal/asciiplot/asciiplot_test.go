@@ -1,0 +1,95 @@
+package asciiplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	s := []Series{
+		{Name: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		{Name: "down", X: []float64{0, 1, 2}, Y: []float64{2, 1, 0}},
+	}
+	out := Render(s, Options{Width: 40, Height: 10, Title: "demo", XLabel: "x", YLabel: "y"})
+	if !strings.Contains(out, "demo") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "x: x   y: y") {
+		t.Fatal("axis labels missing")
+	}
+	// Both markers must appear in the plot area.
+	if strings.Count(out, "*") < 2 || strings.Count(out, "o") < 2 {
+		t.Fatal("curves not drawn")
+	}
+	// The rising curve's marker should appear in the top-right region:
+	// last plot row before the axis contains the "down" end or "up" start.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render([]Series{{Name: "nan", X: []float64{math.NaN()}, Y: []float64{1}}}, Options{})
+	if !strings.Contains(out, "no finite data") {
+		t.Fatal("expected empty-data message")
+	}
+	out = Render(nil, Options{})
+	if !strings.Contains(out, "no finite data") {
+		t.Fatal("nil series")
+	}
+}
+
+func TestRenderSinglePointAndFlat(t *testing.T) {
+	out := Render([]Series{{Name: "pt", X: []float64{5}, Y: []float64{7}}}, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point must be drawn")
+	}
+	// Flat line (degenerate Y range) must not panic or divide by zero.
+	out = Render([]Series{{Name: "flat", X: []float64{0, 1}, Y: []float64{3, 3}}}, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "flat") {
+		t.Fatal("flat series legend")
+	}
+}
+
+func TestRenderSkipsNaNSegments(t *testing.T) {
+	s := []Series{{
+		Name: "gap",
+		X:    []float64{0, 1, 2, 3},
+		Y:    []float64{1, math.NaN(), math.NaN(), 2},
+	}}
+	out := Render(s, Options{Width: 30, Height: 8})
+	if !strings.Contains(out, "gap") {
+		t.Fatal("legend")
+	}
+}
+
+func TestManySeriesMarkerCycle(t *testing.T) {
+	var s []Series
+	for i := 0; i < 14; i++ { // more than len(markers)
+		s = append(s, Series{Name: "s", X: []float64{0, 1}, Y: []float64{float64(i), float64(i)}})
+	}
+	out := Render(s, Options{Width: 20, Height: 20})
+	if out == "" {
+		t.Fatal("render failed")
+	}
+}
+
+func TestTickFormatting(t *testing.T) {
+	if fmtTick(3) != "3" {
+		t.Fatal("integer tick")
+	}
+	if fmtTick(0.5) != "0.50" {
+		t.Fatal("decimal tick")
+	}
+	if fmtTick(0.0001) != "0.0001" {
+		t.Fatalf("small tick: %s", fmtTick(0.0001))
+	}
+	if leftPad("x", 3) != "  x" || leftPad("abcd", 2) != "abcd" {
+		t.Fatal("pad")
+	}
+}

@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+func randCSR(r *rand.Rand, m, n Index, density float64) *matrix.CSR[float64] {
+	coo := &matrix.COO[float64]{NRows: m, NCols: n}
+	target := int(density * float64(m) * float64(n))
+	for e := 0; e < target; e++ {
+		coo.Row = append(coo.Row, Index(r.Intn(int(m))))
+		coo.Col = append(coo.Col, Index(r.Intn(int(n))))
+		coo.Val = append(coo.Val, float64(1+r.Intn(4)))
+	}
+	return matrix.NewCSRFromCOO(coo, func(a, b float64) float64 { return a + b })
+}
+
+func eqF(a, b float64) bool { return a == b }
+
+func TestBaselinesMatchReference(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	sr := semiring.Arithmetic()
+	for trial := 0; trial < 10; trial++ {
+		m := Index(5 + r.Intn(40))
+		k := Index(5 + r.Intn(40))
+		n := Index(5 + r.Intn(40))
+		a := randCSR(r, m, k, 0.1+0.2*r.Float64())
+		b := randCSR(r, k, n, 0.1+0.2*r.Float64())
+		mask := randCSR(r, m, n, 0.2).Pattern()
+		want := core.Reference(mask, a, b, sr, false)
+		for _, threads := range []int{1, 3} {
+			opt := Options{Threads: threads, Grain: 4}
+			if got := SSDot(mask, a, b, sr, opt); !matrix.Equal(got, want, eqF) {
+				t.Fatalf("trial %d SSDot threads=%d mismatch", trial, threads)
+			}
+			if got := SSSaxpy(mask, a, b, sr, opt); !matrix.Equal(got, want, eqF) {
+				t.Fatalf("trial %d SSSaxpy threads=%d mismatch", trial, threads)
+			}
+			if got := PlainThenMask(mask, a, b, sr, opt); !matrix.Equal(got, want, eqF) {
+				t.Fatalf("trial %d PlainThenMask threads=%d mismatch", trial, threads)
+			}
+		}
+		wantC := core.Reference(mask, a, b, sr, true)
+		optC := Options{Threads: 2, Complement: true}
+		if got := SSSaxpy(mask, a, b, sr, optC); !matrix.Equal(got, wantC, eqF) {
+			t.Fatalf("trial %d SSSaxpy complement mismatch", trial)
+		}
+		if got := PlainThenMask(mask, a, b, sr, optC); !matrix.Equal(got, wantC, eqF) {
+			t.Fatalf("trial %d PlainThenMask complement mismatch", trial)
+		}
+	}
+}
+
+func TestSpGEMMPlain(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	sr := semiring.Arithmetic()
+	a := randCSR(r, 20, 30, 0.15)
+	b := randCSR(r, 30, 25, 0.15)
+	got := SpGEMM(a, b, sr, Options{Threads: 2})
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsSortedRows() {
+		t.Fatal("SpGEMM rows must be sorted")
+	}
+	// Compare against complement-of-empty-mask reference (= full product).
+	empty := matrix.NewEmptyCSR[float64](20, 25).Pattern()
+	want := core.Reference(empty, a, b, sr, true)
+	if !matrix.Equal(got, want, eqF) {
+		t.Fatal("plain SpGEMM mismatch")
+	}
+}
+
+// TestGallopDotNonCommutative ensures operand order is preserved through
+// the galloping swap (PlusSecond multiplies must return the B value).
+func TestGallopDotNonCommutative(t *testing.T) {
+	sr := semiring.PlusSecond()
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		m := Index(5 + r.Intn(20))
+		k := Index(5 + r.Intn(20))
+		n := Index(5 + r.Intn(20))
+		a := randCSR(r, m, k, 0.3)
+		// Very dense B forces the swap path (B columns longer than A rows).
+		b := randCSR(r, k, n, 0.8)
+		mask := randCSR(r, m, n, 0.5).Pattern()
+		want := core.Reference(mask, a, b, sr, false)
+		got := SSDot(mask, a, b, sr, Options{})
+		if !matrix.Equal(got, want, eqF) {
+			t.Fatalf("trial %d: non-commutative semiring broken by gallop swap", trial)
+		}
+	}
+}
+
+func TestBaselinesQuick(t *testing.T) {
+	sr := semiring.Arithmetic()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := Index(2 + r.Intn(30))
+		a := randCSR(r, n, n, 0.2)
+		b := randCSR(r, n, n, 0.2)
+		mask := randCSR(r, n, n, 0.3).Pattern()
+		want := core.Reference(mask, a, b, sr, false)
+		return matrix.Equal(SSDot(mask, a, b, sr, Options{}), want, eqF) &&
+			matrix.Equal(SSSaxpy(mask, a, b, sr, Options{}), want, eqF)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselinesEmpty(t *testing.T) {
+	sr := semiring.Arithmetic()
+	e := matrix.NewEmptyCSR[float64](4, 4)
+	full := matrix.NewCSRFromCOO(&matrix.COO[float64]{
+		NRows: 4, NCols: 4,
+		Row: []Index{0, 1, 2, 3}, Col: []Index{1, 2, 3, 0}, Val: []float64{1, 1, 1, 1},
+	}, nil)
+	if SSDot(e.Pattern(), full, full, sr, Options{}).NNZ() != 0 {
+		t.Fatal("empty mask: SSDot")
+	}
+	if SSSaxpy(full.Pattern(), e, full, sr, Options{}).NNZ() != 0 {
+		t.Fatal("empty A: SSSaxpy")
+	}
+	if PlainThenMask(full.Pattern(), full, e, sr, Options{}).NNZ() != 0 {
+		t.Fatal("empty B: PlainThenMask")
+	}
+}

@@ -1,0 +1,192 @@
+// Package bench is the experiment harness: one entry point per table/figure
+// of the paper's evaluation (§8), each regenerating the corresponding data
+// series on this machine. The cmd/mspgemm-bench CLI and the root-level
+// testing.B benchmarks both drive this package.
+//
+// Substitutions relative to the paper's testbed (see DESIGN.md): the 26
+// SuiteSparse real-world graphs are replaced by a deterministic synthetic
+// corpus spanning the same density/skew regimes, R-MAT scales default to
+// laptop-sized ranges, and the two machines (Haswell/KNL) collapse to the
+// host.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/grgen"
+	"repro/internal/matrix"
+	"repro/internal/perfprof"
+)
+
+// Config controls workload sizes so the harness scales from smoke test to
+// full reproduction.
+type Config struct {
+	// Threads for all parallel kernels; 0 = GOMAXPROCS.
+	Threads int
+	// Seed for all generators.
+	Seed uint64
+	// Reps is the number of timing repetitions (minimum taken).
+	Reps int
+	// MaxScale caps R-MAT scale sweeps (paper: 20).
+	MaxScale int
+	// BatchSize is the BC batch (paper: 512).
+	BatchSize int
+	// Quick shrinks grids and corpora for smoke runs.
+	Quick bool
+}
+
+// DefaultConfig returns the laptop-scale defaults.
+func DefaultConfig() Config {
+	return Config{
+		Threads:   runtime.GOMAXPROCS(0),
+		Seed:      1,
+		Reps:      3,
+		MaxScale:  13,
+		BatchSize: 64,
+	}
+}
+
+func (c Config) reps() int {
+	if c.Reps < 1 {
+		return 1
+	}
+	return c.Reps
+}
+
+// Table is a printable result table.
+type Table struct {
+	Title  string
+	Notes  []string
+	Header []string
+	Rows   [][]string
+}
+
+// Fprint writes the table as TSV with a title banner.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "# %s\n", n)
+	}
+	fmt.Fprintln(w, strings.Join(t.Header, "\t"))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// NamedGraph is one corpus entry.
+type NamedGraph struct {
+	Name  string
+	Graph *matrix.CSR[float64]
+}
+
+// Corpus returns the synthetic stand-in for the paper's 26 SuiteSparse
+// graphs: R-MAT graphs (power-law degrees, Graph500 parameters) and
+// symmetric Erdős–Rényi graphs (flat degrees) across a grid of sizes and
+// densities. Deterministic in cfg.Seed.
+func Corpus(cfg Config) []NamedGraph {
+	type spec struct {
+		kind  string
+		scale int
+		deg   int
+	}
+	var specs []spec
+	if cfg.Quick {
+		specs = []spec{
+			{"rmat", 8, 8}, {"rmat", 9, 8}, {"rmat", 9, 16},
+			{"er", 8, 4}, {"er", 9, 8}, {"er", 9, 16},
+		}
+	} else {
+		for _, s := range []int{9, 10, 11, 12} {
+			for _, d := range []int{4, 8, 16} {
+				specs = append(specs, spec{"rmat", s, d})
+			}
+		}
+		for _, s := range []int{9, 10, 11, 12} {
+			for _, d := range []int{2, 8, 32} {
+				specs = append(specs, spec{"er", s, d})
+			}
+		}
+		specs = append(specs, spec{"rmat", 13, 8}, spec{"er", 13, 4})
+		// Structural outliers: small-world (triangle-rich), preferential
+		// attachment (heavy tail without R-MAT blocking), regular mesh
+		// (banded, triangle-free).
+		specs = append(specs,
+			spec{"ws", 11, 8}, spec{"ws", 12, 16},
+			spec{"ba", 11, 4}, spec{"ba", 12, 8},
+			spec{"grid", 11, 0}, spec{"grid", 12, 0})
+	}
+	out := make([]NamedGraph, 0, len(specs))
+	seed := cfg.Seed
+	for _, sp := range specs {
+		seed++
+		n := matrix.Index(1) << sp.scale
+		var g *matrix.CSR[float64]
+		switch sp.kind {
+		case "rmat":
+			g = grgen.RMAT(sp.scale, sp.deg, seed)
+		case "er":
+			g = grgen.ErdosRenyiSym(n, float64(sp.deg), seed)
+		case "ws":
+			g = grgen.WattsStrogatz(n, sp.deg, 0.1, seed)
+		case "ba":
+			g = grgen.BarabasiAlbert(n, sp.deg, seed)
+		case "grid":
+			side := matrix.Index(1) << (sp.scale / 2)
+			g = grgen.Grid2D(side, n/side)
+		}
+		out = append(out, NamedGraph{
+			Name:  fmt.Sprintf("%s-s%d-d%d", sp.kind, sp.scale, sp.deg),
+			Graph: g,
+		})
+	}
+	return out
+}
+
+// minTime runs f reps times and returns the smallest positive duration in
+// seconds, or NaN-equivalent failure (negative) if every run errored.
+func minTime(reps int, f func() (time.Duration, error)) float64 {
+	best := -1.0
+	for r := 0; r < reps; r++ {
+		d, err := f()
+		if err != nil {
+			continue
+		}
+		s := d.Seconds()
+		if best < 0 || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// profileTable renders a perfprof result as a Table.
+func profileTable(title string, notes []string, p *perfprof.Profile) *Table {
+	t := &Table{Title: title, Notes: notes}
+	t.Header = append([]string{"tau"}, p.Schemes...)
+	for ti, tau := range p.Taus {
+		row := []string{fmt.Sprintf("%.2f", tau)}
+		for si := range p.Schemes {
+			row = append(row, fmt.Sprintf("%.3f", p.Frac[si][ti]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	winRow := []string{"wins"}
+	for si := range p.Schemes {
+		winRow = append(winRow, fmt.Sprintf("%d/%d", p.Wins[si], p.Cases))
+	}
+	t.Rows = append(t.Rows, winRow)
+	best, frac := p.BestScheme()
+	t.Notes = append(t.Notes, fmt.Sprintf("best scheme: %s (wins %.0f%% of cases)", best, frac*100))
+	return t
+}

@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickCfg is a tiny configuration so the harness smoke tests run in
+// seconds.
+func quickCfg() Config {
+	return Config{Threads: 2, Seed: 1, Reps: 1, MaxScale: 8, BatchSize: 4, Quick: true}
+}
+
+func TestCorpusDeterministicAndValid(t *testing.T) {
+	c1 := Corpus(quickCfg())
+	c2 := Corpus(quickCfg())
+	if len(c1) == 0 || len(c1) != len(c2) {
+		t.Fatalf("corpus sizes: %d vs %d", len(c1), len(c2))
+	}
+	seen := map[string]bool{}
+	for i := range c1 {
+		if c1[i].Name != c2[i].Name || c1[i].Graph.NNZ() != c2[i].Graph.NNZ() {
+			t.Fatal("corpus not deterministic")
+		}
+		if seen[c1[i].Name] {
+			t.Fatalf("duplicate corpus name %s", c1[i].Name)
+		}
+		seen[c1[i].Name] = true
+		if err := c1[i].Graph.Validate(); err != nil {
+			t.Fatalf("%s: %v", c1[i].Name, err)
+		}
+	}
+	full := Corpus(Config{Seed: 1})
+	if len(full) <= len(c1) {
+		t.Fatal("full corpus should be larger than quick corpus")
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	tables := Fig7(quickCfg(), []int{8})
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	tb := tables[0]
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (quick degAB grid)", len(tb.Rows))
+	}
+	valid := map[string]bool{"MSA": true, "Hash": true, "MCA": true,
+		"Heap": true, "HeapDot": true, "Inner": true, "-": true}
+	for _, row := range tb.Rows {
+		for _, cell := range row[1:] {
+			if !valid[cell] {
+				t.Fatalf("unexpected winner cell %q", cell)
+			}
+		}
+	}
+	out := tb.String()
+	if !strings.Contains(out, "Fig 7") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestFig8And9Smoke(t *testing.T) {
+	t8, err := Fig8(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t8.Header) != 13 { // tau + 12 variants
+		t.Fatalf("fig8 header = %v", t8.Header)
+	}
+	t9, err := Fig9(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t9.Header) != 6 { // tau + 3 ours + 2 baselines
+		t.Fatalf("fig9 header = %v", t9.Header)
+	}
+	// Fractions must reach 1.0 for at least one scheme at the last tau.
+	last := t8.Rows[len(t8.Rows)-2] // before the wins row
+	foundOne := false
+	for _, cell := range last[1:] {
+		if cell == "1.000" {
+			foundOne = true
+		}
+	}
+	if !foundOne {
+		t.Log("no scheme at rho=1 by tau=2.4 (allowed but unusual):", last)
+	}
+}
+
+func TestFig10Smoke(t *testing.T) {
+	tb := Fig10(quickCfg())
+	if len(tb.Rows) != 1 { // scale 8..8
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "8" {
+		t.Fatal("scale column")
+	}
+	for _, cell := range tb.Rows[0][1:] {
+		if cell == "err" {
+			t.Fatal("scheme errored")
+		}
+	}
+}
+
+func TestFig11Smoke(t *testing.T) {
+	tb := Fig11(quickCfg())
+	if len(tb.Rows) < 1 {
+		t.Fatal("no thread rows")
+	}
+	if tb.Rows[0][0] != "1" {
+		t.Fatal("first thread count must be 1")
+	}
+}
+
+func TestFig12Through14Smoke(t *testing.T) {
+	if _, err := Fig12(quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	t13, err := Fig13(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t13.Header) != 7 {
+		t.Fatalf("fig13 header = %v", t13.Header)
+	}
+	t14 := Fig14(quickCfg())
+	if len(t14.Rows) != 1 {
+		t.Fatalf("fig14 rows = %d", len(t14.Rows))
+	}
+}
+
+func TestFig15And16Smoke(t *testing.T) {
+	t15 := Fig15(quickCfg())
+	if len(t15.Rows) != 1 {
+		t.Fatalf("fig15 rows = %d", len(t15.Rows))
+	}
+	for _, cell := range t15.Rows[0][1:] {
+		if cell == "err" {
+			t.Fatal("BC scheme errored")
+		}
+	}
+	t16, err := Fig16(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t16.Header) != 6 { // tau + 5 schemes
+		t.Fatalf("fig16 header = %v", t16.Header)
+	}
+}
+
+func TestBCSources(t *testing.T) {
+	s := bcSources(100, 10, 1)
+	if len(s) != 10 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for _, v := range s {
+		if v < 0 || v >= 100 {
+			t.Fatalf("source %d out of range", v)
+		}
+	}
+	// Batch larger than n clamps.
+	s2 := bcSources(5, 99, 1)
+	if len(s2) != 5 {
+		t.Fatalf("clamped len = %d", len(s2))
+	}
+	if len(bcSources(0, 4, 1)) != 0 {
+		t.Fatal("n=0")
+	}
+	// Deterministic.
+	s3 := bcSources(100, 10, 1)
+	for i := range s {
+		if s[i] != s3[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{
+		Title:  "T",
+		Notes:  []string{"n1"},
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}},
+	}
+	out := tb.String()
+	for _, want := range []string{"== T ==", "# n1", "a\tb", "1\t2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestMinTime(t *testing.T) {
+	calls := 0
+	durations := []time.Duration{5 * time.Millisecond, 2 * time.Millisecond, 9 * time.Millisecond}
+	got := minTime(3, func() (time.Duration, error) {
+		d := durations[calls]
+		calls++
+		return d, nil
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d", calls)
+	}
+	if got != 0.002 {
+		t.Fatalf("min = %v, want 0.002", got)
+	}
+	// All-error runs report failure as a negative sentinel.
+	bad := minTime(2, func() (time.Duration, error) { return 0, errFail })
+	if bad >= 0 {
+		t.Fatalf("expected negative failure sentinel, got %v", bad)
+	}
+}
+
+var errFail = errors.New("fail")
+
+func TestRenderTablePlot(t *testing.T) {
+	tb := &Table{
+		Title:  "plot me",
+		Header: []string{"scale", "A", "B"},
+		Rows: [][]string{
+			{"8", "1.5", "0.5"},
+			{"9", "2.0", "err"},
+			{"wins", "3/6", "1/6"},
+		},
+	}
+	out := RenderTablePlot(tb)
+	if !strings.Contains(out, "plot me") || !strings.Contains(out, "* A") {
+		t.Fatalf("plot missing pieces: %q", out)
+	}
+	// Non-numeric-only table yields nothing.
+	empty := &Table{Header: []string{"a", "b"}, Rows: [][]string{{"x", "y"}}}
+	if RenderTablePlot(empty) != "" {
+		t.Fatal("expected empty plot for non-numeric table")
+	}
+	if RenderTablePlot(&Table{Header: []string{"only"}}) != "" {
+		t.Fatal("single-column table")
+	}
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/grgen"
+	"repro/internal/matrix"
+	"repro/internal/perfprof"
+)
+
+// bcEngines is the scheme set of the BC plots: the paper keeps MSA and Hash
+// (1P/2P) plus SS:SAXPY, excluding MCA (no complement), Heap, Inner and
+// SS:DOT (prohibitively slow under the dense masks BC produces).
+func bcEngines(threads int) []apps.Engine {
+	return []apps.Engine{
+		apps.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}, core.Options{Threads: threads}),
+		apps.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.OnePhase}, core.Options{Threads: threads}),
+		apps.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.TwoPhase}, core.Options{Threads: threads}),
+		apps.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.TwoPhase}, core.Options{Threads: threads}),
+		apps.EngineSSSaxpy(baseline.Options{Threads: threads}),
+	}
+}
+
+// bcSources picks a deterministic source batch for a graph: the batch
+// cycles through vertices with stride so sources spread over the id space.
+func bcSources(n matrix.Index, batch int, seed uint64) []matrix.Index {
+	if int(n) < 1 {
+		return nil
+	}
+	if batch > int(n) {
+		batch = int(n)
+	}
+	out := make([]matrix.Index, batch)
+	stride := uint64(n)/uint64(batch) + 1
+	x := seed
+	for i := range out {
+		x = x*6364136223846793005 + 1442695040888963407
+		out[i] = matrix.Index((uint64(i)*stride + x%stride) % uint64(n))
+	}
+	return out
+}
+
+// Fig15 reproduces Figure 15: betweenness centrality MTEPS as R-MAT scale
+// grows (paper: batch 512, scale 8–20). Expected: push-based schemes
+// (MSA-1P, Hash-1P, SS:SAXPY) increase MTEPS with scale.
+func Fig15(cfg Config) *Table {
+	engines := bcEngines(cfg.Threads)
+	t := &Table{
+		Title: "Fig 15: Betweenness Centrality MTEPS vs R-MAT scale",
+		Notes: []string{fmt.Sprintf("MTEPS = batch*edges/total_time/1e6, batch=%d (paper: 512)", cfg.BatchSize),
+			"paper: push-based schemes increase MTEPS with scale"},
+	}
+	t.Header = []string{"scale"}
+	for _, e := range engines {
+		t.Header = append(t.Header, e.Name)
+	}
+	for scale := 8; scale <= cfg.MaxScale; scale++ {
+		g := grgen.RMAT(scale, 16, cfg.Seed+uint64(scale))
+		sources := bcSources(g.NRows, cfg.BatchSize, cfg.Seed)
+		row := []string{fmt.Sprintf("%d", scale)}
+		for _, eng := range engines {
+			var mteps float64
+			sec := minTime(cfg.reps(), func() (time.Duration, error) {
+				r, err := apps.BetweennessCentrality(g, sources, eng)
+				if err == nil {
+					mteps = r.MTEPS()
+				}
+				return r.TotalTime, err
+			})
+			if sec < 0 {
+				row = append(row, "err")
+			} else {
+				row = append(row, fmt.Sprintf("%.2f", mteps))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig16 reproduces Figure 16: the BC performance profile (forward +
+// backward masked SpGEMM time) over the corpus. Expected: MSA-1P best on
+// every instance, 1P > 2P.
+func Fig16(cfg Config) (*Table, error) {
+	engines := bcEngines(cfg.Threads)
+	corpus := Corpus(cfg)
+	series := make([]perfprof.Series, len(engines))
+	for ei := range engines {
+		series[ei].Scheme = engines[ei].Name
+		series[ei].Times = make([]float64, len(corpus))
+	}
+	for ci, g := range corpus {
+		sources := bcSources(g.Graph.NRows, cfg.BatchSize, cfg.Seed+uint64(ci))
+		for ei, eng := range engines {
+			series[ei].Times[ci] = minTime(cfg.reps(), func() (time.Duration, error) {
+				r, err := apps.BetweennessCentrality(g.Graph, sources, eng)
+				return r.MaskedTime, err
+			})
+		}
+	}
+	p, err := perfprof.Compute(series, perfprof.DefaultTaus())
+	if err != nil {
+		return nil, err
+	}
+	return profileTable("Fig 16: Betweenness Centrality, ours vs SS:SAXPY",
+		[]string{"masked SpGEMM time (forward complemented + backward), batch=" + fmt.Sprint(cfg.BatchSize),
+			"paper: MSA-1P best in all test instances"}, p), nil
+}

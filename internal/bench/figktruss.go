@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/grgen"
+	"repro/internal/perfprof"
+)
+
+// ktrussK is the truss order the paper benchmarks (§8.3).
+const ktrussK = 5
+
+// ktrussProfile times k-truss (k=5) over the corpus for the given engines.
+func ktrussProfile(cfg Config, engines []apps.Engine) (*perfprof.Profile, error) {
+	corpus := Corpus(cfg)
+	series := make([]perfprof.Series, len(engines))
+	for ei := range engines {
+		series[ei].Scheme = engines[ei].Name
+		series[ei].Times = make([]float64, len(corpus))
+	}
+	for ci, g := range corpus {
+		for ei, eng := range engines {
+			series[ei].Times[ci] = minTime(cfg.reps(), func() (time.Duration, error) {
+				_, r, err := apps.KTruss(g.Graph, ktrussK, eng)
+				return r.MaskedTime, err
+			})
+		}
+	}
+	return perfprof.Compute(series, perfprof.DefaultTaus())
+}
+
+// Fig12 reproduces Figure 12: the k-truss performance profile of all 12
+// proposed variants over the corpus. Expected: MSA best on cache-rich
+// machines, Inner competitive (the mask sparsifies as pruning proceeds),
+// heap-based schemes noncompetitive.
+func Fig12(cfg Config) (*Table, error) {
+	var engines []apps.Engine
+	for _, v := range core.AllVariants() {
+		engines = append(engines, apps.EngineVariant(v, core.Options{Threads: cfg.Threads}))
+	}
+	p, err := ktrussProfile(cfg, engines)
+	if err != nil {
+		return nil, err
+	}
+	return profileTable("Fig 12: k-truss (k=5) performance profile (our 12 variants)",
+		[]string{"paper: MSA best (Haswell), Inner fairly good, 1P > 2P, heaps noncompetitive"}, p), nil
+}
+
+// Fig13 reproduces Figure 13: the four best k-truss schemes against the
+// SS:GB-style baselines. Expected: MSA-1P and Inner-1P significantly beat
+// both baselines.
+func Fig13(cfg Config) (*Table, error) {
+	engines := []apps.Engine{
+		apps.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
+		apps.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
+		apps.EngineVariant(core.Variant{Alg: core.MCA, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
+		apps.EngineVariant(core.Variant{Alg: core.Inner, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
+		apps.EngineSSSaxpy(baseline.Options{Threads: cfg.Threads}),
+		apps.EngineSSDot(baseline.Options{Threads: cfg.Threads}),
+	}
+	p, err := ktrussProfile(cfg, engines)
+	if err != nil {
+		return nil, err
+	}
+	return profileTable("Fig 13: k-truss (k=5), ours vs SS:GB-style baselines",
+		[]string{"paper: MSA-1P / Inner-1P significantly better than SS:GB"}, p), nil
+}
+
+// Fig14 reproduces Figure 14: k-truss GFLOPS as R-MAT scale grows.
+// Expected: pull-based schemes (Inner, SS:DOT) improve their rate with
+// scale as the mask sparsifies through pruning.
+func Fig14(cfg Config) *Table {
+	engines := []apps.Engine{
+		apps.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
+		apps.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
+		apps.EngineVariant(core.Variant{Alg: core.Inner, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
+		apps.EngineSSSaxpy(baseline.Options{Threads: cfg.Threads}),
+		apps.EngineSSDot(baseline.Options{Threads: cfg.Threads}),
+	}
+	t := &Table{
+		Title: "Fig 14: k-truss (k=5) GFLOPS vs R-MAT scale",
+		Notes: []string{"GFLOPS = 2*sum(flops)/sum(masked_time) over all rounds",
+			"paper: Inner and SS:DOT grow with scale; pull-based schemes shine here"},
+	}
+	t.Header = []string{"scale"}
+	for _, e := range engines {
+		t.Header = append(t.Header, e.Name)
+	}
+	for scale := 8; scale <= cfg.MaxScale; scale++ {
+		g := grgen.RMAT(scale, 16, cfg.Seed+uint64(scale))
+		row := []string{fmt.Sprintf("%d", scale)}
+		for _, eng := range engines {
+			var gf float64
+			sec := minTime(cfg.reps(), func() (time.Duration, error) {
+				_, r, err := apps.KTruss(g, ktrussK, eng)
+				if err == nil {
+					gf = r.GFLOPS()
+				}
+				return r.MaskedTime, err
+			})
+			if sec < 0 {
+				row = append(row, "err")
+			} else {
+				row = append(row, fmt.Sprintf("%.3f", gf))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

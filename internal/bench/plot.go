@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"strconv"
+
+	"repro/internal/asciiplot"
+)
+
+// RenderTablePlot draws a Table whose first column is a numeric x-axis and
+// whose remaining columns are numeric series (profile fractions, GFLOPS,
+// MTEPS) as a terminal line chart. Non-numeric rows (e.g. the "wins" row)
+// and cells ("err", "-") are skipped. Returns "" when nothing is
+// plottable.
+func RenderTablePlot(t *Table) string {
+	if len(t.Header) < 2 {
+		return ""
+	}
+	nSeries := len(t.Header) - 1
+	series := make([]asciiplot.Series, nSeries)
+	for s := 0; s < nSeries; s++ {
+		series[s].Name = t.Header[s+1]
+	}
+	plottable := false
+	for _, row := range t.Rows {
+		if len(row) != len(t.Header) {
+			continue
+		}
+		x, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			continue // e.g. the "wins" row
+		}
+		for s := 0; s < nSeries; s++ {
+			y, err := strconv.ParseFloat(row[s+1], 64)
+			if err != nil {
+				continue // "err", "-"
+			}
+			series[s].X = append(series[s].X, x)
+			series[s].Y = append(series[s].Y, y)
+			plottable = true
+		}
+	}
+	if !plottable {
+		return ""
+	}
+	return asciiplot.Render(series, asciiplot.Options{
+		Title:  t.Title,
+		Width:  64,
+		Height: 18,
+		XLabel: t.Header[0],
+	})
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+func TestColumnMajorAgreesWithRowMajor(t *testing.T) {
+	r := rand.New(rand.NewSource(211))
+	sr := semiring.Arithmetic()
+	for trial := 0; trial < 8; trial++ {
+		m := Index(10 + r.Intn(40))
+		k := Index(10 + r.Intn(40))
+		n := Index(10 + r.Intn(40))
+		a := randCSR(r, m, k, 0.15)
+		b := randCSR(r, k, n, 0.15)
+		mask := randCSR(r, m, n, 0.25).Pattern()
+		want := Reference(mask, a, b, sr, false)
+		for _, v := range []Variant{{MSA, OnePhase}, {Hash, TwoPhase}, {Heap, OnePhase}, {MCA, OnePhase}} {
+			got, err := MaskedSpGEMMColumns(v, mask, a, b, sr, Options{Threads: 2})
+			if err != nil {
+				t.Fatalf("%s: %v", v.Name(), err)
+			}
+			if !matrix.Equal(got, want, eqF) {
+				t.Errorf("trial %d %s: column-major result differs", trial, v.Name())
+			}
+		}
+	}
+}
+
+// TestColumnMajorNonCommutative: operand order through the transpose
+// identity must be preserved for non-commutative semirings.
+func TestColumnMajorNonCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(223))
+	sr := semiring.PlusSecond()
+	n := Index(30)
+	a := randCSR(r, n, n, 0.2)
+	b := randCSR(r, n, n, 0.2)
+	mask := randCSR(r, n, n, 0.3).Pattern()
+	want := Reference(mask, a, b, sr, false)
+	got, err := MaskedSpGEMMColumns(Variant{MSA, OnePhase}, mask, a, b, sr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(got, want, eqF) {
+		t.Fatal("column-major broke PlusSecond operand order")
+	}
+}
+
+func TestColumnMajorComplement(t *testing.T) {
+	r := rand.New(rand.NewSource(227))
+	sr := semiring.Arithmetic()
+	n := Index(25)
+	a := randCSR(r, n, n, 0.2)
+	b := randCSR(r, n, n, 0.2)
+	mask := randCSR(r, n, n, 0.3).Pattern()
+	want := Reference(mask, a, b, sr, true)
+	got, err := MaskedSpGEMMColumns(Variant{Hash, OnePhase}, mask, a, b, sr, Options{Complement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(got, want, eqF) {
+		t.Fatal("column-major complement mismatch")
+	}
+}
+
+func TestColumnMajorDimCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(229))
+	a := randCSR(r, 4, 5, 0.5)
+	b := randCSR(r, 6, 4, 0.5)
+	mask := randCSR(r, 4, 4, 0.5).Pattern()
+	if _, err := MaskedSpGEMMColumns(Variant{MSA, OnePhase}, mask, a, b, semiring.Arithmetic(), Options{}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+// TestCountOpsMatchesReference: the instrumented implementations are an
+// independent oracle; their outputs must equal Reference.
+func TestCountOpsMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	sr := semiring.Arithmetic()
+	for trial := 0; trial < 8; trial++ {
+		n := Index(15 + r.Intn(50))
+		a := randCSR(r, n, n, 0.1)
+		b := randCSR(r, n, n, 0.1)
+		mask := randCSR(r, n, n, 0.2).Pattern()
+		want := Reference(mask, a, b, sr, false)
+		for _, alg := range []Algorithm{MSA, Hash, MCA, Heap, HeapDot, Inner} {
+			got, ops, err := CountOps(alg, mask, a, b, sr)
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			if !matrix.Equal(got, want, eqF) {
+				t.Errorf("trial %d %s: instrumented result differs", trial, alg)
+			}
+			if ops.Total() <= 0 && want.NNZ() > 0 {
+				t.Errorf("%s: zero op count for nonempty product", alg)
+			}
+		}
+	}
+}
+
+// TestComplexityBoundsHold: measured abstract operations must stay within a
+// constant factor of the §5 formulas across a spread of density regimes.
+func TestComplexityBoundsHold(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	sr := semiring.Arithmetic()
+	regimes := []struct {
+		name       string
+		dIn, dMask float64
+	}{
+		{"sparse-mask", 0.2, 0.01},
+		{"balanced", 0.1, 0.1},
+		{"dense-mask", 0.01, 0.4},
+	}
+	const slack = 6 // constant factor allowed over the asymptotic bound
+	for _, reg := range regimes {
+		n := Index(80)
+		a := randCSR(r, n, n, reg.dIn)
+		b := randCSR(r, n, n, reg.dIn)
+		mask := randCSR(r, n, n, reg.dMask).Pattern()
+		for _, alg := range []Algorithm{MSA, Hash, MCA, Heap, HeapDot, Inner} {
+			_, ops, err := CountOps(alg, mask, a, b, sr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound, err := PredictedBound(alg, mask, a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ops.Total() > slack*(bound+1) {
+				t.Errorf("%s/%s: ops %d exceed %d × bound %d",
+					reg.name, alg, ops.Total(), slack, bound)
+			}
+		}
+	}
+}
+
+// TestComplexityOrdering: in the regime the paper identifies for each
+// algorithm, its predicted bound must undercut at least one rival's —
+// the quantitative version of the Fig. 7 regions.
+func TestComplexityOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(107))
+	n := Index(150)
+	// Sparse mask, denser inputs: Inner's bound must beat push bounds.
+	aD := randCSR(r, n, n, 0.15)
+	bD := randCSR(r, n, n, 0.15)
+	sparseMask := randCSR(r, n, n, 0.002).Pattern()
+	innerB, _ := PredictedBound(Inner, sparseMask, aD, bD)
+	msaB, _ := PredictedBound(MSA, sparseMask, aD, bD)
+	if innerB >= msaB {
+		t.Errorf("sparse mask: Inner bound %d should undercut MSA bound %d", innerB, msaB)
+	}
+	// Comparable densities: Hash bound ≤ MSA bound (no ncols term).
+	eqMask := randCSR(r, n, n, 0.15).Pattern()
+	hashB, _ := PredictedBound(Hash, eqMask, aD, bD)
+	msaB2, _ := PredictedBound(MSA, eqMask, aD, bD)
+	if hashB > msaB2 {
+		t.Errorf("Hash bound %d should be <= MSA bound %d", hashB, msaB2)
+	}
+}
+
+func TestPredictedBoundErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(109))
+	a := randCSR(r, 5, 5, 0.5)
+	if _, err := PredictedBound(Algorithm(250), a.Pattern(), a, a); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+	if _, _, err := CountOps(Algorithm(250), a.Pattern(), a, a, semiring.Arithmetic()); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+	bad := randCSR(r, 4, 4, 0.5)
+	if _, _, err := CountOps(MSA, a.Pattern(), a, bad, semiring.Arithmetic()); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+// TestMaskSkipsProducts: the mask-aware accumulators must evaluate far
+// fewer products than flops(AB) when the mask is tiny — the central claim
+// of the paper (Figure 1's "masked output entries need not be computed").
+func TestMaskSkipsProducts(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	n := Index(200)
+	a := randCSR(r, n, n, 0.1)
+	b := randCSR(r, n, n, 0.1)
+	tiny := randCSR(r, n, n, 0.001).Pattern()
+	flops := Flops(a, b, 1)
+	_, opsMSA, err := CountOps(MSA, tiny, a, b, semiring.Arithmetic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opsMSA.Products*10 > flops {
+		t.Errorf("MSA evaluated %d products out of %d flops; mask should skip most", opsMSA.Products, flops)
+	}
+	_, opsInner, err := CountOps(Inner, tiny, a, b, semiring.Arithmetic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opsInner.RowsTouched >= flops {
+		t.Errorf("Inner touched %d entries, not less than flops %d", opsInner.RowsTouched, flops)
+	}
+}

@@ -1,0 +1,273 @@
+// Package core implements the paper's masked sparse matrix-matrix product
+// algorithms: C = M .* (A·B) (and the complemented form C = ¬M .* (A·B))
+// on an arbitrary semiring.
+//
+// Six algorithm families are provided, matching §8's evaluation:
+//
+//	MSA     push-based Gustavson with the Masked Sparse Accumulator (§5.2)
+//	Hash    push-based with the hash accumulator (§5.3)
+//	MCA     push-based with the Mask Compressed Accumulator (§5.4, novel)
+//	Heap    push-based multi-way merge, NInspect=1 (§5.5)
+//	HeapDot push-based multi-way merge, NInspect=∞ (§5.5)
+//	Inner   pull-based dot products driven by the mask (§4.1)
+//
+// Every family runs either one-phase (allocate from the mask-derived upper
+// bound, multiply once, compact) or two-phase (symbolic pass computes the
+// output pattern size, then an exact-allocation numeric pass), reproducing
+// the §6 study. All kernels are row-parallel over goroutines with dynamic
+// chunk scheduling; workers own reusable accumulator scratch so no per-row
+// allocation happens in steady state.
+//
+// Requirements: all kernels assume duplicate-free rows. MCA, Heap, HeapDot
+// and Inner additionally require rows (and, for Inner, CSC columns) sorted
+// by index, which every builder in internal/matrix guarantees.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+	"repro/internal/semiring"
+)
+
+// Index mirrors matrix.Index.
+type Index = matrix.Index
+
+// Algorithm selects the masked SpGEMM algorithm family.
+type Algorithm uint8
+
+// Algorithm families (§8 naming).
+const (
+	MSA Algorithm = iota
+	Hash
+	MCA
+	Heap
+	HeapDot
+	Inner
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case MSA:
+		return "MSA"
+	case Hash:
+		return "Hash"
+	case MCA:
+		return "MCA"
+	case Heap:
+		return "Heap"
+	case HeapDot:
+		return "HeapDot"
+	case Inner:
+		return "Inner"
+	}
+	return fmt.Sprintf("Algorithm(%d)", uint8(a))
+}
+
+// Phase selects one-phase or two-phase execution (§6).
+type Phase uint8
+
+// Execution phases.
+const (
+	OnePhase Phase = iota
+	TwoPhase
+)
+
+// String returns the paper's suffix for the phase.
+func (p Phase) String() string {
+	if p == TwoPhase {
+		return "2P"
+	}
+	return "1P"
+}
+
+// Options configures a masked SpGEMM call.
+type Options struct {
+	// Threads is the number of worker goroutines; 0 means GOMAXPROCS.
+	Threads int
+	// Grain is the number of rows a worker claims per scheduling step;
+	// 0 means parallel.DefaultGrain.
+	Grain int
+	// Complement computes C = ¬M .* (A·B): entries present in M are masked
+	// *out*. MCA does not support complemented masks (§8.4) and returns an
+	// error; Heap/HeapDot run with NInspect=0 under complement (§5.5).
+	Complement bool
+}
+
+// Variant is a named (algorithm, phase) pair, the unit the paper benchmarks
+// (e.g. "MSA-1P").
+type Variant struct {
+	Alg   Algorithm
+	Phase Phase
+}
+
+// Name returns the paper's label, e.g. "Hash-2P".
+func (v Variant) Name() string { return v.Alg.String() + "-" + v.Phase.String() }
+
+// SupportsComplement reports whether the variant can run with a
+// complemented mask.
+func (v Variant) SupportsComplement() bool { return v.Alg != MCA }
+
+// AllVariants returns the 12 variants evaluated in §8 (6 algorithms × 1P/2P)
+// in the paper's presentation order.
+func AllVariants() []Variant {
+	algs := []Algorithm{MSA, Hash, MCA, Heap, HeapDot, Inner}
+	out := make([]Variant, 0, len(algs)*2)
+	for _, a := range algs {
+		out = append(out, Variant{a, OnePhase}, Variant{a, TwoPhase})
+	}
+	return out
+}
+
+// VariantByName returns the variant with the given paper label ("MSA-1P",
+// "Inner-2P", ...).
+func VariantByName(name string) (Variant, error) {
+	for _, v := range AllVariants() {
+		if v.Name() == name {
+			return v, nil
+		}
+	}
+	return Variant{}, fmt.Errorf("core: unknown variant %q", name)
+}
+
+// MaskedSpGEMM computes C = M .* (A·B) (or the complement form per opt)
+// over semiring sr using the given variant. M must be m-by-n, A m-by-k and
+// B k-by-n. Output rows are sorted.
+func MaskedSpGEMM[T any](v Variant, m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], opt Options) (*matrix.CSR[T], error) {
+	if err := checkDims(m, a, b); err != nil {
+		return nil, err
+	}
+	if opt.Complement && !v.SupportsComplement() {
+		return nil, fmt.Errorf("core: %s does not support complemented masks", v.Alg)
+	}
+	var factory func() kernel[T]
+	switch v.Alg {
+	case MSA:
+		factory = newMSAKernelFactory(m, a, b, sr, opt.Complement)
+	case Hash:
+		factory = newHashKernelFactory(m, a, b, sr, opt.Complement)
+	case MCA:
+		factory = newMCAKernelFactory(m, a, b, sr)
+	case Heap:
+		factory = newHeapKernelFactory(m, a, b, sr, opt.Complement, 1)
+	case HeapDot:
+		factory = newHeapKernelFactory(m, a, b, sr, opt.Complement, nInspectAll)
+	case Inner:
+		bcsc := matrix.ToCSC(b)
+		factory = newInnerKernelFactory(m, a, bcsc, sr, opt.Complement)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", v.Alg)
+	}
+	bound := allocBound(m, a, b, opt.Complement)
+	return runDriver(v.Phase, m, b.NCols, bound, factory, opt), nil
+}
+
+// MaskedDotCSC runs the pull-based Inner algorithm with a pre-transposed B
+// (CSC), excluding the transpose cost from measurement; the paper assumes B
+// is stored column-major for the dot algorithm (§4.1).
+func MaskedDotCSC[T any](phase Phase, m *matrix.Pattern, a *matrix.CSR[T], bcsc *matrix.CSC[T], sr semiring.Semiring[T], opt Options) (*matrix.CSR[T], error) {
+	if m.NRows != a.NRows || m.NCols != bcsc.NCols || a.NCols != bcsc.NRows {
+		return nil, fmt.Errorf("core: dimension mismatch M(%dx%d) A(%dx%d) B(%dx%d)",
+			m.NRows, m.NCols, a.NRows, a.NCols, bcsc.NRows, bcsc.NCols)
+	}
+	factory := newInnerKernelFactory(m, a, bcsc, sr, opt.Complement)
+	bound := innerBound(m, bcsc.NCols, opt.Complement)
+	return runDriver(phase, m, bcsc.NCols, bound, factory, opt), nil
+}
+
+func checkDims[T any](m *matrix.Pattern, a, b *matrix.CSR[T]) error {
+	if m.NRows != a.NRows || m.NCols != b.NCols || a.NCols != b.NRows {
+		return fmt.Errorf("core: dimension mismatch M(%dx%d) A(%dx%d) B(%dx%d)",
+			m.NRows, m.NCols, a.NRows, a.NCols, b.NRows, b.NCols)
+	}
+	return nil
+}
+
+// allocBound returns the one-phase per-row allocation upper bound (§6): the
+// mask row size for normal masks — the output can never exceed the mask —
+// and min(ncols, Σ_k nnz(B_k*)) under complement.
+func allocBound[T any](m *matrix.Pattern, a, b *matrix.CSR[T], complement bool) func(i Index) int64 {
+	if !complement {
+		return func(i Index) int64 { return int64(m.RowNNZ(i)) }
+	}
+	n := int64(b.NCols)
+	return func(i Index) int64 {
+		var fl int64
+		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+			k := a.Col[kk]
+			fl += int64(b.RowPtr[k+1] - b.RowPtr[k])
+			if fl >= n {
+				return n
+			}
+		}
+		return fl
+	}
+}
+
+// innerBound is allocBound for the CSC entry point.
+func innerBound(m *matrix.Pattern, ncols Index, complement bool) func(i Index) int64 {
+	if !complement {
+		return func(i Index) int64 { return int64(m.RowNNZ(i)) }
+	}
+	n := int64(ncols)
+	return func(i Index) int64 { return n - int64(m.RowNNZ(i)) }
+}
+
+// MaskedSpGEMMHeapNInspect runs the Heap algorithm with an explicit
+// NInspect setting, exposing the §5.5 knob for the ablation benchmark
+// (NInspect 0, 1 and nInspectAll correspond to blind push, Heap, HeapDot).
+func MaskedSpGEMMHeapNInspect[T any](phase Phase, m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], nInspect int32, opt Options) (*matrix.CSR[T], error) {
+	if err := checkDims(m, a, b); err != nil {
+		return nil, err
+	}
+	factory := newHeapKernelFactory(m, a, b, sr, opt.Complement, nInspect)
+	bound := allocBound(m, a, b, opt.Complement)
+	return runDriver(phase, m, b.NCols, bound, factory, opt), nil
+}
+
+// MaskedSpGEMMHashLoad runs the Hash algorithm with an explicit table load
+// factor num/den (the paper fixes 1/4), for the ablation benchmark.
+func MaskedSpGEMMHashLoad[T any](phase Phase, m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], num, den int, opt Options) (*matrix.CSR[T], error) {
+	if err := checkDims(m, a, b); err != nil {
+		return nil, err
+	}
+	inner := newHashKernelFactory(m, a, b, sr, opt.Complement)
+	factory := func() kernel[T] {
+		k := inner().(*hashKernel[T])
+		k.acc.SetLoadFactor(num, den)
+		return k
+	}
+	bound := allocBound(m, a, b, opt.Complement)
+	return runDriver(phase, m, b.NCols, bound, factory, opt), nil
+}
+
+// Flops returns flops(A·B) = Σ_{A_ik ≠ 0} nnz(B_k*), the number of
+// multiply operations of the unmasked product — the work metric used by the
+// paper's GFLOPS plots (one multiply plus one add per unit, so reported
+// GFLOPS double this count, matching the SpGEMM convention of 2·flops).
+func Flops[T any](a, b *matrix.CSR[T], threads int) int64 {
+	partial := make([]int64, parallel.Threads(threads))
+	parallel.ForWorkers(int(a.NRows), threads, 256, func(id int, claim func() (int, int, bool)) {
+		var sum int64
+		for {
+			lo, hi, ok := claim()
+			if !ok {
+				break
+			}
+			for i := lo; i < hi; i++ {
+				for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+					k := a.Col[kk]
+					sum += int64(b.RowPtr[k+1] - b.RowPtr[k])
+				}
+			}
+		}
+		partial[id] += sum
+	})
+	var total int64
+	for _, s := range partial {
+		total += s
+	}
+	return total
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// kernel is the per-worker row engine every algorithm implements. A worker
+// creates one kernel via the factory and reuses it for all rows it claims,
+// so accumulator scratch is allocated once per worker.
+type kernel[T any] interface {
+	// symbolicRow returns the number of output entries row i will produce.
+	symbolicRow(i Index) Index
+	// numericRow computes row i into col/val (caller-sized) and returns the
+	// number of entries written. Entries are written in sorted column order.
+	numericRow(i Index, col []Index, val []T) Index
+}
+
+// runDriver executes the selected phase strategy.
+func runDriver[T any](phase Phase, m *matrix.Pattern, ncols Index, bound func(Index) int64, factory func() kernel[T], opt Options) *matrix.CSR[T] {
+	if phase == TwoPhase {
+		return driver2P(m.NRows, ncols, factory, opt)
+	}
+	return driver1P(m.NRows, ncols, bound, factory, opt)
+}
+
+// driver2P is the two-phase strategy (§6): a symbolic pass computes each
+// row's output size, a scan turns sizes into row pointers, and the numeric
+// pass writes directly into exactly-sized output arrays.
+func driver2P[T any](nrows, ncols Index, factory func() kernel[T], opt Options) *matrix.CSR[T] {
+	counts := make([]int64, nrows)
+	parallel.ForWorkers(int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
+		k := factory()
+		for {
+			lo, hi, ok := claim()
+			if !ok {
+				return
+			}
+			for i := lo; i < hi; i++ {
+				counts[i] = int64(k.symbolicRow(Index(i)))
+			}
+		}
+	})
+	total := parallel.ExclusiveScan(counts) // counts[i] is now the row offset
+	out := &matrix.CSR[T]{
+		NRows:  nrows,
+		NCols:  ncols,
+		RowPtr: make([]Index, nrows+1),
+		Col:    make([]Index, total),
+		Val:    make([]T, total),
+	}
+	for i := Index(0); i < nrows; i++ {
+		out.RowPtr[i] = Index(counts[i])
+	}
+	out.RowPtr[nrows] = Index(total)
+	parallel.ForWorkers(int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
+		k := factory()
+		for {
+			lo, hi, ok := claim()
+			if !ok {
+				return
+			}
+			for i := lo; i < hi; i++ {
+				off := out.RowPtr[i]
+				k.numericRow(Index(i), out.Col[off:out.RowPtr[i+1]], out.Val[off:out.RowPtr[i+1]])
+			}
+		}
+	})
+	return out
+}
+
+// driver1P is the one-phase strategy (§6): allocate temporary storage from
+// the per-row upper bound (for normal masks, the mask row size — the mask is
+// the "good initial approximation" §6 describes), run the numeric pass once
+// into the bounded slots, then compact into the final exactly-sized matrix.
+func driver1P[T any](nrows, ncols Index, bound func(Index) int64, factory func() kernel[T], opt Options) *matrix.CSR[T] {
+	offs := make([]int64, nrows)
+	parallel.ForChunks(int(nrows), opt.Threads, 512, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			offs[i] = bound(Index(i))
+		}
+	})
+	totalBound := parallel.ExclusiveScan(offs) // offs[i] = temp offset of row i
+	tmpCol := make([]Index, totalBound)
+	tmpVal := make([]T, totalBound)
+	counts := make([]int64, nrows)
+	parallel.ForWorkers(int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
+		k := factory()
+		for {
+			lo, hi, ok := claim()
+			if !ok {
+				return
+			}
+			for i := lo; i < hi; i++ {
+				var end int64
+				if i+1 < int(nrows) {
+					end = offs[i+1]
+				} else {
+					end = totalBound
+				}
+				counts[i] = int64(k.numericRow(Index(i), tmpCol[offs[i]:end], tmpVal[offs[i]:end]))
+			}
+		}
+	})
+	// Compact: scan actual counts into final row pointers, parallel copy.
+	finalPtr := make([]int64, nrows)
+	copy(finalPtr, counts)
+	total := parallel.ExclusiveScan(finalPtr)
+	out := &matrix.CSR[T]{
+		NRows:  nrows,
+		NCols:  ncols,
+		RowPtr: make([]Index, nrows+1),
+		Col:    make([]Index, total),
+		Val:    make([]T, total),
+	}
+	for i := Index(0); i < nrows; i++ {
+		out.RowPtr[i] = Index(finalPtr[i])
+	}
+	out.RowPtr[nrows] = Index(total)
+	parallel.ForChunks(int(nrows), opt.Threads, 512, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			n := counts[i]
+			copy(out.Col[finalPtr[i]:finalPtr[i]+n], tmpCol[offs[i]:offs[i]+n])
+			copy(out.Val[finalPtr[i]:finalPtr[i]+n], tmpVal[offs[i]:offs[i]+n])
+		}
+	})
+	return out
+}

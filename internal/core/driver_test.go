@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+// TestDriverGrainInsensitivity: results must be identical for any grain
+// size and worker count (the dynamic scheduler only changes who computes
+// which row).
+func TestDriverGrainInsensitivity(t *testing.T) {
+	r := rand.New(rand.NewSource(301))
+	sr := semiring.Arithmetic()
+	n := Index(97) // prime, to exercise ragged chunking
+	a := randCSR(r, n, n, 0.1)
+	b := randCSR(r, n, n, 0.1)
+	mask := randCSR(r, n, n, 0.2).Pattern()
+	want := Reference(mask, a, b, sr, false)
+	for _, grain := range []int{1, 2, 7, 64, 1000} {
+		for _, threads := range []int{1, 2, 3, 16} {
+			for _, ph := range []Phase{OnePhase, TwoPhase} {
+				got, err := MaskedSpGEMM(Variant{MSA, ph}, mask, a, b, sr,
+					Options{Threads: threads, Grain: grain})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !matrix.Equal(got, want, eqF) {
+					t.Fatalf("grain=%d threads=%d %s: result differs", grain, threads, ph)
+				}
+			}
+		}
+	}
+}
+
+// TestDriverOutputAlwaysValid: every variant produces structurally valid,
+// sorted CSR regardless of input shape quirks (empty rows, full rows,
+// single column).
+func TestDriverOutputAlwaysValid(t *testing.T) {
+	r := rand.New(rand.NewSource(307))
+	sr := semiring.Arithmetic()
+	shapes := []struct{ m, k, n Index }{
+		{1, 50, 1}, {50, 1, 50}, {3, 3, 100}, {100, 3, 3},
+	}
+	for _, sh := range shapes {
+		a := randCSR(r, sh.m, sh.k, 0.3)
+		b := randCSR(r, sh.k, sh.n, 0.3)
+		mask := randCSR(r, sh.m, sh.n, 0.4).Pattern()
+		for _, v := range AllVariants() {
+			got, err := MaskedSpGEMM(v, mask, a, b, sr, Options{Grain: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("%s on %dx%dx%d: %v", v.Name(), sh.m, sh.k, sh.n, err)
+			}
+			if !got.IsSortedRows() {
+				t.Fatalf("%s on %dx%dx%d: unsorted output rows", v.Name(), sh.m, sh.k, sh.n)
+			}
+		}
+	}
+}
+
+// TestDriverOnePhaseBoundTightness: with a normal mask the 1P temporary
+// allocation is exactly Σ nnz(M_i*); this test ensures the numeric pass
+// never writes past a row's bound (implicitly: a too-small bound would
+// panic on the slice bounds).
+func TestDriverOnePhaseBoundTightness(t *testing.T) {
+	r := rand.New(rand.NewSource(311))
+	sr := semiring.Arithmetic()
+	// Dense product, mask equal to the full product pattern: output fills
+	// the bound exactly.
+	n := Index(40)
+	a := randCSR(r, n, n, 0.5)
+	b := randCSR(r, n, n, 0.5)
+	empty := matrix.NewEmptyCSR[float64](n, n).Pattern()
+	full := Reference(empty, a, b, sr, true) // complement of empty = full product
+	mask := full.Pattern()
+	for _, v := range AllVariants() {
+		got, err := MaskedSpGEMM(v, mask, a, b, sr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NNZ() != full.NNZ() {
+			t.Fatalf("%s: full-pattern mask must keep every product entry (%d vs %d)",
+				v.Name(), got.NNZ(), full.NNZ())
+		}
+	}
+}
+
+// TestComplementEmptyMaskIsFullProduct: complementing an empty mask keeps
+// everything; complementing a full mask keeps nothing.
+func TestComplementEmptyMaskIsFullProduct(t *testing.T) {
+	r := rand.New(rand.NewSource(313))
+	sr := semiring.Arithmetic()
+	n := Index(30)
+	a := randCSR(r, n, n, 0.2)
+	b := randCSR(r, n, n, 0.2)
+	empty := matrix.NewEmptyCSR[float64](n, n).Pattern()
+	want := Reference(empty, a, b, sr, true)
+	for _, v := range AllVariants() {
+		if !v.SupportsComplement() {
+			continue
+		}
+		got, err := MaskedSpGEMM(v, empty, a, b, sr, Options{Complement: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.Equal(got, want, eqF) {
+			t.Fatalf("%s: ¬∅ mask must give the full product", v.Name())
+		}
+	}
+	// Full (all-ones) mask complemented → empty output.
+	fullMask := denseOnesPattern(n, n)
+	for _, v := range AllVariants() {
+		if !v.SupportsComplement() {
+			continue
+		}
+		got, err := MaskedSpGEMM(v, fullMask, a, b, sr, Options{Complement: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NNZ() != 0 {
+			t.Fatalf("%s: ¬full mask must give empty output, nnz=%d", v.Name(), got.NNZ())
+		}
+	}
+}
+
+func denseOnesPattern(m, n Index) *matrix.Pattern {
+	p := &matrix.Pattern{NRows: m, NCols: n, RowPtr: make([]Index, m+1)}
+	for i := Index(0); i < m; i++ {
+		for j := Index(0); j < n; j++ {
+			p.Col = append(p.Col, j)
+		}
+		p.RowPtr[i+1] = Index(len(p.Col))
+	}
+	return p
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/accum"
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+// msaKernel implements the MSA masked SpGEVM of Algorithm 2 row by row:
+// mark the mask entries allowed, scatter the scaled B rows through the MSA
+// state machine, then gather in mask order (which keeps output rows sorted
+// because mask rows are sorted).
+type msaKernel[T any] struct {
+	m    *matrix.Pattern
+	a, b *matrix.CSR[T]
+	sr   semiring.Semiring[T]
+	comp bool
+	acc  *accum.MSA[T]
+}
+
+func newMSAKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], comp bool) func() kernel[T] {
+	return func() kernel[T] {
+		return &msaKernel[T]{m: m, a: a, b: b, sr: sr, comp: comp,
+			acc: accum.NewMSA[T](int(b.NCols))}
+	}
+}
+
+func (k *msaKernel[T]) numericRow(i Index, col []Index, val []T) Index {
+	if k.comp {
+		return k.numericRowC(i, col, val)
+	}
+	mrow := k.m.Row(i)
+	if len(mrow) == 0 {
+		return 0
+	}
+	acc, a, b := k.acc, k.a, k.b
+	mul, add := k.sr.Mul, k.sr.Add
+	for _, j := range mrow {
+		acc.SetAllowed(j)
+	}
+	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+		kcol := a.Col[kk]
+		av := a.Val[kk]
+		for p := b.RowPtr[kcol]; p < b.RowPtr[kcol+1]; p++ {
+			j := b.Col[p]
+			switch acc.State(j) {
+			case accum.Allowed:
+				acc.Store(j, mul(av, b.Val[p]))
+			case accum.Set:
+				acc.Add(j, mul(av, b.Val[p]), add)
+			}
+		}
+	}
+	var cnt Index
+	for _, j := range mrow {
+		if v, ok := acc.Remove(j); ok {
+			col[cnt] = j
+			val[cnt] = v
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// numericRowC is the complemented-mask row (§5.2): mask entries are marked
+// Excluded, everything else is allowed by default, and an insertion log
+// drives the gather so the dense array is never scanned.
+func (k *msaKernel[T]) numericRowC(i Index, col []Index, val []T) Index {
+	mrow := k.m.Row(i)
+	acc, a, b := k.acc, k.a, k.b
+	mul, add := k.sr.Mul, k.sr.Add
+	for _, j := range mrow {
+		acc.SetNotAllowed(j)
+	}
+	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+		kcol := a.Col[kk]
+		av := a.Val[kk]
+		for p := b.RowPtr[kcol]; p < b.RowPtr[kcol+1]; p++ {
+			j := b.Col[p]
+			switch acc.State(j) {
+			case accum.NotAllowed: // default-allowed under complement
+				acc.StoreC(j, mul(av, b.Val[p]))
+			case accum.Set:
+				acc.Add(j, mul(av, b.Val[p]), add)
+			}
+		}
+	}
+	ins := acc.Inserted()
+	sortIndices(ins)
+	var cnt Index
+	for _, j := range ins {
+		col[cnt] = j
+		val[cnt] = acc.Value(j)
+		cnt++
+	}
+	acc.ResetC(mrow)
+	return cnt
+}
+
+func (k *msaKernel[T]) symbolicRow(i Index) Index {
+	acc, a, b := k.acc, k.a, k.b
+	mrow := k.m.Row(i)
+	if k.comp {
+		for _, j := range mrow {
+			acc.SetNotAllowed(j)
+		}
+		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+			kcol := a.Col[kk]
+			for p := b.RowPtr[kcol]; p < b.RowPtr[kcol+1]; p++ {
+				j := b.Col[p]
+				if acc.State(j) == accum.NotAllowed {
+					acc.MarkC(j)
+				}
+			}
+		}
+		cnt := Index(len(acc.Inserted()))
+		acc.ResetC(mrow)
+		return cnt
+	}
+	if len(mrow) == 0 {
+		return 0
+	}
+	for _, j := range mrow {
+		acc.SetAllowed(j)
+	}
+	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+		kcol := a.Col[kk]
+		for p := b.RowPtr[kcol]; p < b.RowPtr[kcol+1]; p++ {
+			j := b.Col[p]
+			if acc.State(j) == accum.Allowed {
+				acc.Mark(j)
+			}
+		}
+	}
+	var cnt Index
+	for _, j := range mrow {
+		if _, ok := acc.Remove(j); ok {
+			cnt++
+		}
+	}
+	return cnt
+}
+
+// sortIndices sorts a small index slice ascending.
+func sortIndices(s []Index) {
+	if len(s) <= 32 {
+		for i := 1; i < len(s); i++ {
+			v := s[i]
+			j := i - 1
+			for j >= 0 && s[j] > v {
+				s[j+1] = s[j]
+				j--
+			}
+			s[j+1] = v
+		}
+		return
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

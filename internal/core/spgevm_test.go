@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+func randVec(r *rand.Rand, n Index, density float64) *matrix.SparseVec[float64] {
+	var idx []Index
+	var val []float64
+	for j := Index(0); j < n; j++ {
+		if r.Float64() < density {
+			idx = append(idx, j)
+			val = append(val, float64(1+r.Intn(5)))
+		}
+	}
+	return &matrix.SparseVec[float64]{N: n, Idx: idx, Val: val}
+}
+
+// refSpGEVM is the oracle for v = m .* (uB).
+func refSpGEVM(m, u *matrix.SparseVec[float64], b *matrix.CSR[float64], sr semiring.Semiring[float64], comp bool) *matrix.SparseVec[float64] {
+	out := Reference(m.VecPattern(), u.AsRowMatrix(), b, sr, comp)
+	return matrix.RowToVec(out, 0)
+}
+
+func TestMaskedSpGEVMAllAlgorithms(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	sr := semiring.Arithmetic()
+	for trial := 0; trial < 15; trial++ {
+		k := Index(10 + r.Intn(50))
+		n := Index(10 + r.Intn(50))
+		u := randVec(r, k, 0.3)
+		m := randVec(r, n, 0.3)
+		b := randCSR(r, k, n, 0.15)
+		want := refSpGEVM(m, u, b, sr, false)
+		for _, alg := range []Algorithm{MSA, Hash, MCA, Heap, HeapDot, Inner} {
+			got, err := MaskedSpGEVM(alg, m, u, b, sr, Options{Threads: 1})
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			if !matrix.VecEqual(got, want, eqF) {
+				t.Errorf("trial %d %s: SpGEVM mismatch", trial, alg)
+			}
+		}
+		// Complement for the families that support it.
+		wantC := refSpGEVM(m, u, b, sr, true)
+		for _, alg := range []Algorithm{MSA, Hash, Heap, HeapDot, Inner} {
+			got, err := MaskedSpGEVM(alg, m, u, b, sr, Options{Threads: 1, Complement: true})
+			if err != nil {
+				t.Fatalf("%s complement: %v", alg, err)
+			}
+			if !matrix.VecEqual(got, wantC, eqF) {
+				t.Errorf("trial %d %s: complement SpGEVM mismatch", trial, alg)
+			}
+		}
+	}
+}
+
+func TestMaskedSpGEVMDimChecks(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	b := randCSR(r, 5, 6, 0.5)
+	u := randVec(r, 4, 0.5) // wrong length
+	m := randVec(r, 6, 0.5)
+	if _, err := MaskedSpGEVM(MSA, m, u, b, semiring.Arithmetic(), Options{}); err == nil {
+		t.Fatal("expected u length error")
+	}
+	u2 := randVec(r, 5, 0.5)
+	m2 := randVec(r, 7, 0.5) // wrong length
+	if _, err := MaskedSpGEVM(MSA, m2, u2, b, semiring.Arithmetic(), Options{}); err == nil {
+		t.Fatal("expected m length error")
+	}
+}
+
+func TestMaskedSpGEVMAutoCorrectBothDirections(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	sr := semiring.Arithmetic()
+	n := Index(200)
+	b := randCSR(r, n, n, 0.05)
+	bcsc := matrix.ToCSC(b)
+	// Dense frontier + tiny mask → pull; sparse frontier + big mask → push.
+	cases := []struct {
+		uDen, mDen float64
+		wantDir    Direction
+	}{
+		{0.9, 0.005, Pull},
+		{0.01, 0.5, Push},
+	}
+	for _, tc := range cases {
+		u := randVec(r, n, tc.uDen)
+		m := randVec(r, n, tc.mDen)
+		want := refSpGEVM(m, u, b, sr, false)
+		got, dir, err := MaskedSpGEVMAuto(m, u, b, bcsc, sr, Options{Threads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.VecEqual(got, want, eqF) {
+			t.Errorf("auto (%v): result mismatch", dir)
+		}
+		if dir != tc.wantDir {
+			t.Errorf("auto: direction = %v, want %v (uDen=%v mDen=%v)", dir, tc.wantDir, tc.uDen, tc.mDen)
+		}
+		if dir.String() == "" {
+			t.Error("direction must have a name")
+		}
+	}
+	// Complement path must be correct in both directions too.
+	u := randVec(r, n, 0.5)
+	m := randVec(r, n, 0.3)
+	wantC := refSpGEVM(m, u, b, sr, true)
+	gotC, _, err := MaskedSpGEVMAuto(m, u, b, bcsc, sr, Options{Threads: 1, Complement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.VecEqual(gotC, wantC, eqF) {
+		t.Error("auto complement mismatch")
+	}
+}
+
+func TestHybridMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	sr := semiring.Arithmetic()
+	for trial := 0; trial < 10; trial++ {
+		mrows := Index(20 + r.Intn(60))
+		k := Index(20 + r.Intn(60))
+		n := Index(20 + r.Intn(60))
+		a := randCSR(r, mrows, k, 0.05+0.2*r.Float64())
+		b := randCSR(r, k, n, 0.05+0.2*r.Float64())
+		mask := randCSR(r, mrows, n, 0.05+0.4*r.Float64()).Pattern()
+		want := Reference(mask, a, b, sr, false)
+		for _, ph := range []Phase{OnePhase, TwoPhase} {
+			got, err := MaskedSpGEMMHybrid(ph, mask, a, b, sr, Options{Threads: 2}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matrix.Equal(got, want, eqF) {
+				t.Errorf("trial %d hybrid %s: mismatch", trial, ph)
+			}
+		}
+	}
+}
+
+func TestHybridRouting(t *testing.T) {
+	r := rand.New(rand.NewSource(59))
+	sr := semiring.Arithmetic()
+	n := Index(300)
+	// Dense inputs + very sparse mask: rows should route to pull.
+	aD := randCSR(r, n, n, 0.2)
+	bD := randCSR(r, n, n, 0.2)
+	sparseMask := randCSR(r, n, n, 0.002).Pattern()
+	var st HybridStats
+	if _, err := MaskedSpGEMMHybrid(OnePhase, sparseMask, aD, bD, sr, Options{Threads: 1}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.PullRows == 0 {
+		t.Errorf("sparse mask: expected pull-routed rows, got %+v", st)
+	}
+	// Sparse inputs + dense mask: heap territory.
+	aS := randCSR(r, n, n, 0.003)
+	bS := randCSR(r, n, n, 0.003)
+	denseMask := randCSR(r, n, n, 0.5).Pattern()
+	st = HybridStats{}
+	if _, err := MaskedSpGEMMHybrid(OnePhase, denseMask, aS, bS, sr, Options{Threads: 1}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.HeapRows == 0 {
+		t.Errorf("dense mask: expected heap-routed rows, got %+v", st)
+	}
+	// Comparable: MSA territory.
+	aM := randCSR(r, n, n, 0.03)
+	bM := randCSR(r, n, n, 0.03)
+	eqMask := randCSR(r, n, n, 0.03).Pattern()
+	st = HybridStats{}
+	if _, err := MaskedSpGEMMHybrid(OnePhase, eqMask, aM, bM, sr, Options{Threads: 1}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.MSARows == 0 {
+		t.Errorf("comparable densities: expected MSA-routed rows, got %+v", st)
+	}
+}
+
+func TestHybridRejectsComplement(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	a := randCSR(r, 5, 5, 0.5)
+	if _, err := MaskedSpGEMMHybrid(OnePhase, a.Pattern(), a, a, semiring.Arithmetic(), Options{Complement: true}, nil); err == nil {
+		t.Fatal("expected complement rejection")
+	}
+}
+
+func TestHybridQuick(t *testing.T) {
+	sr := semiring.Arithmetic()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := Index(5 + r.Intn(50))
+		a := randCSR(r, n, n, 0.02+0.3*r.Float64())
+		b := randCSR(r, n, n, 0.02+0.3*r.Float64())
+		mask := randCSR(r, n, n, 0.02+0.6*r.Float64()).Pattern()
+		want := Reference(mask, a, b, sr, false)
+		got, err := MaskedSpGEMMHybrid(OnePhase, mask, a, b, sr, Options{Threads: 2}, nil)
+		return err == nil && matrix.Equal(got, want, eqF)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package grb is a small GraphBLAS-style operation layer over the masked
+// SpGEMM kernels — the programming model the paper's benchmarks are
+// written in ("implemented within the GraphBLAS specifications,
+// substituting Masked SpGEMM operations with calls to different
+// algorithms", §7). It provides opaque Matrix/Vector handles, a descriptor
+// carrying the mask-complement flag and the algorithm choice, and the core
+// operation set the three applications need: mxm, vxm, element-wise
+// add/multiply, apply, select, reduce and transpose.
+//
+// Only the float64 domain is exposed (sufficient for all of the paper's
+// benchmarks; the underlying kernels are generic).
+package grb
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+// Index mirrors matrix.Index.
+type Index = matrix.Index
+
+// Semiring mirrors the float64 semiring type.
+type Semiring = semiring.Semiring[float64]
+
+// Matrix is an opaque sparse matrix handle.
+type Matrix struct {
+	csr *matrix.CSR[float64]
+}
+
+// Vector is an opaque sparse vector handle.
+type Vector struct {
+	vec *matrix.SparseVec[float64]
+}
+
+// Desc is the operation descriptor: which masked-SpGEMM algorithm to run,
+// whether the mask is complemented, and the parallelism setting. The zero
+// value means MSA-1P (the paper's default winner), normal mask,
+// GOMAXPROCS workers.
+type Desc struct {
+	// Method selects the algorithm family (default MSA).
+	Method core.Algorithm
+	// TwoPhase selects symbolic+numeric execution (default one-phase).
+	TwoPhase bool
+	// CompMask complements the mask.
+	CompMask bool
+	// Threads is the worker count (0 = GOMAXPROCS).
+	Threads int
+}
+
+func (d *Desc) norm() Desc {
+	if d == nil {
+		return Desc{}
+	}
+	return *d
+}
+
+func (d Desc) variant() core.Variant {
+	ph := core.OnePhase
+	if d.TwoPhase {
+		ph = core.TwoPhase
+	}
+	return core.Variant{Alg: d.Method, Phase: ph}
+}
+
+// --- Construction ---
+
+// NewMatrix builds a matrix from triplets (duplicates summed).
+func NewMatrix(nrows, ncols Index, rows, cols []Index, vals []float64) (*Matrix, error) {
+	if len(rows) != len(cols) || len(rows) != len(vals) {
+		return nil, fmt.Errorf("grb: triplet arrays disagree: %d/%d/%d", len(rows), len(cols), len(vals))
+	}
+	for k := range rows {
+		if rows[k] < 0 || rows[k] >= nrows || cols[k] < 0 || cols[k] >= ncols {
+			return nil, fmt.Errorf("grb: entry %d at (%d,%d) out of %dx%d", k, rows[k], cols[k], nrows, ncols)
+		}
+	}
+	coo := &matrix.COO[float64]{NRows: nrows, NCols: ncols, Row: rows, Col: cols, Val: vals}
+	return &Matrix{csr: matrix.NewCSRFromCOO(coo, func(a, b float64) float64 { return a + b })}, nil
+}
+
+// WrapCSR adopts an existing CSR matrix (shared, not copied).
+func WrapCSR(a *matrix.CSR[float64]) *Matrix { return &Matrix{csr: a} }
+
+// CSR exposes the underlying storage (shared).
+func (m *Matrix) CSR() *matrix.CSR[float64] { return m.csr }
+
+// NRows returns the row count.
+func (m *Matrix) NRows() Index { return m.csr.NRows }
+
+// NCols returns the column count.
+func (m *Matrix) NCols() Index { return m.csr.NCols }
+
+// NVals returns the number of stored entries.
+func (m *Matrix) NVals() int { return m.csr.NNZ() }
+
+// Dup returns a deep copy.
+func (m *Matrix) Dup() *Matrix { return &Matrix{csr: m.csr.Clone()} }
+
+// ExtractElement returns the entry at (i, j) if present.
+func (m *Matrix) ExtractElement(i, j Index) (float64, bool) {
+	if i < 0 || i >= m.csr.NRows {
+		return 0, false
+	}
+	cols, vals := m.csr.Row(i)
+	for k, c := range cols {
+		if c == j {
+			return vals[k], true
+		}
+		if c > j {
+			break
+		}
+	}
+	return 0, false
+}
+
+// NewVector builds a vector from index/value pairs (duplicates summed).
+func NewVector(n Index, idx []Index, vals []float64) (*Vector, error) {
+	if len(idx) != len(vals) {
+		return nil, fmt.Errorf("grb: vector arrays disagree: %d/%d", len(idx), len(vals))
+	}
+	for k, i := range idx {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("grb: entry %d at %d out of length %d", k, i, n)
+		}
+	}
+	return &Vector{vec: matrix.NewSparseVec(n, idx, vals, func(a, b float64) float64 { return a + b })}, nil
+}
+
+// Size returns the vector length.
+func (v *Vector) Size() Index { return v.vec.N }
+
+// NVals returns the number of stored entries.
+func (v *Vector) NVals() int { return v.vec.NNZ() }
+
+// Extract returns the stored indices and values (shared storage).
+func (v *Vector) Extract() ([]Index, []float64) { return v.vec.Idx, v.vec.Val }
+
+// --- Operations ---
+
+// MxM computes C⟨mask⟩ = A·B over sr. A nil mask means an unmasked product
+// (computed with the plain Gustavson substrate); with a mask, the
+// descriptor's algorithm runs. This is the GrB_mxm analog.
+func MxM(mask *Matrix, a, b *Matrix, sr Semiring, d *Desc) (*Matrix, error) {
+	dd := d.norm()
+	if mask == nil {
+		if dd.CompMask {
+			return nil, fmt.Errorf("grb: complemented nil mask is the full product; omit CompMask")
+		}
+		return &Matrix{csr: baseline.SpGEMM(a.csr, b.csr, sr, baseline.Options{Threads: dd.Threads})}, nil
+	}
+	out, err := core.MaskedSpGEMM(dd.variant(), mask.csr.Pattern(), a.csr, b.csr, sr,
+		core.Options{Threads: dd.Threads, Complement: dd.CompMask})
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{csr: out}, nil
+}
+
+// VxM computes w⟨mask⟩ = uᵀ·A, the masked vector-matrix product
+// (GrB_vxm analog).
+func VxM(mask *Vector, u *Vector, a *Matrix, sr Semiring, d *Desc) (*Vector, error) {
+	dd := d.norm()
+	if mask == nil {
+		// Unmasked vxm: complement of an empty mask.
+		empty := &matrix.SparseVec[float64]{N: a.csr.NCols}
+		out, err := core.MaskedSpGEVM(core.MSA, empty, u.vec, a.csr, sr,
+			core.Options{Threads: dd.Threads, Complement: true})
+		if err != nil {
+			return nil, err
+		}
+		return &Vector{vec: out}, nil
+	}
+	out, err := core.MaskedSpGEVM(dd.Method, mask.vec, u.vec, a.csr, sr,
+		core.Options{Threads: dd.Threads, Complement: dd.CompMask})
+	if err != nil {
+		return nil, err
+	}
+	return &Vector{vec: out}, nil
+}
+
+// MxV computes w⟨mask⟩ = A·u as VxM with Aᵀ (GrB_mxv analog; transposes
+// per call).
+func MxV(mask *Vector, a *Matrix, u *Vector, sr Semiring, d *Desc) (*Vector, error) {
+	at := &Matrix{csr: matrix.Transpose(a.csr)}
+	return VxM(mask, u, at, flipMul(sr), d)
+}
+
+// flipMul swaps multiply operand order (uᵀAᵀ computes Σ u_k·Aᵀ[k,j] =
+// Σ A[j,k]·u_k; semiring multiply order must follow).
+func flipMul(sr Semiring) Semiring {
+	return Semiring{
+		Name: sr.Name + "-flipped",
+		Add:  sr.Add,
+		Mul:  func(x, y float64) float64 { return sr.Mul(y, x) },
+		Zero: sr.Zero,
+	}
+}
+
+// EWiseAdd returns the pattern-union combination of a and b.
+func EWiseAdd(a, b *Matrix, add func(float64, float64) float64) *Matrix {
+	return &Matrix{csr: matrix.EWiseAdd(a.csr, b.csr, add)}
+}
+
+// EWiseMult returns the pattern-intersection combination of a and b.
+func EWiseMult(a, b *Matrix, mul func(float64, float64) float64) *Matrix {
+	return &Matrix{csr: matrix.EWiseMult(a.csr, b.csr, mul)}
+}
+
+// Apply maps every stored value through f.
+func Apply(a *Matrix, f func(float64) float64) *Matrix {
+	return &Matrix{csr: matrix.MapValues(a.csr, f)}
+}
+
+// Select keeps entries where pred(i, j, v) holds (GrB_select analog).
+func Select(a *Matrix, pred func(i, j Index, v float64) bool) *Matrix {
+	return &Matrix{csr: matrix.FilterEntries(a.csr, pred)}
+}
+
+// Reduce folds all stored values with the semiring add.
+func Reduce(a *Matrix, sr Semiring) float64 {
+	acc := sr.Zero
+	for _, v := range a.csr.Val {
+		acc = sr.Add(acc, v)
+	}
+	return acc
+}
+
+// ReduceRows reduces each row to a scalar, producing a (possibly sparse)
+// vector of row sums.
+func ReduceRows(a *Matrix, sr Semiring) *Vector {
+	out := &matrix.SparseVec[float64]{N: a.csr.NRows}
+	for i := Index(0); i < a.csr.NRows; i++ {
+		lo, hi := a.csr.RowPtr[i], a.csr.RowPtr[i+1]
+		if lo == hi {
+			continue
+		}
+		acc := a.csr.Val[lo]
+		for k := lo + 1; k < hi; k++ {
+			acc = sr.Add(acc, a.csr.Val[k])
+		}
+		out.Idx = append(out.Idx, i)
+		out.Val = append(out.Val, acc)
+	}
+	return &Vector{vec: out}
+}
+
+// Transpose returns Aᵀ.
+func Transpose(a *Matrix) *Matrix { return &Matrix{csr: matrix.Transpose(a.csr)} }
+
+// Tril returns the strictly lower triangular part.
+func Tril(a *Matrix) *Matrix { return &Matrix{csr: matrix.Tril(a.csr)} }

@@ -1,0 +1,133 @@
+package grgen
+
+import (
+	"repro/internal/matrix"
+)
+
+// Index mirrors matrix.Index.
+type Index = matrix.Index
+
+// Graph500 R-MAT partition probabilities (§7, [13], [30]).
+const (
+	RMATA = 0.57
+	RMATB = 0.19
+	RMATC = 0.19
+	RMATD = 0.05
+)
+
+// ErdosRenyi returns an n-by-n sparse 0/1 matrix where each row receives
+// approximately deg uniformly random column indices (duplicates folded), the
+// "fixed input sparsity d = nnz/n" model of §4.3. Self-loops are allowed;
+// the matrix is not symmetrized. Deterministic in seed.
+func ErdosRenyi(n Index, deg float64, seed uint64) *matrix.CSR[float64] {
+	r := newRNG(seed)
+	target := int64(float64(n) * deg)
+	coo := &matrix.COO[float64]{NRows: n, NCols: n}
+	for e := int64(0); e < target; e++ {
+		coo.Row = append(coo.Row, Index(r.intn(int64(n))))
+		coo.Col = append(coo.Col, Index(r.intn(int64(n))))
+		coo.Val = append(coo.Val, 1)
+	}
+	return matrix.NewCSRFromCOO(coo, func(a, b float64) float64 { return 1 })
+}
+
+// ErdosRenyiSym returns a symmetric Erdős–Rényi graph adjacency matrix with
+// no self-loops: each generated edge {u, v} is inserted in both directions.
+// Average degree is approximately deg.
+func ErdosRenyiSym(n Index, deg float64, seed uint64) *matrix.CSR[float64] {
+	r := newRNG(seed)
+	target := int64(float64(n) * deg / 2)
+	coo := &matrix.COO[float64]{NRows: n, NCols: n}
+	for e := int64(0); e < target; e++ {
+		u := Index(r.intn(int64(n)))
+		v := Index(r.intn(int64(n)))
+		if u == v {
+			continue
+		}
+		coo.Row = append(coo.Row, u, v)
+		coo.Col = append(coo.Col, v, u)
+		coo.Val = append(coo.Val, 1, 1)
+	}
+	return matrix.NewCSRFromCOO(coo, func(a, b float64) float64 { return 1 })
+}
+
+// RMAT generates an R-MAT graph with 2^scale vertices and approximately
+// edgeFactor·2^scale undirected edges using the Graph500 parameters, as the
+// paper's scaling experiments do (scale 8–20, edge factor 16). The result
+// is symmetrized (each edge inserted both ways), duplicate edges are folded
+// to value 1, and self-loops are removed, matching Graph500 graph
+// construction.
+func RMAT(scale int, edgeFactor int, seed uint64) *matrix.CSR[float64] {
+	return rmat(scale, edgeFactor, seed, true)
+}
+
+// RMATDirected is RMAT without symmetrization; used when an asymmetric
+// input is wanted (e.g. as a mask with structure unlike the inputs).
+func RMATDirected(scale int, edgeFactor int, seed uint64) *matrix.CSR[float64] {
+	return rmat(scale, edgeFactor, seed, false)
+}
+
+func rmat(scale, edgeFactor int, seed uint64, symmetric bool) *matrix.CSR[float64] {
+	n := Index(1) << scale
+	r := newRNG(seed)
+	target := int64(edgeFactor) << scale
+	coo := &matrix.COO[float64]{NRows: n, NCols: n}
+	for e := int64(0); e < target; e++ {
+		u, v := rmatEdge(r, scale)
+		if u == v {
+			continue
+		}
+		coo.Row = append(coo.Row, u)
+		coo.Col = append(coo.Col, v)
+		coo.Val = append(coo.Val, 1)
+		if symmetric {
+			coo.Row = append(coo.Row, v)
+			coo.Col = append(coo.Col, u)
+			coo.Val = append(coo.Val, 1)
+		}
+	}
+	return matrix.NewCSRFromCOO(coo, func(a, b float64) float64 { return 1 })
+}
+
+// rmatEdge draws one edge by recursive quadrant descent with the Graph500
+// probabilities, with the customary per-level noise to avoid exact
+// self-similarity artifacts.
+func rmatEdge(r *rng, scale int) (Index, Index) {
+	var u, v Index
+	a, b, c := RMATA, RMATB, RMATC
+	for bit := scale - 1; bit >= 0; bit-- {
+		p := r.float64()
+		switch {
+		case p < a:
+			// top-left: no bits set
+		case p < a+b:
+			v |= 1 << uint(bit)
+		case p < a+b+c:
+			u |= 1 << uint(bit)
+		default:
+			u |= 1 << uint(bit)
+			v |= 1 << uint(bit)
+		}
+	}
+	return u, v
+}
+
+// Random01Mask returns an m-by-n pattern whose rows each contain
+// approximately deg uniformly random sorted column indices: the synthetic
+// masks used in the Fig. 7 density grid.
+func Random01Mask(m, n Index, deg float64, seed uint64) *matrix.Pattern {
+	return ErdosRenyiRect(m, n, deg, seed).Pattern()
+}
+
+// ErdosRenyiRect is ErdosRenyi for rectangular matrices.
+func ErdosRenyiRect(m, n Index, deg float64, seed uint64) *matrix.CSR[float64] {
+	r := newRNG(seed)
+	target := int64(float64(m) * deg)
+	coo := &matrix.COO[float64]{NRows: m, NCols: n}
+	for e := int64(0); e < target; e++ {
+		coo.Row = append(coo.Row, Index(r.intn(int64(m))))
+		coo.Col = append(coo.Col, Index(r.intn(int64(n))))
+		coo.Val = append(coo.Val, 1)
+	}
+	return matrix.NewCSRFromCOO(coo, func(a, b float64) float64 { return 1 })
+}

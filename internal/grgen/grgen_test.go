@@ -1,0 +1,162 @@
+package grgen
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestErdosRenyiBasics(t *testing.T) {
+	const n = 1000
+	const deg = 8.0
+	g := ErdosRenyi(n, deg, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NRows != n || g.NCols != n {
+		t.Fatal("dims")
+	}
+	// nnz close to n*deg (duplicates fold, so slightly below).
+	got := float64(g.NNZ())
+	if got < 0.9*n*deg || got > n*deg {
+		t.Fatalf("nnz = %v, want in [%v, %v]", got, 0.9*n*deg, n*deg)
+	}
+	if !g.IsSortedRows() {
+		t.Fatal("rows must be sorted")
+	}
+	for _, v := range g.Val {
+		if v != 1 {
+			t.Fatal("values must be 1")
+		}
+	}
+}
+
+func TestErdosRenyiDeterminism(t *testing.T) {
+	a := ErdosRenyi(500, 4, 7)
+	b := ErdosRenyi(500, 4, 7)
+	if !matrix.Equal(a, b, func(x, y float64) bool { return x == y }) {
+		t.Fatal("same seed must give same graph")
+	}
+	c := ErdosRenyi(500, 4, 8)
+	if matrix.Equal(a, c, func(x, y float64) bool { return x == y }) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestErdosRenyiSymProperties(t *testing.T) {
+	g := ErdosRenyiSym(400, 6, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric pattern.
+	gt := matrix.Transpose(g)
+	if !matrix.EqualPatterns(g.Pattern(), gt.Pattern()) {
+		t.Fatal("not symmetric")
+	}
+	// No self-loops.
+	for i := matrix.Index(0); i < g.NRows; i++ {
+		cols, _ := g.Row(i)
+		for _, j := range cols {
+			if j == i {
+				t.Fatal("self-loop present")
+			}
+		}
+	}
+	avg := float64(g.NNZ()) / 400
+	if avg < 4 || avg > 6.5 {
+		t.Fatalf("avg degree %v out of expected band", avg)
+	}
+}
+
+func TestRMATProperties(t *testing.T) {
+	const scale = 9
+	g := RMAT(scale, 8, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := matrix.Index(1) << scale
+	if g.NRows != n {
+		t.Fatalf("n = %d, want %d", g.NRows, n)
+	}
+	gt := matrix.Transpose(g)
+	if !matrix.EqualPatterns(g.Pattern(), gt.Pattern()) {
+		t.Fatal("RMAT must be symmetric")
+	}
+	for i := matrix.Index(0); i < n; i++ {
+		cols, _ := g.Row(i)
+		for _, j := range cols {
+			if j == i {
+				t.Fatal("self-loop")
+			}
+		}
+	}
+	// Graph500-parameter R-MAT is skewed: the max degree should far exceed
+	// the average (power-law-ish head).
+	maxDeg := matrix.Index(0)
+	for i := matrix.Index(0); i < n; i++ {
+		if d := g.RowNNZ(i); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(g.NNZ()) / float64(n)
+	if float64(maxDeg) < 4*avg {
+		t.Fatalf("max degree %d vs avg %.1f: not skewed enough for R-MAT", maxDeg, avg)
+	}
+	// Determinism.
+	g2 := RMAT(scale, 8, 5)
+	if !matrix.Equal(g, g2, func(x, y float64) bool { return x == y }) {
+		t.Fatal("same seed must reproduce")
+	}
+}
+
+func TestRMATDirected(t *testing.T) {
+	g := RMATDirected(8, 8, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	gt := matrix.Transpose(g)
+	if matrix.EqualPatterns(g.Pattern(), gt.Pattern()) {
+		t.Skip("directed R-MAT happened to be symmetric (vanishingly unlikely)")
+	}
+}
+
+func TestRectAndMask(t *testing.T) {
+	m := ErdosRenyiRect(100, 200, 5, 2)
+	if m.NRows != 100 || m.NCols != 200 {
+		t.Fatal("rect dims")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p := Random01Mask(50, 60, 3, 4)
+	if p.NRows != 50 || p.NCols != 60 {
+		t.Fatal("mask dims")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGUniformity(t *testing.T) {
+	r := newRNG(123)
+	buckets := make([]int, 10)
+	const samples = 100000
+	for i := 0; i < samples; i++ {
+		f := r.float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("float64 out of range: %v", f)
+		}
+		buckets[int(f*10)]++
+	}
+	for b, c := range buckets {
+		if c < samples/10*8/10 || c > samples/10*12/10 {
+			t.Fatalf("bucket %d count %d deviates more than 20%%", b, c)
+		}
+	}
+	// intn range check.
+	for i := 0; i < 1000; i++ {
+		if v := r.intn(7); v < 0 || v >= 7 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+	}
+}

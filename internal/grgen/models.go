@@ -1,0 +1,115 @@
+package grgen
+
+import "repro/internal/matrix"
+
+// Additional graph models beyond §7's ER and R-MAT, used to widen the
+// benchmark corpus across structural regimes the SuiteSparse collection
+// covers: small-world graphs (high clustering → many triangles), scale-free
+// graphs (heavy-tailed degrees via preferential attachment, but without
+// R-MAT's self-similar blocking), and regular meshes (banded structure,
+// perfect locality).
+
+// WattsStrogatz generates the small-world model: a ring lattice where each
+// vertex connects to its k nearest neighbors (k even), with each edge
+// rewired to a uniform random endpoint with probability beta. High
+// clustering at low beta yields triangle-rich graphs. Symmetric, no
+// self-loops.
+func WattsStrogatz(n Index, k int, beta float64, seed uint64) *matrix.CSR[float64] {
+	if k >= int(n) {
+		k = int(n) - 1
+	}
+	if k%2 == 1 {
+		k--
+	}
+	r := newRNG(seed)
+	coo := &matrix.COO[float64]{NRows: n, NCols: n}
+	addEdge := func(u, v Index) {
+		if u == v {
+			return
+		}
+		coo.Row = append(coo.Row, u, v)
+		coo.Col = append(coo.Col, v, u)
+		coo.Val = append(coo.Val, 1, 1)
+	}
+	for u := Index(0); u < n; u++ {
+		for d := 1; d <= k/2; d++ {
+			v := (u + Index(d)) % n
+			if r.float64() < beta {
+				// Rewire to a uniform endpoint.
+				v = Index(r.intn(int64(n)))
+			}
+			addEdge(u, v)
+		}
+	}
+	return matrix.NewCSRFromCOO(coo, func(a, b float64) float64 { return 1 })
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: each new
+// vertex attaches m edges to existing vertices with probability
+// proportional to their degree (implemented with the repeated-endpoints
+// trick: sampling uniformly from the edge-endpoint list is
+// degree-proportional). Symmetric, no self-loops.
+func BarabasiAlbert(n Index, m int, seed uint64) *matrix.CSR[float64] {
+	if n < 2 {
+		return matrix.NewEmptyCSR[float64](n, n)
+	}
+	if m < 1 {
+		m = 1
+	}
+	r := newRNG(seed)
+	coo := &matrix.COO[float64]{NRows: n, NCols: n}
+	// endpoints holds every edge endpoint; uniform sampling from it is
+	// degree-proportional.
+	endpoints := make([]Index, 0, 2*m*int(n))
+	addEdge := func(u, v Index) {
+		coo.Row = append(coo.Row, u, v)
+		coo.Col = append(coo.Col, v, u)
+		coo.Val = append(coo.Val, 1, 1)
+		endpoints = append(endpoints, u, v)
+	}
+	// Seed clique on min(m+1, n) vertices.
+	seedN := Index(m + 1)
+	if seedN > n {
+		seedN = n
+	}
+	for u := Index(0); u < seedN; u++ {
+		for v := u + 1; v < seedN; v++ {
+			addEdge(u, v)
+		}
+	}
+	for u := seedN; u < n; u++ {
+		for e := 0; e < m; e++ {
+			v := endpoints[r.intn(int64(len(endpoints)))]
+			if v == u {
+				continue
+			}
+			addEdge(u, v)
+		}
+	}
+	return matrix.NewCSRFromCOO(coo, func(a, b float64) float64 { return 1 })
+}
+
+// Grid2D generates the rows×cols 4-point mesh (von Neumann neighborhood):
+// a banded, perfectly load-balanced matrix — the opposite structural
+// extreme from R-MAT. Symmetric, no self-loops.
+func Grid2D(rows, cols Index) *matrix.CSR[float64] {
+	n := rows * cols
+	coo := &matrix.COO[float64]{NRows: n, NCols: n}
+	id := func(i, j Index) Index { return i*cols + j }
+	addEdge := func(u, v Index) {
+		coo.Row = append(coo.Row, u, v)
+		coo.Col = append(coo.Col, v, u)
+		coo.Val = append(coo.Val, 1, 1)
+	}
+	for i := Index(0); i < rows; i++ {
+		for j := Index(0); j < cols; j++ {
+			if j+1 < cols {
+				addEdge(id(i, j), id(i, j+1))
+			}
+			if i+1 < rows {
+				addEdge(id(i, j), id(i+1, j))
+			}
+		}
+	}
+	return matrix.NewCSRFromCOO(coo, func(a, b float64) float64 { return 1 })
+}

@@ -1,0 +1,112 @@
+package grgen
+
+import (
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func symmetricNoLoops(t *testing.T, g *matrix.CSR[float64], name string) {
+	t.Helper()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	gt := matrix.Transpose(g)
+	if !matrix.EqualPatterns(g.Pattern(), gt.Pattern()) {
+		t.Fatalf("%s: not symmetric", name)
+	}
+	for i := matrix.Index(0); i < g.NRows; i++ {
+		cols, _ := g.Row(i)
+		for _, j := range cols {
+			if j == i {
+				t.Fatalf("%s: self-loop at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g := WattsStrogatz(500, 6, 0.1, 3)
+	symmetricNoLoops(t, g, "ws")
+	// Expected ~ n*k directed entries (minus rewire collisions).
+	if g.NNZ() < 500*4 || g.NNZ() > 500*6 {
+		t.Fatalf("nnz = %d, want around %d", g.NNZ(), 500*6)
+	}
+	// Low beta keeps the lattice: clustering means many triangles.
+	lowBeta := WattsStrogatz(300, 8, 0.0, 1)
+	var triangles int64
+	// quick local count: ring lattice with k=8 has C(4,2)... just assert
+	// nonzero using pattern intersections along the ring.
+	cols0, _ := lowBeta.Row(0)
+	cols1, _ := lowBeta.Row(1)
+	common := 0
+	for _, a := range cols0 {
+		for _, b := range cols1 {
+			if a == b {
+				common++
+			}
+		}
+	}
+	triangles = int64(common)
+	if triangles == 0 {
+		t.Fatal("beta=0 lattice must have triangles")
+	}
+	// Determinism.
+	g2 := WattsStrogatz(500, 6, 0.1, 3)
+	if !matrix.Equal(g, g2, func(a, b float64) bool { return a == b }) {
+		t.Fatal("not deterministic")
+	}
+	// Odd k rounds down; huge k clamps.
+	small := WattsStrogatz(10, 100, 0.5, 2)
+	symmetricNoLoops(t, small, "ws-clamped")
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(1000, 3, 5)
+	symmetricNoLoops(t, g, "ba")
+	// Heavy tail: max degree far above the mean.
+	maxDeg := matrix.Index(0)
+	for i := matrix.Index(0); i < g.NRows; i++ {
+		if d := g.RowNNZ(i); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	avg := float64(g.NNZ()) / 1000
+	if float64(maxDeg) < 3*avg {
+		t.Fatalf("max degree %d vs avg %.1f: no preferential-attachment skew", maxDeg, avg)
+	}
+	// Edge cases.
+	if BarabasiAlbert(1, 3, 1).NNZ() != 0 {
+		t.Fatal("n=1 has no edges")
+	}
+	tiny := BarabasiAlbert(3, 5, 1) // m >= n clamps to seed clique
+	symmetricNoLoops(t, tiny, "ba-tiny")
+	m0 := BarabasiAlbert(50, 0, 1) // m<1 coerced to 1
+	symmetricNoLoops(t, m0, "ba-m0")
+	if m0.NNZ() == 0 {
+		t.Fatal("m coerced to 1 must add edges")
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g := Grid2D(5, 7)
+	symmetricNoLoops(t, g, "grid")
+	// Interior degree 4, corner degree 2; undirected edges:
+	// rows*(cols-1) + (rows-1)*cols horizontal+vertical.
+	wantEdges := 5*6 + 4*7
+	if g.NNZ() != 2*wantEdges {
+		t.Fatalf("nnz = %d, want %d", g.NNZ(), 2*wantEdges)
+	}
+	if d := g.RowNNZ(0); d != 2 {
+		t.Fatalf("corner degree = %d, want 2", d)
+	}
+	center := matrix.Index(2*7 + 3)
+	if d := g.RowNNZ(center); d != 4 {
+		t.Fatalf("interior degree = %d, want 4", d)
+	}
+	// A mesh is triangle-free (bipartite).
+	one := Grid2D(1, 4)
+	if one.NNZ() != 2*3 {
+		t.Fatal("1-row grid is a path")
+	}
+}

@@ -1,0 +1,34 @@
+// Package grgen generates the synthetic graphs used in the paper's
+// evaluation (§7): Erdős–Rényi graphs with a prescribed expected degree and
+// R-MAT graphs with the Graph500 parameters (a, b, c, d) =
+// (0.57, 0.19, 0.19, 0.05). All generation is deterministic given a seed so
+// benchmark runs are reproducible.
+package grgen
+
+// rng is a splitmix64 pseudorandom generator: tiny state, high quality for
+// this purpose, and identical sequences across platforms.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng {
+	// Avoid the all-zeros fixed point and decorrelate small seeds.
+	return &rng{state: seed*0x9E3779B97F4A7C15 + 0x243F6A8885A308D3}
+}
+
+// next returns the next 64 random bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform value in [0, n). n must be positive.
+func (r *rng) intn(n int64) int64 {
+	return int64(r.next() % uint64(n)) // modulo bias negligible for n ≪ 2^64
+}

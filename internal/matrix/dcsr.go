@@ -1,0 +1,113 @@
+package matrix
+
+// DCSR — Doubly Compressed Sparse Row [Buluç & Gilbert 2008], the
+// hypersparse format SuiteSparse:GraphBLAS selects when most rows are
+// empty (§3 of the paper). On top of CSR's compression of column indices,
+// DCSR also compresses the row pointer array: only non-empty rows are
+// stored, each with its row id. Iterating a DCSR matrix costs O(nnz +
+// #nonempty-rows) instead of O(nnz + nrows), which matters when
+// nnz ≪ nrows (e.g. frontier matrices late in a BFS, or 2D-partitioned
+// submatrices).
+//
+// The masked SpGEMM kernels in this repository run on CSR (the paper
+// isolates algorithmic trade-offs on CSR); DCSR is provided as a substrate
+// with lossless conversions so hypersparse operands can be stored
+// compactly between multiplications.
+
+// DCSR is a hypersparse matrix: RowID[r] is the row index of the r-th
+// non-empty row, whose entries live at RowPtr[r]..RowPtr[r+1].
+type DCSR[T any] struct {
+	NRows, NCols Index
+	RowID        []Index // non-empty row ids, strictly increasing
+	RowPtr       []Index // length len(RowID)+1
+	Col          []Index
+	Val          []T
+}
+
+// NNZ returns the number of stored entries.
+func (a *DCSR[T]) NNZ() int { return len(a.Col) }
+
+// NNZRows returns the number of non-empty rows.
+func (a *DCSR[T]) NNZRows() int { return len(a.RowID) }
+
+// ToDCSR compresses a CSR matrix to DCSR (empty rows dropped from the row
+// index). Shares Col/Val storage with the input.
+func ToDCSR[T any](a *CSR[T]) *DCSR[T] {
+	out := &DCSR[T]{NRows: a.NRows, NCols: a.NCols, Col: a.Col, Val: a.Val}
+	out.RowPtr = append(out.RowPtr, 0)
+	for i := Index(0); i < a.NRows; i++ {
+		if a.RowPtr[i+1] > a.RowPtr[i] {
+			out.RowID = append(out.RowID, i)
+			out.RowPtr = append(out.RowPtr, a.RowPtr[i+1])
+		}
+	}
+	return out
+}
+
+// ToCSR expands a DCSR matrix back to CSR (allocates a fresh row pointer
+// array, shares Col/Val).
+func (a *DCSR[T]) ToCSR() *CSR[T] {
+	out := &CSR[T]{NRows: a.NRows, NCols: a.NCols, Col: a.Col, Val: a.Val,
+		RowPtr: make([]Index, a.NRows+1)}
+	for r, i := range a.RowID {
+		out.RowPtr[i+1] = a.RowPtr[r+1] - a.RowPtr[r]
+	}
+	for i := Index(0); i < a.NRows; i++ {
+		out.RowPtr[i+1] += out.RowPtr[i]
+	}
+	return out
+}
+
+// Row returns the column indices and values of row i, or empty slices when
+// the row is not stored. Lookup is a binary search over the non-empty rows.
+func (a *DCSR[T]) Row(i Index) ([]Index, []T) {
+	lo, hi := 0, len(a.RowID)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.RowID[mid] < i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(a.RowID) && a.RowID[lo] == i {
+		return a.Col[a.RowPtr[lo]:a.RowPtr[lo+1]], a.Val[a.RowPtr[lo]:a.RowPtr[lo+1]]
+	}
+	return nil, nil
+}
+
+// Validate checks the DCSR invariants.
+func (a *DCSR[T]) Validate() error {
+	if len(a.RowPtr) != len(a.RowID)+1 {
+		return errDCSR("RowPtr length != len(RowID)+1")
+	}
+	if len(a.RowPtr) > 0 && a.RowPtr[0] != 0 {
+		return errDCSR("RowPtr[0] != 0")
+	}
+	for r := 1; r < len(a.RowID); r++ {
+		if a.RowID[r-1] >= a.RowID[r] {
+			return errDCSR("RowID not strictly increasing")
+		}
+	}
+	for r := 0; r < len(a.RowID); r++ {
+		if a.RowID[r] < 0 || a.RowID[r] >= a.NRows {
+			return errDCSR("RowID out of range")
+		}
+		if a.RowPtr[r+1] <= a.RowPtr[r] {
+			return errDCSR("stored row is empty or RowPtr not monotone")
+		}
+	}
+	if len(a.RowID) > 0 && int(a.RowPtr[len(a.RowID)]) != len(a.Col) {
+		return errDCSR("nnz mismatch")
+	}
+	for _, j := range a.Col {
+		if j < 0 || j >= a.NCols {
+			return errDCSR("column index out of range")
+		}
+	}
+	return nil
+}
+
+type errDCSR string
+
+func (e errDCSR) Error() string { return "matrix: dcsr: " + string(e) }

@@ -1,0 +1,154 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDCSRRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := Index(1 + r.Intn(50))
+		n := Index(1 + r.Intn(50))
+		// Hypersparse: far fewer entries than rows.
+		a := NewCSRFromCOO(randomCOO(r, m, n, r.Intn(int(m)/2+1)), add)
+		d := ToDCSR(a)
+		if d.Validate() != nil {
+			return false
+		}
+		back := d.ToCSR()
+		return Equal(a, back, func(x, y float64) bool { return x == y })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCSRCompression(t *testing.T) {
+	// 1000 rows, 3 non-empty.
+	c := &COO[float64]{NRows: 1000, NCols: 10,
+		Row: []Index{5, 500, 999, 5},
+		Col: []Index{1, 2, 3, 7},
+		Val: []float64{1, 2, 3, 4}}
+	a := NewCSRFromCOO(c, add)
+	d := ToDCSR(a)
+	if d.NNZRows() != 3 {
+		t.Fatalf("nnzrows = %d, want 3", d.NNZRows())
+	}
+	if d.NNZ() != 4 {
+		t.Fatalf("nnz = %d", d.NNZ())
+	}
+	if len(d.RowPtr) != 4 {
+		t.Fatalf("rowptr len = %d, want 4 (vs 1001 in CSR)", len(d.RowPtr))
+	}
+	// Row lookups.
+	cols, vals := d.Row(5)
+	if len(cols) != 2 || cols[0] != 1 || cols[1] != 7 || vals[0] != 1 || vals[1] != 4 {
+		t.Fatalf("row 5: %v %v", cols, vals)
+	}
+	if cols, _ := d.Row(500); len(cols) != 1 || cols[0] != 2 {
+		t.Fatal("row 500")
+	}
+	if cols, _ := d.Row(999); len(cols) != 1 {
+		t.Fatal("row 999")
+	}
+	if cols, _ := d.Row(6); cols != nil {
+		t.Fatal("empty row must return nil")
+	}
+	if cols, _ := d.Row(0); cols != nil {
+		t.Fatal("row before first stored")
+	}
+}
+
+func TestDCSRValidate(t *testing.T) {
+	good := ToDCSR(NewCSRFromCOO(&COO[float64]{NRows: 4, NCols: 4,
+		Row: []Index{1, 3}, Col: []Index{0, 2}, Val: []float64{1, 1}}, add))
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad1 := &DCSR[float64]{NRows: 4, NCols: 4, RowID: []Index{2, 1},
+		RowPtr: []Index{0, 1, 2}, Col: []Index{0, 0}, Val: []float64{1, 1}}
+	if bad1.Validate() == nil {
+		t.Fatal("non-increasing RowID")
+	}
+	bad2 := &DCSR[float64]{NRows: 4, NCols: 4, RowID: []Index{9},
+		RowPtr: []Index{0, 1}, Col: []Index{0}, Val: []float64{1}}
+	if bad2.Validate() == nil {
+		t.Fatal("RowID out of range")
+	}
+	bad3 := &DCSR[float64]{NRows: 4, NCols: 4, RowID: []Index{1},
+		RowPtr: []Index{0, 1}, Col: []Index{9}, Val: []float64{1}}
+	if bad3.Validate() == nil {
+		t.Fatal("column out of range")
+	}
+	bad4 := &DCSR[float64]{NRows: 4, NCols: 4, RowID: []Index{1},
+		RowPtr: []Index{0, 0}, Col: nil, Val: nil}
+	if bad4.Validate() == nil {
+		t.Fatal("stored empty row")
+	}
+	bad5 := &DCSR[float64]{NRows: 4, NCols: 4, RowID: []Index{1},
+		RowPtr: []Index{0}, Col: []Index{0}, Val: []float64{1}}
+	if bad5.Validate() == nil {
+		t.Fatal("short RowPtr")
+	}
+}
+
+func TestDCSREmpty(t *testing.T) {
+	e := ToDCSR(NewEmptyCSR[float64](10, 10))
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.NNZRows() != 0 || e.NNZ() != 0 {
+		t.Fatal("empty")
+	}
+	back := e.ToCSR()
+	if back.NNZ() != 0 || back.NRows != 10 {
+		t.Fatal("empty round trip")
+	}
+}
+
+func TestSparseVecHelpers(t *testing.T) {
+	v := NewSparseVec(10, []Index{7, 2, 7}, []float64{1, 2, 3}, add)
+	if v.NNZ() != 2 {
+		t.Fatalf("nnz = %d", v.NNZ())
+	}
+	if v.Idx[0] != 2 || v.Idx[1] != 7 || v.Val[1] != 4 {
+		t.Fatalf("fold: %v %v", v.Idx, v.Val)
+	}
+	// Overwrite semantics with nil combine.
+	w := NewSparseVec(10, []Index{3, 3}, []float64{5, 9}, nil)
+	if w.Val[0] != 9 {
+		t.Fatal("nil combine must overwrite")
+	}
+	rm := v.AsRowMatrix()
+	if rm.NRows != 1 || rm.NCols != 10 || rm.NNZ() != 2 {
+		t.Fatal("row view")
+	}
+	if err := rm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	back := RowToVec(rm, 0)
+	if !VecEqual(v, back, func(x, y float64) bool { return x == y }) {
+		t.Fatal("row round trip")
+	}
+	p := v.VecPattern()
+	if p.NNZ() != 2 || p.NRows != 1 {
+		t.Fatal("pattern view")
+	}
+	c := v.Clone()
+	c.Val[0] = 99
+	if v.Val[0] == 99 {
+		t.Fatal("clone must be deep")
+	}
+	u := EWiseAddVec(v, w, add)
+	if u.NNZ() != 3 {
+		t.Fatalf("union nnz = %d", u.NNZ())
+	}
+	if !VecEqual(u, u.Clone(), func(x, y float64) bool { return x == y }) {
+		t.Fatal("vec equal")
+	}
+	if VecEqual(u, v, func(x, y float64) bool { return x == y }) {
+		t.Fatal("different vectors must not be equal")
+	}
+}

@@ -1,0 +1,119 @@
+package matrix
+
+// Dense reference helpers. These are used by tests and by the reference
+// (oracle) masked multiply that every kernel is validated against. They are
+// deliberately simple and O(m·n); never used in benchmarks.
+
+// Dense is a row-major dense matrix with explicit presence flags, so a
+// stored zero value is distinguishable from a structural zero.
+type Dense[T any] struct {
+	NRows, NCols Index
+	Set          []bool
+	Val          []T
+}
+
+// NewDense returns an m-by-n dense matrix with no entries set.
+func NewDense[T any](m, n Index) *Dense[T] {
+	return &Dense[T]{NRows: m, NCols: n, Set: make([]bool, int(m)*int(n)), Val: make([]T, int(m)*int(n))}
+}
+
+// At returns the entry and whether it is present.
+func (d *Dense[T]) At(i, j Index) (T, bool) {
+	k := int(i)*int(d.NCols) + int(j)
+	return d.Val[k], d.Set[k]
+}
+
+// Put stores v at (i, j), marking it present.
+func (d *Dense[T]) Put(i, j Index, v T) {
+	k := int(i)*int(d.NCols) + int(j)
+	d.Val[k] = v
+	d.Set[k] = true
+}
+
+// ToDense expands a CSR matrix.
+func ToDense[T any](a *CSR[T]) *Dense[T] {
+	d := NewDense[T](a.NRows, a.NCols)
+	for i := Index(0); i < a.NRows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			d.Put(i, a.Col[k], a.Val[k])
+		}
+	}
+	return d
+}
+
+// FromDense compresses a dense matrix to CSR with sorted rows.
+func FromDense[T any](d *Dense[T]) *CSR[T] {
+	out := &CSR[T]{NRows: d.NRows, NCols: d.NCols, RowPtr: make([]Index, d.NRows+1)}
+	for i := Index(0); i < d.NRows; i++ {
+		for j := Index(0); j < d.NCols; j++ {
+			if v, ok := d.At(i, j); ok {
+				out.Col = append(out.Col, j)
+				out.Val = append(out.Val, v)
+			}
+		}
+		out.RowPtr[i+1] = Index(len(out.Col))
+	}
+	return out
+}
+
+// Equal reports whether a and b have identical dimensions, pattern and
+// values, comparing values with eq. Rows are compared position-by-position,
+// so both matrices must have sorted rows for a semantic comparison (use
+// SortRows first if unsure).
+func Equal[T any](a, b *CSR[T], eq func(T, T) bool) bool {
+	if a.NRows != b.NRows || a.NCols != b.NCols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := Index(0); i <= a.NRows; i++ {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range a.Col {
+		if a.Col[k] != b.Col[k] || !eq(a.Val[k], b.Val[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualPatterns reports whether two patterns are identical (both must have
+// sorted rows).
+func EqualPatterns(a, b *Pattern) bool {
+	if a.NRows != b.NRows || a.NCols != b.NCols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := Index(0); i <= a.NRows; i++ {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for k := range a.Col {
+		if a.Col[k] != b.Col[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// PatternSubset reports whether every entry position of a appears in b.
+// Both patterns must have sorted rows.
+func PatternSubset(a, b *Pattern) bool {
+	if a.NRows != b.NRows || a.NCols != b.NCols {
+		return false
+	}
+	for i := Index(0); i < a.NRows; i++ {
+		ar := a.Col[a.RowPtr[i]:a.RowPtr[i+1]]
+		br := b.Col[b.RowPtr[i]:b.RowPtr[i+1]]
+		bi := 0
+		for _, j := range ar {
+			for bi < len(br) && br[bi] < j {
+				bi++
+			}
+			if bi >= len(br) || br[bi] != j {
+				return false
+			}
+		}
+	}
+	return true
+}

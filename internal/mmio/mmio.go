@@ -1,0 +1,222 @@
+// Package mmio reads and writes sparse matrices in the Matrix Market
+// exchange format, the format the SuiteSparse Matrix Collection (§7)
+// distributes graphs in. Supported headers: matrix coordinate
+// {real, integer, pattern} {general, symmetric, skew-symmetric}.
+// Symmetric inputs are expanded to full storage on read, which is how graph
+// adjacency matrices are consumed by the applications.
+package mmio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/matrix"
+)
+
+// Header describes a Matrix Market file's type line.
+type Header struct {
+	Object   string // "matrix"
+	Format   string // "coordinate"
+	Field    string // "real", "integer", "pattern"
+	Symmetry string // "general", "symmetric", "skew-symmetric"
+}
+
+// Read parses a Matrix Market stream into a CSR matrix with float64 values.
+// Pattern entries get value 1. Symmetric and skew-symmetric matrices are
+// expanded (off-diagonal entries mirrored; skew mirrors with negation).
+// Duplicate entries are summed.
+func Read(r io.Reader) (*matrix.CSR[float64], error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hdr, err := readHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Object != "matrix" || hdr.Format != "coordinate" {
+		return nil, fmt.Errorf("mmio: unsupported header %q %q (only matrix coordinate)", hdr.Object, hdr.Format)
+	}
+	switch hdr.Field {
+	case "real", "integer", "pattern":
+	default:
+		return nil, fmt.Errorf("mmio: unsupported field %q", hdr.Field)
+	}
+	switch hdr.Symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return nil, fmt.Errorf("mmio: unsupported symmetry %q", hdr.Symmetry)
+	}
+	m, n, nnz, err := readSizeLine(br)
+	if err != nil {
+		return nil, err
+	}
+	coo := &matrix.COO[float64]{NRows: matrix.Index(m), NCols: matrix.Index(n)}
+	pattern := hdr.Field == "pattern"
+	for e := 0; e < nnz; e++ {
+		line, err := nextDataLine(br)
+		if err != nil {
+			return nil, fmt.Errorf("mmio: entry %d/%d: %w", e+1, nnz, err)
+		}
+		fields := strings.Fields(line)
+		want := 3
+		if pattern {
+			want = 2
+		}
+		if len(fields) < want {
+			return nil, fmt.Errorf("mmio: entry %d: want %d fields, got %d", e+1, want, len(fields))
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: entry %d: bad row %q", e+1, fields[0])
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: entry %d: bad column %q", e+1, fields[1])
+		}
+		if i < 1 || i > m || j < 1 || j > n {
+			return nil, fmt.Errorf("mmio: entry %d: index (%d,%d) out of range %dx%d", e+1, i, j, m, n)
+		}
+		v := 1.0
+		if !pattern {
+			v, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("mmio: entry %d: bad value %q", e+1, fields[2])
+			}
+		}
+		ri, rj := matrix.Index(i-1), matrix.Index(j-1)
+		coo.Row = append(coo.Row, ri)
+		coo.Col = append(coo.Col, rj)
+		coo.Val = append(coo.Val, v)
+		if ri != rj {
+			switch hdr.Symmetry {
+			case "symmetric":
+				coo.Row = append(coo.Row, rj)
+				coo.Col = append(coo.Col, ri)
+				coo.Val = append(coo.Val, v)
+			case "skew-symmetric":
+				coo.Row = append(coo.Row, rj)
+				coo.Col = append(coo.Col, ri)
+				coo.Val = append(coo.Val, -v)
+			}
+		}
+	}
+	return matrix.NewCSRFromCOO(coo, func(a, b float64) float64 { return a + b }), nil
+}
+
+// ReadFile reads a Matrix Market file from disk.
+func ReadFile(path string) (*matrix.CSR[float64], error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Write emits a in Matrix Market coordinate real general format.
+func Write(w io.Writer, a *matrix.CSR[float64]) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", a.NRows, a.NCols, a.NNZ()); err != nil {
+		return err
+	}
+	for i := matrix.Index(0); i < a.NRows; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, a.Col[k]+1, a.Val[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes a to path in Matrix Market format.
+func WriteFile(path string, a *matrix.CSR[float64]) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, a); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WritePattern emits a pattern matrix (no values).
+func WritePattern(w io.Writer, p *matrix.Pattern) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate pattern general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", p.NRows, p.NCols, p.NNZ()); err != nil {
+		return err
+	}
+	for i := matrix.Index(0); i < p.NRows; i++ {
+		for _, j := range p.Row(i) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", i+1, j+1); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func readHeader(br *bufio.Reader) (Header, error) {
+	line, err := br.ReadString('\n')
+	if err != nil && line == "" {
+		return Header{}, fmt.Errorf("mmio: empty input: %w", err)
+	}
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "%%MatrixMarket") {
+		return Header{}, fmt.Errorf("mmio: missing %%%%MatrixMarket banner, got %q", line)
+	}
+	fields := strings.Fields(strings.ToLower(line))
+	if len(fields) < 4 {
+		return Header{}, fmt.Errorf("mmio: short banner %q", line)
+	}
+	h := Header{Object: fields[1], Format: fields[2], Field: fields[3], Symmetry: "general"}
+	if len(fields) >= 5 {
+		h.Symmetry = fields[4]
+	}
+	return h, nil
+}
+
+func readSizeLine(br *bufio.Reader) (m, n, nnz int, err error) {
+	line, err := nextDataLine(br)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("mmio: missing size line: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return 0, 0, 0, fmt.Errorf("mmio: bad size line %q", line)
+	}
+	m, err = strconv.Atoi(fields[0])
+	if err != nil {
+		return
+	}
+	n, err = strconv.Atoi(fields[1])
+	if err != nil {
+		return
+	}
+	nnz, err = strconv.Atoi(fields[2])
+	return
+}
+
+// nextDataLine returns the next non-comment, non-blank line.
+func nextDataLine(br *bufio.Reader) (string, error) {
+	for {
+		line, err := br.ReadString('\n')
+		trimmed := strings.TrimSpace(line)
+		if trimmed != "" && !strings.HasPrefix(trimmed, "%") {
+			return trimmed, nil
+		}
+		if err != nil {
+			return "", io.ErrUnexpectedEOF
+		}
+	}
+}

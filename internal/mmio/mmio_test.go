@@ -1,0 +1,192 @@
+package mmio
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func TestReadGeneralReal(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+3 4 3
+1 1 2.5
+3 4 -1
+2 2 7
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NRows != 3 || a.NCols != 4 || a.NNZ() != 3 {
+		t.Fatalf("shape %dx%d nnz %d", a.NRows, a.NCols, a.NNZ())
+	}
+	d := matrix.ToDense(a)
+	if v, ok := d.At(0, 0); !ok || v != 2.5 {
+		t.Fatal("(1,1) wrong")
+	}
+	if v, ok := d.At(2, 3); !ok || v != -1 {
+		t.Fatal("(3,4) wrong")
+	}
+}
+
+func TestReadPatternSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+3 3 3
+2 1
+3 1
+3 3
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two off-diagonal entries mirror; one diagonal stays single: 5 total.
+	if a.NNZ() != 5 {
+		t.Fatalf("nnz = %d, want 5", a.NNZ())
+	}
+	at := matrix.Transpose(a)
+	if !matrix.EqualPatterns(a.Pattern(), at.Pattern()) {
+		t.Fatal("expanded matrix must be symmetric")
+	}
+	for _, v := range a.Val {
+		if v != 1 {
+			t.Fatal("pattern values must be 1")
+		}
+	}
+}
+
+func TestReadSkewSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 3.0
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := matrix.ToDense(a)
+	if v, _ := d.At(1, 0); v != 3 {
+		t.Fatal("lower entry")
+	}
+	if v, _ := d.At(0, 1); v != -3 {
+		t.Fatal("mirrored entry must be negated")
+	}
+}
+
+func TestReadIntegerAndDuplicates(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate integer general
+2 2 3
+1 1 2
+1 1 3
+2 2 4
+`
+	a, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2 (duplicates summed)", a.NNZ())
+	}
+	d := matrix.ToDense(a)
+	if v, _ := d.At(0, 0); v != 5 {
+		t.Fatalf("(1,1) = %v, want 5", v)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"no banner", "3 3 1\n1 1 1\n"},
+		{"bad object", "%%MatrixMarket tensor coordinate real general\n1 1 0\n"},
+		{"bad format", "%%MatrixMarket matrix array real general\n1 1 0\n"},
+		{"bad field", "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"},
+		{"bad symmetry", "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n"},
+		{"short banner", "%%MatrixMarket matrix\n"},
+		{"bad size", "%%MatrixMarket matrix coordinate real general\n3 3\n"},
+		{"truncated", "%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n"},
+		{"row out of range", "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n"},
+		{"col out of range", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 9 1.0\n"},
+		{"bad value", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 xyz\n"},
+		{"bad row", "%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1.0\n"},
+		{"missing fields", "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Read(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	coo := &matrix.COO[float64]{NRows: 17, NCols: 23}
+	for e := 0; e < 80; e++ {
+		coo.Row = append(coo.Row, matrix.Index(r.Intn(17)))
+		coo.Col = append(coo.Col, matrix.Index(r.Intn(23)))
+		coo.Val = append(coo.Val, r.NormFloat64())
+	}
+	a := matrix.NewCSRFromCOO(coo, func(x, y float64) float64 { return x + y })
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(a, back, func(x, y float64) bool { return x == y }) {
+		t.Fatal("round trip changed the matrix")
+	}
+}
+
+func TestWritePattern(t *testing.T) {
+	a := matrix.NewCSRFromCOO(&matrix.COO[float64]{
+		NRows: 2, NCols: 2,
+		Row: []matrix.Index{0, 1}, Col: []matrix.Index{1, 0}, Val: []float64{5, 6},
+	}, nil)
+	var buf bytes.Buffer
+	if err := WritePattern(&buf, a.Pattern()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.EqualPatterns(a.Pattern(), back.Pattern()) {
+		t.Fatal("pattern round trip")
+	}
+	for _, v := range back.Val {
+		if v != 1 {
+			t.Fatal("pattern read must give ones")
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.mtx")
+	a := matrix.NewCSRFromCOO(&matrix.COO[float64]{
+		NRows: 3, NCols: 3,
+		Row: []matrix.Index{0, 2}, Col: []matrix.Index{1, 2}, Val: []float64{4, 9},
+	}, nil)
+	if err := WriteFile(path, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(a, back, func(x, y float64) bool { return x == y }) {
+		t.Fatal("file round trip")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.mtx")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

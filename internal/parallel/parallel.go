@@ -1,0 +1,145 @@
+// Package parallel provides small helpers for data-parallel loops used by
+// the masked SpGEMM kernels and the graph applications.
+//
+// All kernels in this repository parallelize across matrix rows, following
+// the paper's observation (§3) that there is plenty of coarse-grained
+// parallelism across rows on multi-core machines. Work is distributed
+// dynamically: workers claim fixed-size chunks of the iteration space from a
+// shared atomic counter, which bounds load imbalance when row costs are
+// skewed (e.g. power-law graphs).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultGrain is the number of consecutive loop indices a worker claims at
+// a time when no explicit grain is given. Chosen so that a chunk amortizes
+// the atomic fetch-add while still load-balancing heavy-tailed row costs.
+const DefaultGrain = 64
+
+// Threads returns the effective worker count: n if positive, otherwise
+// GOMAXPROCS.
+func Threads(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs body(i) for every i in [0, n) using the given number of worker
+// goroutines (0 means GOMAXPROCS) and dynamic chunk scheduling with
+// DefaultGrain. It returns after all iterations complete.
+func For(n, workers int, body func(i int)) {
+	ForGrain(n, workers, DefaultGrain, body)
+}
+
+// ForGrain is For with an explicit chunk size.
+func ForGrain(n, workers, grain int, body func(i int)) {
+	ForChunks(n, workers, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunks runs body(lo, hi) over disjoint chunks [lo, hi) covering [0, n).
+// Chunks are claimed dynamically. Each worker goroutine calls body
+// sequentially for the chunks it claims, so per-worker state can be reused
+// across chunks only via ForWorkers.
+func ForChunks(n, workers, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	p := Threads(workers)
+	if p > n/grain+1 {
+		p = n/grain + 1
+	}
+	if p <= 1 {
+		body(0, n)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForWorkers runs p worker goroutines. Each worker receives its worker id
+// and a claim function; repeatedly calling claim yields disjoint chunks
+// [lo, hi) of [0, n) until ok is false. This form lets a worker allocate
+// scratch state (e.g. an accumulator) once and reuse it across all chunks it
+// processes, which is how the SpGEMM kernels avoid per-row allocation.
+func ForWorkers(n, workers, grain int, worker func(id int, claim func() (lo, hi int, ok bool))) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = DefaultGrain
+	}
+	p := Threads(workers)
+	if p > n/grain+1 {
+		p = n/grain + 1
+	}
+	if p < 1 {
+		p = 1
+	}
+	var next atomic.Int64
+	claim := func() (int, int, bool) {
+		lo := int(next.Add(int64(grain))) - grain
+		if lo >= n {
+			return 0, 0, false
+		}
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		return lo, hi, true
+	}
+	if p == 1 {
+		worker(0, claim)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(id int) {
+			defer wg.Done()
+			worker(id, claim)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ExclusiveScan computes the exclusive prefix sum of counts in place:
+// counts[i] becomes sum of the original counts[0..i), and the total sum is
+// returned. Used to turn per-row nnz counts into CSR row pointers.
+func ExclusiveScan(counts []int64) int64 {
+	var sum int64
+	for i, c := range counts {
+		counts[i] = sum
+		sum += c
+	}
+	return sum
+}

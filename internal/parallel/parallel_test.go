@@ -1,0 +1,135 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 65, 1000} {
+		for _, workers := range []int{0, 1, 2, 8} {
+			hits := make([]int32, n)
+			For(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d hit %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForGrainCoverage(t *testing.T) {
+	prop := func(seed int64) bool {
+		n := int(seed%500 + 1)
+		if n < 0 {
+			n = -n + 1
+		}
+		grain := int(seed%7 + 1)
+		if grain < 1 {
+			grain = 1
+		}
+		var sum atomic.Int64
+		ForGrain(n, 4, grain, func(i int) { sum.Add(int64(i)) })
+		return sum.Load() == int64(n)*int64(n-1)/2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForChunksDisjoint(t *testing.T) {
+	const n = 1234
+	hits := make([]int32, n)
+	ForChunks(n, 8, 10, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+			return
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForWorkersReusableState(t *testing.T) {
+	const n = 500
+	var total atomic.Int64
+	var workersSeen atomic.Int64
+	ForWorkers(n, 4, 16, func(id int, claim func() (int, int, bool)) {
+		workersSeen.Add(1)
+		local := int64(0) // per-worker scratch reused across chunks
+		for {
+			lo, hi, ok := claim()
+			if !ok {
+				break
+			}
+			for i := lo; i < hi; i++ {
+				local += int64(i)
+			}
+		}
+		total.Add(local)
+	})
+	if total.Load() != int64(n)*int64(n-1)/2 {
+		t.Fatalf("sum = %d", total.Load())
+	}
+	if workersSeen.Load() < 1 {
+		t.Fatal("no workers ran")
+	}
+}
+
+func TestForWorkersZeroAndTiny(t *testing.T) {
+	ran := false
+	ForWorkers(0, 4, 16, func(int, func() (int, int, bool)) { ran = true })
+	if ran {
+		t.Fatal("no work for n=0")
+	}
+	var count atomic.Int32
+	ForWorkers(1, 8, 64, func(_ int, claim func() (int, int, bool)) {
+		for {
+			lo, hi, ok := claim()
+			if !ok {
+				return
+			}
+			count.Add(int32(hi - lo))
+		}
+	})
+	if count.Load() != 1 {
+		t.Fatalf("covered %d, want 1", count.Load())
+	}
+}
+
+func TestExclusiveScan(t *testing.T) {
+	c := []int64{3, 0, 5, 2}
+	total := ExclusiveScan(c)
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+	want := []int64{0, 3, 3, 8}
+	for i := range c {
+		if c[i] != want[i] {
+			t.Fatalf("scan = %v, want %v", c, want)
+		}
+	}
+	if ExclusiveScan(nil) != 0 {
+		t.Fatal("empty scan")
+	}
+}
+
+func TestThreads(t *testing.T) {
+	if Threads(5) != 5 {
+		t.Fatal("explicit")
+	}
+	if Threads(0) < 1 {
+		t.Fatal("default must be >= 1")
+	}
+	if Threads(-3) < 1 {
+		t.Fatal("negative falls back")
+	}
+}

@@ -1,0 +1,146 @@
+// Package perfprof computes Dolan–Moré performance profiles [20], the
+// presentation the paper uses for Figures 8, 9, 12, 13 and 16: for each
+// scheme s and ratio τ, the profile value ρ_s(τ) is the fraction of test
+// cases on which s's runtime is within a factor τ of the best runtime
+// achieved by any scheme on that case. A scheme whose curve is higher and
+// further left is better; ρ_s(1) is the fraction of cases the scheme wins.
+package perfprof
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one scheme's runtimes over the common case set. A non-positive,
+// NaN or +Inf time marks a failed/unavailable case (the scheme is treated
+// as never within any finite ratio for it).
+type Series struct {
+	Scheme string
+	Times  []float64
+}
+
+// Profile holds computed profile curves over a τ grid.
+type Profile struct {
+	Taus    []float64
+	Schemes []string
+	// Frac[s][t] is ρ_{Schemes[s]}(Taus[t]).
+	Frac [][]float64
+	// Wins[s] is the number of cases scheme s achieved the best time
+	// (ties award all tied schemes).
+	Wins []int
+	// Cases is the number of test cases.
+	Cases int
+}
+
+// DefaultTaus returns the τ grid used by the harness tables, matching the
+// x-range of the paper's plots (1.0 to 2.4).
+func DefaultTaus() []float64 {
+	var taus []float64
+	for t := 1.0; t <= 2.4001; t += 0.1 {
+		taus = append(taus, math.Round(t*10)/10)
+	}
+	return taus
+}
+
+// Compute builds the performance profile of the given series over taus.
+// All series must have the same number of cases.
+func Compute(series []Series, taus []float64) (*Profile, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("perfprof: no series")
+	}
+	nCases := len(series[0].Times)
+	for _, s := range series {
+		if len(s.Times) != nCases {
+			return nil, fmt.Errorf("perfprof: series %q has %d cases, want %d", s.Scheme, len(s.Times), nCases)
+		}
+	}
+	if nCases == 0 {
+		return nil, fmt.Errorf("perfprof: no cases")
+	}
+	// Best time per case over valid entries.
+	best := make([]float64, nCases)
+	for c := 0; c < nCases; c++ {
+		best[c] = math.Inf(1)
+		for _, s := range series {
+			t := s.Times[c]
+			if valid(t) && t < best[c] {
+				best[c] = t
+			}
+		}
+		if math.IsInf(best[c], 1) {
+			return nil, fmt.Errorf("perfprof: case %d has no valid time", c)
+		}
+	}
+	p := &Profile{Taus: taus, Cases: nCases}
+	for _, s := range series {
+		p.Schemes = append(p.Schemes, s.Scheme)
+		ratios := make([]float64, 0, nCases)
+		wins := 0
+		for c := 0; c < nCases; c++ {
+			t := s.Times[c]
+			if !valid(t) {
+				ratios = append(ratios, math.Inf(1))
+				continue
+			}
+			r := t / best[c]
+			ratios = append(ratios, r)
+			if r <= 1.0000001 {
+				wins++
+			}
+		}
+		sort.Float64s(ratios)
+		frac := make([]float64, len(taus))
+		for ti, tau := range taus {
+			// count ratios <= tau
+			cnt := sort.SearchFloat64s(ratios, tau*1.0000001)
+			frac[ti] = float64(cnt) / float64(nCases)
+		}
+		p.Frac = append(p.Frac, frac)
+		p.Wins = append(p.Wins, wins)
+	}
+	return p, nil
+}
+
+func valid(t float64) bool {
+	return t > 0 && !math.IsNaN(t) && !math.IsInf(t, 0)
+}
+
+// Format renders the profile as a tab-separated table: one row per τ, one
+// column per scheme, matching the paper's plot data.
+func (p *Profile) Format() string {
+	var b strings.Builder
+	b.WriteString("tau")
+	for _, s := range p.Schemes {
+		b.WriteString("\t")
+		b.WriteString(s)
+	}
+	b.WriteString("\n")
+	for ti, tau := range p.Taus {
+		fmt.Fprintf(&b, "%.2f", tau)
+		for si := range p.Schemes {
+			fmt.Fprintf(&b, "\t%.3f", p.Frac[si][ti])
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("wins")
+	for si := range p.Schemes {
+		fmt.Fprintf(&b, "\t%d/%d", p.Wins[si], p.Cases)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// BestScheme returns the scheme with the highest ρ(1) (most wins), the
+// headline number the paper quotes ("MSA-1P outperforms all other
+// algorithms for 65% of the test cases").
+func (p *Profile) BestScheme() (string, float64) {
+	bi, bw := 0, -1
+	for si, w := range p.Wins {
+		if w > bw {
+			bi, bw = si, w
+		}
+	}
+	return p.Schemes[bi], float64(bw) / float64(p.Cases)
+}

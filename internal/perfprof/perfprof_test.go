@@ -1,0 +1,125 @@
+package perfprof
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestComputeBasic(t *testing.T) {
+	series := []Series{
+		{Scheme: "fast", Times: []float64{1, 2, 1}},
+		{Scheme: "slow", Times: []float64{2, 2, 4}},
+	}
+	p, err := Compute(series, []float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fast: ratios {1, 1, 1} -> rho(1)=1.
+	if p.Frac[0][0] != 1 {
+		t.Fatalf("fast rho(1) = %v", p.Frac[0][0])
+	}
+	// slow: ratios {2, 1, 4} -> rho(1)=1/3, rho(2)=2/3, rho(4)=1.
+	if math.Abs(p.Frac[1][0]-1.0/3) > 1e-12 {
+		t.Fatalf("slow rho(1) = %v", p.Frac[1][0])
+	}
+	if math.Abs(p.Frac[1][1]-2.0/3) > 1e-12 {
+		t.Fatalf("slow rho(2) = %v", p.Frac[1][1])
+	}
+	if p.Frac[1][2] != 1 {
+		t.Fatalf("slow rho(4) = %v", p.Frac[1][2])
+	}
+	if p.Wins[0] != 3 || p.Wins[1] != 1 {
+		t.Fatalf("wins = %v", p.Wins)
+	}
+	best, frac := p.BestScheme()
+	if best != "fast" || frac != 1 {
+		t.Fatalf("best = %s %v", best, frac)
+	}
+}
+
+func TestComputeFailures(t *testing.T) {
+	series := []Series{
+		{Scheme: "ok", Times: []float64{1, 1}},
+		{Scheme: "fails", Times: []float64{-1, math.Inf(1)}},
+	}
+	p, err := Compute(series, []float64{1, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Frac[1][1] != 0 {
+		t.Fatal("failed scheme must have zero fraction everywhere")
+	}
+	if p.Wins[1] != 0 {
+		t.Fatal("failed scheme cannot win")
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	if _, err := Compute(nil, DefaultTaus()); err == nil {
+		t.Fatal("no series")
+	}
+	if _, err := Compute([]Series{{Scheme: "a"}}, DefaultTaus()); err == nil {
+		t.Fatal("no cases")
+	}
+	bad := []Series{
+		{Scheme: "a", Times: []float64{1, 2}},
+		{Scheme: "b", Times: []float64{1}},
+	}
+	if _, err := Compute(bad, DefaultTaus()); err == nil {
+		t.Fatal("ragged series")
+	}
+	allFail := []Series{{Scheme: "a", Times: []float64{-1}}}
+	if _, err := Compute(allFail, DefaultTaus()); err == nil {
+		t.Fatal("case with no valid time")
+	}
+}
+
+func TestDefaultTaus(t *testing.T) {
+	taus := DefaultTaus()
+	if taus[0] != 1.0 {
+		t.Fatal("must start at 1")
+	}
+	if taus[len(taus)-1] < 2.39 {
+		t.Fatalf("must reach 2.4, got %v", taus[len(taus)-1])
+	}
+	for i := 1; i < len(taus); i++ {
+		if taus[i] <= taus[i-1] {
+			t.Fatal("taus must increase")
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	p, err := Compute([]Series{
+		{Scheme: "x", Times: []float64{1}},
+		{Scheme: "y", Times: []float64{3}},
+	}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Format()
+	if !strings.Contains(out, "tau\tx\ty") {
+		t.Fatalf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "wins\t1/1\t0/1") {
+		t.Fatalf("wins row missing: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 2 taus + wins
+		t.Fatalf("got %d lines", len(lines))
+	}
+}
+
+func TestTieCountsBothAsWins(t *testing.T) {
+	p, err := Compute([]Series{
+		{Scheme: "a", Times: []float64{1, 5}},
+		{Scheme: "b", Times: []float64{1, 9}},
+	}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Wins[0] != 2 || p.Wins[1] != 1 {
+		t.Fatalf("wins = %v, want [2 1]", p.Wins)
+	}
+}

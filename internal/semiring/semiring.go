@@ -1,0 +1,130 @@
+// Package semiring defines the algebraic structure the masked SpGEMM kernels
+// compute over, following the GraphBLAS formulation the paper builds on
+// (§2): a semiring supplies the "multiply" used to combine A_ik with B_kj
+// and the "add" used to accumulate partial products with the same output
+// position. The paper presents its algorithms on the arithmetic semiring for
+// clarity but the applications use others (triangle counting and k-truss use
+// plus-pair, betweenness centrality uses plus-times on path counts).
+package semiring
+
+import "math"
+
+// Semiring bundles the add and multiply monoids over value type T. Zero is
+// the additive identity. Kernels never test values against Zero — sparsity
+// is structural, matching the GraphBLAS convention — but reductions and
+// tests use it.
+type Semiring[T any] struct {
+	// Name identifies the semiring in logs and benchmark tables.
+	Name string
+	// Add accumulates two partial results. Must be associative.
+	Add func(T, T) T
+	// Mul combines one entry of A with one entry of B.
+	Mul func(T, T) T
+	// Zero is the additive identity.
+	Zero T
+}
+
+// Arithmetic is the standard (+, ×) semiring over float64.
+func Arithmetic() Semiring[float64] {
+	return Semiring[float64]{
+		Name: "arithmetic",
+		Add:  func(x, y float64) float64 { return x + y },
+		Mul:  func(x, y float64) float64 { return x * y },
+	}
+}
+
+// ArithmeticInt is the (+, ×) semiring over int64.
+func ArithmeticInt() Semiring[int64] {
+	return Semiring[int64]{
+		Name: "arithmetic-int64",
+		Add:  func(x, y int64) int64 { return x + y },
+		Mul:  func(x, y int64) int64 { return x * y },
+	}
+}
+
+// PlusPair is the (+, pair) semiring: multiplication yields the constant 1
+// regardless of operands, so the product counts pattern intersections. This
+// is the semiring of choice for triangle counting and k-truss support
+// counting (each accumulated unit is one wedge closed by the masked edge).
+func PlusPair() Semiring[int64] {
+	return Semiring[int64]{
+		Name: "plus-pair",
+		Add:  func(x, y int64) int64 { return x + y },
+		Mul:  func(int64, int64) int64 { return 1 },
+	}
+}
+
+// PlusPairF is PlusPair over float64 values, for callers whose matrices
+// carry float64 payloads.
+func PlusPairF() Semiring[float64] {
+	return Semiring[float64]{
+		Name: "plus-pair-f64",
+		Add:  func(x, y float64) float64 { return x + y },
+		Mul:  func(float64, float64) float64 { return 1 },
+	}
+}
+
+// Boolean is the (∨, ∧) semiring over bool: the product's pattern is
+// reachability. Zero is false.
+func Boolean() Semiring[bool] {
+	return Semiring[bool]{
+		Name: "boolean",
+		Add:  func(x, y bool) bool { return x || y },
+		Mul:  func(x, y bool) bool { return x && y },
+	}
+}
+
+// MinPlus is the tropical (min, +) semiring over float64, used for shortest
+// path relaxations. Zero is +Inf.
+func MinPlus() Semiring[float64] {
+	inf := inf64()
+	return Semiring[float64]{
+		Name: "min-plus",
+		Add: func(x, y float64) float64 {
+			if x < y {
+				return x
+			}
+			return y
+		},
+		Mul:  func(x, y float64) float64 { return x + y },
+		Zero: inf,
+	}
+}
+
+// PlusSecond is the (+, second) semiring: multiplication returns the B
+// operand. Betweenness centrality's forward phase uses it so that the number
+// of shortest paths flows along frontier expansion.
+func PlusSecond() Semiring[float64] {
+	return Semiring[float64]{
+		Name: "plus-second",
+		Add:  func(x, y float64) float64 { return x + y },
+		Mul:  func(_, y float64) float64 { return y },
+	}
+}
+
+// PlusFirst is the (+, first) semiring: multiplication returns the A
+// operand.
+func PlusFirst() Semiring[float64] {
+	return Semiring[float64]{
+		Name: "plus-first",
+		Add:  func(x, y float64) float64 { return x + y },
+		Mul:  func(x, _ float64) float64 { return x },
+	}
+}
+
+// MaxTimes is the (max, ×) semiring over float64. Zero is -Inf.
+func MaxTimes() Semiring[float64] {
+	return Semiring[float64]{
+		Name: "max-times",
+		Add: func(x, y float64) float64 {
+			if x > y {
+				return x
+			}
+			return y
+		},
+		Mul:  func(x, y float64) float64 { return x * y },
+		Zero: -inf64(),
+	}
+}
+
+func inf64() float64 { return math.Inf(1) }

@@ -1,0 +1,113 @@
+package semiring
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestArithmetic(t *testing.T) {
+	sr := Arithmetic()
+	if sr.Add(2, 3) != 5 || sr.Mul(2, 3) != 6 || sr.Zero != 0 {
+		t.Fatal("arithmetic semiring wrong")
+	}
+}
+
+func TestArithmeticInt(t *testing.T) {
+	sr := ArithmeticInt()
+	if sr.Add(2, 3) != 5 || sr.Mul(2, 3) != 6 {
+		t.Fatal("int semiring wrong")
+	}
+}
+
+func TestPlusPair(t *testing.T) {
+	sr := PlusPair()
+	if sr.Mul(17, 23) != 1 {
+		t.Fatal("pair multiply must be 1")
+	}
+	if sr.Add(3, 4) != 7 {
+		t.Fatal("add")
+	}
+	f := PlusPairF()
+	if f.Mul(2.5, 3.5) != 1 || f.Add(1, 2) != 3 {
+		t.Fatal("pluspair float")
+	}
+}
+
+func TestBoolean(t *testing.T) {
+	sr := Boolean()
+	if sr.Zero != false {
+		t.Fatal("zero")
+	}
+	if !sr.Add(true, false) || sr.Add(false, false) {
+		t.Fatal("or")
+	}
+	if sr.Mul(true, false) || !sr.Mul(true, true) {
+		t.Fatal("and")
+	}
+}
+
+func TestMinPlus(t *testing.T) {
+	sr := MinPlus()
+	if !math.IsInf(sr.Zero, 1) {
+		t.Fatal("zero must be +Inf")
+	}
+	if sr.Add(3, 5) != 3 || sr.Mul(3, 5) != 8 {
+		t.Fatal("min-plus ops")
+	}
+	// Identity: min(x, Inf) = x.
+	if sr.Add(7, sr.Zero) != 7 {
+		t.Fatal("additive identity")
+	}
+}
+
+func TestSelectorSemirings(t *testing.T) {
+	if PlusSecond().Mul(9, 4) != 4 {
+		t.Fatal("second")
+	}
+	if PlusFirst().Mul(9, 4) != 9 {
+		t.Fatal("first")
+	}
+	mt := MaxTimes()
+	if mt.Add(2, 7) != 7 || mt.Mul(2, 7) != 14 {
+		t.Fatal("max-times")
+	}
+	if !math.IsInf(mt.Zero, -1) {
+		t.Fatal("max-times zero must be -Inf")
+	}
+}
+
+// TestSemiringLaws property-checks associativity of Add and the identity
+// of Zero for the semirings where floating point permits exact checks
+// (small integers).
+func TestSemiringLaws(t *testing.T) {
+	srs := []Semiring[float64]{Arithmetic(), PlusPairF(), MinPlus(), MaxTimes()}
+	for _, sr := range srs {
+		sr := sr
+		assoc := func(a, b, c int8) bool {
+			x, y, z := float64(a), float64(b), float64(c)
+			return sr.Add(sr.Add(x, y), z) == sr.Add(x, sr.Add(y, z))
+		}
+		if err := quick.Check(assoc, &quick.Config{MaxCount: 100}); err != nil {
+			t.Fatalf("%s: Add not associative: %v", sr.Name, err)
+		}
+		ident := func(a int8) bool {
+			x := float64(a)
+			return sr.Add(x, sr.Zero) == x && sr.Add(sr.Zero, x) == x
+		}
+		if err := quick.Check(ident, &quick.Config{MaxCount: 100}); err != nil {
+			t.Fatalf("%s: Zero not additive identity: %v", sr.Name, err)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, sr := range []Semiring[float64]{Arithmetic(), PlusPairF(), MinPlus(), PlusSecond(), PlusFirst(), MaxTimes()} {
+		if sr.Name == "" {
+			t.Fatal("semiring must be named")
+		}
+	}
+	if Boolean().Name == "" || PlusPair().Name == "" || ArithmeticInt().Name == "" {
+		t.Fatal("unnamed semiring")
+	}
+}

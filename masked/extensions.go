@@ -1,0 +1,117 @@
+package masked
+
+import (
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// Extensions beyond the paper's evaluated kernels: the vector (SpGEVM)
+// primitive, the direction-optimized variant, the per-row hybrid kernel
+// (the paper's §9 future work), BFS, and masked similarity.
+
+// Vector is a sparse float64 vector.
+type Vector = matrix.SparseVec[float64]
+
+// NewVector builds a sparse vector from index/value pairs (duplicates
+// summed).
+func NewVector(n Index, idx []Index, vals []float64) *Vector {
+	return matrix.NewSparseVec(n, idx, vals, func(a, b float64) float64 { return a + b })
+}
+
+// VxM computes v = m .* (uᵀB): the masked sparse vector-matrix product the
+// paper's §5 algorithms are stated in. alg selects the kernel family.
+func VxM(alg core.Algorithm, m *Vector, u *Vector, b *Matrix, sr Semiring, opt Options) (*Vector, error) {
+	return core.MaskedSpGEVM(alg, m, u, b, sr, opt)
+}
+
+// Direction reports whether a direction-optimized step pushed or pulled.
+type Direction = core.Direction
+
+// Push and Pull are the two traversal directions.
+const (
+	Push = core.Push
+	Pull = core.Pull
+)
+
+// VxMAuto is the direction-optimized masked vector-matrix product: it
+// estimates push vs pull cost per call and picks the cheaper kernel,
+// returning the direction taken. bcsc must be B in CSC form (build once
+// with ToCSC).
+func VxMAuto(m *Vector, u *Vector, b *Matrix, bcsc *CSC, sr Semiring, opt Options) (*Vector, Direction, error) {
+	return core.MaskedSpGEVMAuto(m, u, b, bcsc, sr, opt)
+}
+
+// CSC is the compressed-sparse-column form used by pull kernels.
+type CSC = matrix.CSC[float64]
+
+// ToCSC converts a matrix to CSC (for VxMAuto and repeated pull calls).
+func ToCSC(a *Matrix) *CSC { return matrix.ToCSC(a) }
+
+// HybridStats counts per-row kernel routing decisions of MultiplyHybrid.
+type HybridStats = core.HybridStats
+
+// MultiplyHybrid computes C = M .* (A·B) with the per-row adaptive kernel
+// (the paper's stated future work): each output row routes to the pull,
+// heap or MSA sub-kernel by its local mask/flops densities. Complemented
+// masks are not supported. stats may be nil.
+func MultiplyHybrid(m *Pattern, a, b *Matrix, sr Semiring, opt Options, stats *HybridStats) (*Matrix, error) {
+	return core.MaskedSpGEMMHybrid(core.OnePhase, m, a, b, sr, opt, stats)
+}
+
+// BFSResult reports a direction-optimized BFS.
+type BFSResult = apps.BFSResult
+
+// BFS runs a single-source direction-optimized breadth-first search.
+func BFS(g *Matrix, source Index, opt Options) (BFSResult, error) {
+	return apps.BFS(g, source, opt)
+}
+
+// MultiSourceBFSResult reports a batched BFS.
+type MultiSourceBFSResult = apps.MultiSourceBFSResult
+
+// MultiSourceBFS runs BFS from every source simultaneously with
+// complement-masked SpGEMM, using variant v.
+func MultiSourceBFS(g *Matrix, sources []Index, v Variant, opt Options) (MultiSourceBFSResult, error) {
+	return apps.MultiSourceBFS(g, sources, apps.EngineVariant(v, opt))
+}
+
+// SimilarityResult reports a masked similarity computation.
+type SimilarityResult = apps.SimilarityResult
+
+// CosineSimilarity scores the candidate item pairs of F·Fᵀ with cosine
+// normalization via masked SpGEMM, using variant v.
+func CosineSimilarity(f *Matrix, candidates *Pattern, v Variant, opt Options) (SimilarityResult, error) {
+	return apps.CosineSimilarity(f, candidates, apps.EngineVariant(v, opt))
+}
+
+// MultiplyColumns computes C = M .* (A·B) with column-by-column (CSC-major)
+// execution via the transpose identity Cᵀ = Mᵀ .* (Bᵀ·Aᵀ). Useful when the
+// operands are column-major or the consumer wants column access; also a
+// built-in cross-check of the row kernels.
+func MultiplyColumns(v Variant, m *Pattern, a, b *Matrix, sr Semiring, opt Options) (*Matrix, error) {
+	return core.MaskedSpGEMMColumns(v, m, a, b, sr, opt)
+}
+
+// MCLOptions configures Markov clustering.
+type MCLOptions = apps.MCLOptions
+
+// MCLResult reports a Markov clustering run.
+type MCLResult = apps.MCLResult
+
+// MCL runs Markov clustering (expansion = SpGEMM, optionally masked by the
+// iterate's own pattern; inflation = element-wise powering) with variant v
+// supplying the masked expansion.
+func MCL(g *Matrix, o MCLOptions, v Variant, opt Options) (MCLResult, error) {
+	return apps.MCL(g, o, apps.EngineVariant(v, opt))
+}
+
+// OpCounts aggregates abstract operation counts of an instrumented run.
+type OpCounts = core.OpCounts
+
+// CountOps runs the instrumented sequential implementation of the chosen
+// algorithm, returning the product and its abstract operation counts — an
+// executable form of the paper's §5 complexity analysis.
+func CountOps(alg core.Algorithm, m *Pattern, a, b *Matrix, sr Semiring) (*Matrix, OpCounts, error) {
+	return core.CountOps(alg, m, a, b, sr)
+}

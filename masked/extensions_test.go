@@ -1,0 +1,119 @@
+package masked
+
+import (
+	"testing"
+)
+
+func TestVxMThroughFacade(t *testing.T) {
+	b := FromCOO(&COO{
+		NRows: 3, NCols: 3,
+		Row: []Index{0, 1, 2}, Col: []Index{1, 2, 0}, Val: []float64{2, 3, 4},
+	})
+	u := NewVector(3, []Index{0, 1}, []float64{10, 100})
+	m := NewVector(3, []Index{1, 2}, []float64{1, 1})
+	v, err := VxM(MSA, m, u, b, Arithmetic(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// uB = [0, 20, 300]; mask keeps cols 1 and 2.
+	if v.NNZ() != 2 || v.Idx[0] != 1 || v.Val[0] != 20 || v.Idx[1] != 2 || v.Val[1] != 300 {
+		t.Fatalf("VxM = %v %v", v.Idx, v.Val)
+	}
+	// Auto variant agrees.
+	bcsc := ToCSC(b)
+	va, dir, err := VxMAuto(m, u, b, bcsc, Arithmetic(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir != Push && dir != Pull {
+		t.Fatal("direction must be one of push/pull")
+	}
+	if va.NNZ() != v.NNZ() || va.Val[0] != v.Val[0] {
+		t.Fatal("auto disagrees")
+	}
+}
+
+func TestMultiplyHybridFacade(t *testing.T) {
+	g := RMAT(8, 8, 31)
+	l := Tril(g)
+	want, err := Multiply(l.Pattern(), l, l, PlusPair(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats HybridStats
+	got, err := MultiplyHybrid(l.Pattern(), l, l, PlusPair(), Options{Threads: 1}, &stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != want.NNZ() || Sum(got) != Sum(want) {
+		t.Fatal("hybrid disagrees with MSA")
+	}
+	if stats.MSARows+stats.HeapRows+stats.PullRows == 0 {
+		t.Fatal("no routing recorded")
+	}
+}
+
+func TestBFSFacade(t *testing.T) {
+	g := ErdosRenyi(200, 5, 41)
+	res, err := BFS(g, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Level) != 200 || res.Level[0] != 0 {
+		t.Fatal("BFS levels")
+	}
+	ms, err := MultiSourceBFS(g, []Index{0, 5}, Variants()[0], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.Levels) != 2 {
+		t.Fatal("multi-source levels")
+	}
+	// Single- and multi-source agree for the shared source.
+	for v := range res.Level {
+		if res.Level[v] != ms.Levels[0][v] {
+			t.Fatalf("vertex %d: %d vs %d", v, res.Level[v], ms.Levels[0][v])
+		}
+	}
+}
+
+func TestCosineSimilarityFacade(t *testing.T) {
+	f := FromCOO(&COO{
+		NRows: 3, NCols: 2,
+		Row: []Index{0, 1, 2, 2},
+		Col: []Index{0, 0, 0, 1},
+		Val: []float64{1, 2, 2, 1},
+	})
+	cand := FromCOO(&COO{
+		NRows: 3, NCols: 3,
+		Row: []Index{0, 1}, Col: []Index{1, 0}, Val: []float64{1, 1},
+	}).Pattern()
+	res, err := CosineSimilarity(f, cand, Variants()[0], Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Items 0 and 1 are colinear: cosine 1.
+	cols, vals := res.Scores.Row(0)
+	if len(cols) != 1 || cols[0] != 1 || vals[0] != 1 {
+		t.Fatalf("cosine(0,1) = %v %v", cols, vals)
+	}
+}
+
+func TestCountOpsFacade(t *testing.T) {
+	g := ErdosRenyi(100, 5, 43)
+	l := Tril(g)
+	c, ops, err := CountOps(MSA, l.Pattern(), l, l, PlusPair())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Multiply(l.Pattern(), l, l, PlusPair(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != ref.NNZ() {
+		t.Fatal("instrumented result differs")
+	}
+	if ops.Total() == 0 && ref.NNZ() > 0 {
+		t.Fatal("no ops counted")
+	}
+}

@@ -1,0 +1,192 @@
+// Package masked is the public API of this repository: parallel masked
+// sparse matrix-matrix products, C = M .* (A·B), after "Parallel Algorithms
+// for Masked Sparse Matrix-Matrix Products" (Milaković, Selvitopi, Nisa,
+// Budimlić, Buluç; ICPP 2022).
+//
+// A masked product computes only the output entries whose positions appear
+// in a mask matrix M (or, complemented, only positions absent from M).
+// Graph algorithms use it to avoid materializing products they will throw
+// away: triangle counting masks L·L by L itself, BFS-style traversals mask
+// frontier expansion by the complement of the visited set.
+//
+// Quick start:
+//
+//	g := masked.RMAT(12, 16, 1)                   // a Graph500-style graph
+//	l := masked.Tril(g)                           // strictly lower triangle
+//	c, err := masked.Multiply(l.Pattern(), l, l,  // C = L .* (L·L)
+//	    masked.PlusPair(), masked.Options{})
+//	triangles := masked.Sum(c)
+//
+// Choosing an algorithm: Multiply defaults to MSA-1P, the paper's overall
+// winner. MultiplyVariant exposes all 12 variants (6 algorithms × one/two
+// phase); see the paper's guidance — Inner for masks much sparser than the
+// inputs, Heap/HeapDot for inputs much sparser than the mask, MSA/Hash for
+// the comparable-density middle, and one-phase unless memory is tight.
+//
+// The graph applications of the paper's evaluation are available as
+// TriangleCount, KTruss and BetweennessCentrality.
+package masked
+
+import (
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/grgen"
+	"repro/internal/matrix"
+	"repro/internal/mmio"
+	"repro/internal/semiring"
+)
+
+// Index is the 32-bit row/column index type.
+type Index = matrix.Index
+
+// Matrix is a sparse matrix in CSR format with float64 values.
+type Matrix = matrix.CSR[float64]
+
+// Pattern is a structure-only matrix view; masks are patterns.
+type Pattern = matrix.Pattern
+
+// COO is the triplet staging format accepted by FromCOO.
+type COO = matrix.COO[float64]
+
+// Semiring supplies the add/multiply pair the product is computed over.
+type Semiring = semiring.Semiring[float64]
+
+// Options configures a multiply.
+type Options = core.Options
+
+// Variant names one of the paper's 12 algorithm variants.
+type Variant = core.Variant
+
+// Algorithm families, re-exported from the core package.
+const (
+	MSA     = core.MSA
+	Hash    = core.Hash
+	MCA     = core.MCA
+	Heap    = core.Heap
+	HeapDot = core.HeapDot
+	Inner   = core.Inner
+)
+
+// Phases, re-exported from the core package.
+const (
+	OnePhase = core.OnePhase
+	TwoPhase = core.TwoPhase
+)
+
+// Semiring constructors.
+var (
+	// Arithmetic is the standard (+, ×) semiring.
+	Arithmetic = semiring.Arithmetic
+	// PlusPair is (+, pair): products are 1, so sums count intersections.
+	PlusPair = semiring.PlusPairF
+	// MinPlus is the tropical semiring for shortest paths.
+	MinPlus = semiring.MinPlus
+	// PlusSecond is (+, second): multiplication returns its B operand.
+	PlusSecond = semiring.PlusSecond
+)
+
+// Multiply computes C = M .* (A·B) with the paper's best general-purpose
+// variant, MSA-1P. Set opt.Complement for C = ¬M .* (A·B).
+func Multiply(m *Pattern, a, b *Matrix, sr Semiring, opt Options) (*Matrix, error) {
+	return core.MaskedSpGEMM(Variant{Alg: core.MSA, Phase: core.OnePhase}, m, a, b, sr, opt)
+}
+
+// MultiplyVariant computes C = M .* (A·B) with an explicit algorithm
+// variant. MCA does not support opt.Complement.
+func MultiplyVariant(v Variant, m *Pattern, a, b *Matrix, sr Semiring, opt Options) (*Matrix, error) {
+	return core.MaskedSpGEMM(v, m, a, b, sr, opt)
+}
+
+// Variants returns all 12 (algorithm, phase) combinations the paper
+// evaluates.
+func Variants() []Variant { return core.AllVariants() }
+
+// VariantByName resolves a paper label such as "Hash-2P".
+func VariantByName(name string) (Variant, error) { return core.VariantByName(name) }
+
+// Flops returns flops(A·B), the multiply count of the unmasked product.
+func Flops(a, b *Matrix) int64 { return core.Flops(a, b, 0) }
+
+// --- Construction and structural helpers ---
+
+// FromCOO builds a CSR matrix from triplets, summing duplicates.
+func FromCOO(c *COO) *Matrix {
+	return matrix.NewCSRFromCOO(c, func(a, b float64) float64 { return a + b })
+}
+
+// NewEmpty returns an m-by-n matrix with no entries.
+func NewEmpty(m, n Index) *Matrix { return matrix.NewEmptyCSR[float64](m, n) }
+
+// Transpose returns Aᵀ.
+func Transpose(a *Matrix) *Matrix { return matrix.Transpose(a) }
+
+// Tril returns the strictly lower triangular part of a.
+func Tril(a *Matrix) *Matrix { return matrix.Tril(a) }
+
+// Triu returns the strictly upper triangular part of a.
+func Triu(a *Matrix) *Matrix { return matrix.Triu(a) }
+
+// Sum adds up all stored values.
+func Sum(a *Matrix) float64 { return matrix.Sum(a) }
+
+// ReadMatrixMarket loads a Matrix Market file (symmetric inputs expanded).
+func ReadMatrixMarket(path string) (*Matrix, error) { return mmio.ReadFile(path) }
+
+// WriteMatrixMarket stores a matrix in Matrix Market format.
+func WriteMatrixMarket(path string, a *Matrix) error { return mmio.WriteFile(path, a) }
+
+// --- Generators ---
+
+// RMAT generates a symmetric Graph500-parameter R-MAT graph with 2^scale
+// vertices and ~edgeFactor·2^scale undirected edges.
+func RMAT(scale, edgeFactor int, seed uint64) *Matrix { return grgen.RMAT(scale, edgeFactor, seed) }
+
+// ErdosRenyi generates a symmetric Erdős–Rényi graph with average degree
+// deg.
+func ErdosRenyi(n Index, deg float64, seed uint64) *Matrix {
+	return grgen.ErdosRenyiSym(n, deg, seed)
+}
+
+// --- Applications (the paper's benchmarks) ---
+
+// TCResult reports a TriangleCount run.
+type TCResult = apps.TCResult
+
+// KTrussResult reports a KTruss run.
+type KTrussResult = apps.KTrussResult
+
+// BCResult reports a BetweennessCentrality run.
+type BCResult = apps.BCResult
+
+// TriangleCount counts triangles via sum(L .* (L·L)) with degree-descending
+// relabeling, using variant v.
+func TriangleCount(g *Matrix, v Variant, opt Options) (TCResult, error) {
+	return apps.TriangleCount(g, apps.EngineVariant(v, opt))
+}
+
+// KTruss computes the k-truss subgraph by iterated masked support counting,
+// using variant v.
+func KTruss(g *Matrix, k int, v Variant, opt Options) (*Matrix, KTrussResult, error) {
+	return apps.KTruss(g, k, apps.EngineVariant(v, opt))
+}
+
+// BetweennessCentrality computes batched Brandes betweenness centrality
+// contributions for the given sources, using variant v (which must support
+// complemented masks — any variant except MCA).
+func BetweennessCentrality(g *Matrix, sources []Index, v Variant, opt Options) (BCResult, error) {
+	return apps.BetweennessCentrality(g, sources, apps.EngineVariant(v, opt))
+}
+
+// --- Baselines (for comparison studies) ---
+
+// SSDot is the SuiteSparse:GraphBLAS-style dot-product baseline.
+func SSDot(m *Pattern, a, b *Matrix, sr Semiring, threads int) *Matrix {
+	return baseline.SSDot(m, a, b, sr, baseline.Options{Threads: threads})
+}
+
+// SSSaxpy is the SuiteSparse:GraphBLAS-style saxpy baseline (mask applied
+// at gather, not during accumulation).
+func SSSaxpy(m *Pattern, a, b *Matrix, sr Semiring, threads int) *Matrix {
+	return baseline.SSSaxpy(m, a, b, sr, baseline.Options{Threads: threads})
+}

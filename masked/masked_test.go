@@ -1,0 +1,162 @@
+package masked
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestMultiplyQuickstart(t *testing.T) {
+	g := RMAT(8, 8, 1)
+	l := Tril(g)
+	c, err := Multiply(l.Pattern(), l, l, PlusPair(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() > l.NNZ() {
+		t.Fatal("masked output cannot exceed mask")
+	}
+	// Every variant agrees with the default.
+	for _, v := range Variants() {
+		ci, err := MultiplyVariant(v, l.Pattern(), l, l, PlusPair(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ci.NNZ() != c.NNZ() || Sum(ci) != Sum(c) {
+			t.Fatalf("%s disagrees", v.Name())
+		}
+	}
+}
+
+func TestVariantLookup(t *testing.T) {
+	if len(Variants()) != 12 {
+		t.Fatal("want 12 variants")
+	}
+	v, err := VariantByName("Heap-2P")
+	if err != nil || v.Name() != "Heap-2P" {
+		t.Fatal("lookup failed")
+	}
+	if _, err := VariantByName("bogus"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestApplications(t *testing.T) {
+	g := ErdosRenyi(300, 8, 2)
+	v, _ := VariantByName("MSA-1P")
+	tc, err := TriangleCount(g, v, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Triangles < 0 {
+		t.Fatal("negative triangles")
+	}
+	truss, kres, err := KTruss(g, 4, v, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truss.NNZ() > g.NNZ() || kres.Iterations < 1 {
+		t.Fatal("k-truss must prune")
+	}
+	bc, err := BetweennessCentrality(g, []Index{0, 10, 20}, v, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bc.Scores) != int(g.NRows) {
+		t.Fatal("BC score length")
+	}
+	for _, s := range bc.Scores {
+		if s < 0 || math.IsNaN(s) {
+			t.Fatal("invalid BC score")
+		}
+	}
+}
+
+func TestBaselinesExposed(t *testing.T) {
+	g := ErdosRenyi(100, 6, 3)
+	l := Tril(g)
+	want, err := Multiply(l.Pattern(), l, l, Arithmetic(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := SSDot(l.Pattern(), l, l, Arithmetic(), 2)
+	sax := SSSaxpy(l.Pattern(), l, l, Arithmetic(), 2)
+	if dot.NNZ() != want.NNZ() || sax.NNZ() != want.NNZ() {
+		t.Fatal("baseline nnz mismatch")
+	}
+	if Sum(dot) != Sum(want) || Sum(sax) != Sum(want) {
+		t.Fatal("baseline values mismatch")
+	}
+}
+
+func TestConstructionHelpers(t *testing.T) {
+	a := FromCOO(&COO{
+		NRows: 2, NCols: 2,
+		Row: []Index{0, 0, 1},
+		Col: []Index{1, 1, 0},
+		Val: []float64{1, 2, 5},
+	})
+	if a.NNZ() != 2 {
+		t.Fatal("duplicates must sum")
+	}
+	if Sum(a) != 8 {
+		t.Fatal("sum")
+	}
+	at := Transpose(a)
+	if at.NNZ() != 2 {
+		t.Fatal("transpose")
+	}
+	e := NewEmpty(3, 4)
+	if e.NNZ() != 0 || e.NRows != 3 {
+		t.Fatal("empty")
+	}
+	if Triu(a).NNZ() != 1 || Tril(a).NNZ() != 1 {
+		t.Fatal("tri split")
+	}
+	if Flops(a, at) <= 0 {
+		t.Fatal("flops")
+	}
+}
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	g := ErdosRenyi(50, 4, 9)
+	path := filepath.Join(t.TempDir(), "g.mtx")
+	if err := WriteMatrixMarket(path, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NNZ() != g.NNZ() || Sum(back) != Sum(g) {
+		t.Fatal("round trip")
+	}
+}
+
+func TestComplementOption(t *testing.T) {
+	g := ErdosRenyi(80, 6, 4)
+	c, err := Multiply(g.Pattern(), g, g, Arithmetic(), Options{Complement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complement output must not overlap the mask.
+	mcols := map[[2]Index]bool{}
+	for i := Index(0); i < g.NRows; i++ {
+		for _, j := range g.Pattern().Row(i) {
+			mcols[[2]Index{i, j}] = true
+		}
+	}
+	for i := Index(0); i < c.NRows; i++ {
+		cols, _ := c.Row(i)
+		for _, j := range cols {
+			if mcols[[2]Index{i, j}] {
+				t.Fatal("complement output overlaps mask")
+			}
+		}
+	}
+	// MCA rejects complement through the facade too.
+	mca, _ := VariantByName("MCA-1P")
+	if _, err := MultiplyVariant(mca, g.Pattern(), g, g, Arithmetic(), Options{Complement: true}); err == nil {
+		t.Fatal("MCA must reject complement")
+	}
+}
