@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grgen"
 	"repro/internal/matrix"
+	"repro/internal/planner"
 	"repro/internal/semiring"
 )
 
@@ -26,6 +27,8 @@ var (
 	rmatG      *matrix.CSR[float64] // R-MAT scale 11, ef 16: the TC/k-truss graph
 	rmatL      *matrix.CSR[float64] // lower triangle after degree relabel
 	erA, erB   *matrix.CSR[float64] // ER inputs for the Fig. 7 density points
+	erAsp      *matrix.CSR[float64] // very sparse ER inputs (Heap's corner)
+	erBsp      *matrix.CSR[float64]
 	erMaskEq   *matrix.Pattern      // mask with density comparable to inputs
 	erMaskSp   *matrix.Pattern      // mask much sparser than inputs
 	erMaskDn   *matrix.Pattern      // mask much denser than inputs
@@ -41,6 +44,8 @@ func loadInputs() {
 		const n = 1 << 12
 		erA = grgen.ErdosRenyi(n, 16, 11)
 		erB = grgen.ErdosRenyi(n, 16, 12)
+		erAsp = grgen.ErdosRenyi(n, 1, 16)
+		erBsp = grgen.ErdosRenyi(n, 1, 17)
 		erMaskEq = grgen.ErdosRenyi(n, 16, 13).Pattern()
 		erMaskSp = grgen.ErdosRenyi(n, 1, 14).Pattern()
 		erMaskDn = grgen.ErdosRenyi(n, 256, 15).Pattern()
@@ -315,6 +320,62 @@ func BenchmarkAblationHybrid(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkAdaptivePlanner races the planner's Auto path against every 1P
+// algorithm (and the old hardcoded MSA-1P default) at the three Fig. 7
+// regimes plus the triangle-counting product. The acceptance bar: Auto
+// within ~10% of the regime's best fixed variant and ahead of MSA-1P
+// wherever MSA-1P is not the winner. Plan analysis (cache-cold every
+// iteration here, since the shared cache keys on operand identity and the
+// operands are fixed — so iterations after the first are cache-warm) is
+// included in Auto's time.
+func BenchmarkAdaptivePlanner(b *testing.B) {
+	loadInputs()
+	sr := semiring.Arithmetic()
+	workloads := []struct {
+		name  string
+		mask  *matrix.Pattern
+		a, bb *matrix.CSR[float64]
+	}{
+		{"sparseMask_d1", erMaskSp, erA, erB},
+		{"sparseInputs_d1", erMaskDn, erAsp, erBsp},
+		{"comparable_d16", erMaskEq, erA, erB},
+		{"rmatTC", rmatL.Pattern(), rmatL, rmatL},
+	}
+	for _, w := range workloads {
+		cache := planner.NewCache()
+		b.Run(w.name+"/Auto", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := cache.Analyze(w.mask, w.a.Pattern(), w.bb.Pattern(), core.Options{})
+				if _, err := planner.Execute(p, w.mask, w.a, w.bb, sr, core.Options{}, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, alg := range []core.Algorithm{core.MSA, core.Hash, core.Heap, core.HeapDot, core.Inner} {
+			b.Run(w.name+"/"+alg.String(), func(b *testing.B) {
+				benchVariant(b, core.Variant{Alg: alg, Phase: core.OnePhase}, w.mask, w.a, w.bb)
+			})
+		}
+	}
+}
+
+// BenchmarkAdaptivePlannerAnalysis isolates the planner's analysis cost
+// (cold and cached) from execution.
+func BenchmarkAdaptivePlannerAnalysis(b *testing.B) {
+	loadInputs()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			planner.Analyze(rmatL.Pattern(), rmatL.Pattern(), rmatL.Pattern(), core.Options{})
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cache := planner.NewCache()
+		for i := 0; i < b.N; i++ {
+			cache.Analyze(rmatL.Pattern(), rmatL.Pattern(), rmatL.Pattern(), core.Options{})
+		}
+	})
 }
 
 // BenchmarkSpGEVM times the vector primitive (one masked row product) for

@@ -16,6 +16,10 @@
 //	-batch N     BC batch size (default 64; paper uses 512)
 //	-dims LIST   comma-separated log2 dimensions for fig7 (default "12,14")
 //	-quick       shrink grids/corpora for a smoke run
+//	-alg NAME    replace each application figure's scheme grid with one
+//	             scheme: "auto" (the adaptive planner), a variant like
+//	             "MSA-1P", or a baseline ("SS:DOT", "SS:SAXPY")
+//	-explain     print the adaptive plan for each corpus input to stderr
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/apps"
 	"repro/internal/bench"
 )
 
@@ -38,6 +43,8 @@ func main() {
 	dims := flag.String("dims", "12,14", "comma-separated log2 dimensions for fig7")
 	quick := flag.Bool("quick", false, "shrink workloads for a smoke run")
 	plot := flag.Bool("plot", false, "also render each table as an ASCII line chart")
+	alg := flag.String("alg", "", "run application figures with this single scheme (e.g. auto, MSA-1P, SS:SAXPY)")
+	explain := flag.Bool("explain", false, "print the adaptive plan for each corpus input to stderr")
 	flag.Parse()
 	plotTables = *plot
 
@@ -46,6 +53,11 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	if *alg != "" {
+		if _, err := apps.EngineByName(*alg, *threads); err != nil {
+			fatal(fmt.Errorf("-alg: %w", err))
+		}
+	}
 	cfg := bench.Config{
 		Threads:   *threads,
 		Seed:      *seed,
@@ -53,6 +65,8 @@ func main() {
 		MaxScale:  *maxScale,
 		BatchSize: *batch,
 		Quick:     *quick,
+		Engine:    *alg,
+		Explain:   *explain,
 	}
 	dimList, err := parseDims(*dims)
 	if err != nil {

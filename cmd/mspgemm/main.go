@@ -1,14 +1,18 @@
 // Command mspgemm computes a masked sparse matrix product C = M .* (A·B)
-// from Matrix Market files, with any of the paper's algorithm variants
-// (or the hybrid kernel), and writes the result as Matrix Market.
+// from Matrix Market files, with any of the paper's algorithm variants, the
+// hybrid kernel, or the adaptive planner, and writes the result as Matrix
+// Market.
 //
 // Usage:
 //
-//	mspgemm -a A.mtx -b B.mtx -mask M.mtx [-alg MSA-1P|hybrid] [-complement]
-//	        [-semiring arithmetic|plus-pair] [-threads N] [-out C.mtx]
+//	mspgemm -a A.mtx -b B.mtx -mask M.mtx [-alg auto|MSA-1P|hybrid]
+//	        [-explain] [-complement] [-semiring arithmetic|plus-pair]
+//	        [-threads N] [-out C.mtx]
 //
 // Omitting -b squares A (B = A); omitting -mask uses A's pattern as the
-// mask (the triangle-counting shape).
+// mask (the triangle-counting shape). -alg auto selects the variant (or a
+// per-row-block mix) from the operands' density profile; -explain prints
+// the plan the planner chooses for these operands.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/matrix"
 	"repro/internal/mmio"
+	"repro/internal/planner"
 	"repro/internal/semiring"
 )
 
@@ -28,7 +33,8 @@ func main() {
 	aPath := flag.String("a", "", "Matrix Market file for A (required)")
 	bPath := flag.String("b", "", "Matrix Market file for B (default: A)")
 	mPath := flag.String("mask", "", "Matrix Market file for the mask (default: pattern of A)")
-	algName := flag.String("alg", "MSA-1P", "algorithm variant (MSA-1P..Inner-2P) or 'hybrid'")
+	algName := flag.String("alg", "auto", "algorithm: 'auto' (planner), a variant (MSA-1P..Inner-2P), or 'hybrid'")
+	explain := flag.Bool("explain", false, "print the adaptive plan for these operands to stderr")
 	complement := flag.Bool("complement", false, "use the complement of the mask")
 	srName := flag.String("semiring", "arithmetic", "semiring: arithmetic | plus-pair | min-plus")
 	threads := flag.Int("threads", runtime.GOMAXPROCS(0), "worker goroutines")
@@ -69,15 +75,31 @@ func main() {
 	}
 
 	opt := core.Options{Threads: *threads, Complement: *complement}
+	var plan *planner.Plan
+	if *algName == "auto" || *explain {
+		plan = planner.Shared.Analyze(mask, a.Pattern(), b.Pattern(), opt)
+	}
+	if *explain {
+		fmt.Fprint(os.Stderr, plan.Explain())
+	}
 	t0 := time.Now()
 	var c *matrix.CSR[float64]
-	if *algName == "hybrid" {
+	switch *algName {
+	case "auto":
+		var stats []core.BlockStat
+		c, err = planner.Execute(plan, mask, a, b, sr, opt, &stats)
+		check(err)
+		for _, bs := range stats {
+			fmt.Fprintf(os.Stderr, "auto: rows [%d,%d) %s → %d entries\n",
+				bs.Block.Lo, bs.Block.Hi, bs.Block.Alg, bs.OutNNZ)
+		}
+	case "hybrid":
 		var stats core.HybridStats
 		c, err = core.MaskedSpGEMMHybrid(core.OnePhase, mask, a, b, sr, opt, &stats)
 		check(err)
 		fmt.Fprintf(os.Stderr, "hybrid routing: %d pull / %d heap / %d msa rows\n",
 			stats.PullRows, stats.HeapRows, stats.MSARows)
-	} else {
+	default:
 		v, err := core.VariantByName(*algName)
 		check(err)
 		c, err = core.MaskedSpGEMM(v, mask, a, b, sr, opt)

@@ -215,3 +215,59 @@ func TestPipelineMCLOnGenerators(t *testing.T) {
 		t.Log("bridged communities merged — acceptable for MCL with default inflation, but unusual")
 	}
 }
+
+// TestPipelineAutoMatchesEveryVariant: the adaptive planner's product is
+// bit-identical to every fixed variant on the integration graph corpus, in
+// both mask modes, and the Auto engine completes every application.
+func TestPipelineAutoMatchesEveryVariant(t *testing.T) {
+	graphs := []*matrix.CSR[float64]{
+		grgen.WattsStrogatz(400, 6, 0.1, 1),
+		grgen.BarabasiAlbert(400, 3, 2),
+		grgen.Grid2D(20, 20),
+		grgen.RMAT(9, 8, 3),
+	}
+	sr := semiring.PlusPairF()
+	eq := func(a, b float64) bool { return a == b }
+	for gi, g := range graphs {
+		l := matrix.Tril(g)
+		for _, complement := range []bool{false, true} {
+			opt := masked.Options{Complement: complement}
+			got, plan, err := masked.MultiplyAuto(l.Pattern(), l, l, sr, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range masked.Variants() {
+				if complement && !v.SupportsComplement() {
+					continue
+				}
+				want, err := masked.MultiplyVariant(v, l.Pattern(), l, l, sr, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !matrix.Equal(got, want, eq) {
+					t.Fatalf("graph %d complement=%v: auto disagrees with %s\n%s",
+						gi, complement, v.Name(), plan.Explain())
+				}
+			}
+		}
+	}
+	// Auto engine drives the applications end-to-end.
+	eng := apps.EngineAuto(core.Options{})
+	g := graphs[3]
+	tc, err := apps.TriangleCount(g, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact := apps.TriangleCountExact(g); tc.Triangles != exact {
+		t.Fatalf("auto TC %d, want %d", tc.Triangles, exact)
+	}
+	if _, _, err := apps.KTruss(g, 4, eng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := apps.BetweennessCentrality(g, []matrix.Index{0, 5, 9}, eng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := apps.MultiSourceBFS(g, []matrix.Index{0, 1}, eng); err != nil {
+		t.Fatal(err)
+	}
+}

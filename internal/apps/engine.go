@@ -13,6 +13,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/matrix"
+	"repro/internal/planner"
 	"repro/internal/semiring"
 )
 
@@ -27,14 +28,37 @@ type Engine struct {
 	Mult func(m *matrix.Pattern, a, b *matrix.CSR[float64], sr semiring.Semiring[float64], complement bool) (*matrix.CSR[float64], error)
 }
 
-// EngineVariant wraps one of the paper's algorithm variants.
+// EngineVariant wraps one of the paper's algorithm variants. With
+// opt.Auto set, the pinned variant is ignored and the call is routed
+// through the adaptive planner instead (see EngineAuto).
 func EngineVariant(v core.Variant, opt core.Options) Engine {
+	if opt.Auto {
+		return EngineAuto(opt)
+	}
 	return Engine{
 		Name: v.Name(),
 		Mult: func(m *matrix.Pattern, a, b *matrix.CSR[float64], sr semiring.Semiring[float64], complement bool) (*matrix.CSR[float64], error) {
 			o := opt
 			o.Complement = complement
 			return core.MaskedSpGEMM(v, m, a, b, sr, o)
+		},
+	}
+}
+
+// EngineAuto is the planner-backed engine: every masked product is analyzed
+// (or recalled from the engine's plan cache — iterative applications like
+// BFS, BC, MCL and k-truss re-multiply against evolving masks over a static
+// graph) and executed with the variant, or per-row-block variant mix, the
+// §8 cost model selects.
+func EngineAuto(opt core.Options) Engine {
+	cache := planner.NewCache()
+	return Engine{
+		Name: "Auto",
+		Mult: func(m *matrix.Pattern, a, b *matrix.CSR[float64], sr semiring.Semiring[float64], complement bool) (*matrix.CSR[float64], error) {
+			o := opt
+			o.Complement = complement
+			p := cache.Analyze(m, a.Pattern(), b.Pattern(), o)
+			return planner.Execute(p, m, a, b, sr, o, nil)
 		},
 	}
 }
@@ -89,4 +113,22 @@ func AllEngines(threads int) []Engine {
 	}
 	out = append(out, EngineSSDot(bopt), EngineSSSaxpy(bopt))
 	return out
+}
+
+// EngineByName resolves a scheme label: "Auto", a variant name such as
+// "MSA-1P", or a baseline ("SS:DOT", "SS:SAXPY").
+func EngineByName(name string, threads int) (Engine, error) {
+	switch name {
+	case "Auto", "auto":
+		return EngineAuto(core.Options{Threads: threads}), nil
+	case "SS:DOT":
+		return EngineSSDot(baseline.Options{Threads: threads}), nil
+	case "SS:SAXPY":
+		return EngineSSSaxpy(baseline.Options{Threads: threads}), nil
+	}
+	v, err := core.VariantByName(name)
+	if err != nil {
+		return Engine{}, err
+	}
+	return EngineVariant(v, core.Options{Threads: threads}), nil
 }

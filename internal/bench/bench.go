@@ -13,13 +13,17 @@ package bench
 import (
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/apps"
+	"repro/internal/core"
 	"repro/internal/grgen"
 	"repro/internal/matrix"
 	"repro/internal/perfprof"
+	"repro/internal/planner"
 )
 
 // Config controls workload sizes so the harness scales from smoke test to
@@ -37,6 +41,13 @@ type Config struct {
 	BatchSize int
 	// Quick shrinks grids and corpora for smoke runs.
 	Quick bool
+	// Engine, when non-empty, replaces each application figure's scheme
+	// grid with the single named scheme: "Auto" (the adaptive planner), a
+	// variant name like "MSA-1P", or a baseline ("SS:DOT", "SS:SAXPY").
+	Engine string
+	// Explain prints the adaptive plan of each corpus input's masked
+	// product to stderr before timing it.
+	Explain bool
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -151,6 +162,30 @@ func Corpus(cfg Config) []NamedGraph {
 		})
 	}
 	return out
+}
+
+// overrideEngines applies cfg.Engine to a figure's default scheme set:
+// unset keeps the paper's grid, otherwise the single named engine runs.
+// Unknown names fall back to the default grid (the CLI validates upfront).
+func overrideEngines(cfg Config, def []apps.Engine) []apps.Engine {
+	if cfg.Engine == "" {
+		return def
+	}
+	e, err := apps.EngineByName(cfg.Engine, cfg.Threads)
+	if err != nil {
+		return def
+	}
+	return []apps.Engine{e}
+}
+
+// maybeExplain prints the adaptive plan for the product M .* (A·B) under
+// cfg.Explain.
+func maybeExplain(cfg Config, name string, m *matrix.Pattern, a, b *matrix.Pattern) {
+	if !cfg.Explain {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "# plan for %s\n%s", name,
+		planner.Analyze(m, a, b, core.Options{Threads: cfg.Threads}).Explain())
 }
 
 // minTime runs f reps times and returns the smallest positive duration in

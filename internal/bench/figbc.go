@@ -48,7 +48,7 @@ func bcSources(n matrix.Index, batch int, seed uint64) []matrix.Index {
 // grows (paper: batch 512, scale 8–20). Expected: push-based schemes
 // (MSA-1P, Hash-1P, SS:SAXPY) increase MTEPS with scale.
 func Fig15(cfg Config) *Table {
-	engines := bcEngines(cfg.Threads)
+	engines := overrideEngines(cfg, bcEngines(cfg.Threads))
 	t := &Table{
 		Title: "Fig 15: Betweenness Centrality MTEPS vs R-MAT scale",
 		Notes: []string{fmt.Sprintf("MTEPS = batch*edges/total_time/1e6, batch=%d (paper: 512)", cfg.BatchSize),
@@ -86,7 +86,7 @@ func Fig15(cfg Config) *Table {
 // backward masked SpGEMM time) over the corpus. Expected: MSA-1P best on
 // every instance, 1P > 2P.
 func Fig16(cfg Config) (*Table, error) {
-	engines := bcEngines(cfg.Threads)
+	engines := overrideEngines(cfg, bcEngines(cfg.Threads))
 	corpus := Corpus(cfg)
 	series := make([]perfprof.Series, len(engines))
 	for ei := range engines {

@@ -14,8 +14,10 @@ import (
 // ktrussK is the truss order the paper benchmarks (§8.3).
 const ktrussK = 5
 
-// ktrussProfile times k-truss (k=5) over the corpus for the given engines.
+// ktrussProfile times k-truss (k=5) over the corpus for the given engines
+// (subject to cfg.Engine).
 func ktrussProfile(cfg Config, engines []apps.Engine) (*perfprof.Profile, error) {
+	engines = overrideEngines(cfg, engines)
 	corpus := Corpus(cfg)
 	series := make([]perfprof.Series, len(engines))
 	for ei := range engines {
@@ -23,6 +25,7 @@ func ktrussProfile(cfg Config, engines []apps.Engine) (*perfprof.Profile, error)
 		series[ei].Times = make([]float64, len(corpus))
 	}
 	for ci, g := range corpus {
+		maybeExplain(cfg, "k-truss "+g.Name, g.Graph.Pattern(), g.Graph.Pattern(), g.Graph.Pattern())
 		for ei, eng := range engines {
 			series[ei].Times[ci] = minTime(cfg.reps(), func() (time.Duration, error) {
 				_, r, err := apps.KTruss(g.Graph, ktrussK, eng)
@@ -81,6 +84,7 @@ func Fig14(cfg Config) *Table {
 		apps.EngineSSSaxpy(baseline.Options{Threads: cfg.Threads}),
 		apps.EngineSSDot(baseline.Options{Threads: cfg.Threads}),
 	}
+	engines = overrideEngines(cfg, engines)
 	t := &Table{
 		Title: "Fig 14: k-truss (k=5) GFLOPS vs R-MAT scale",
 		Notes: []string{"GFLOPS = 2*sum(flops)/sum(masked_time) over all rounds",

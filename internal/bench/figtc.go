@@ -75,8 +75,9 @@ func Fig7(cfg Config, dims []int) []*Table {
 }
 
 // tcProfile times triangle counting over the corpus for the given engines
-// and returns a performance profile.
+// (subject to cfg.Engine) and returns a performance profile.
 func tcProfile(cfg Config, engines []apps.Engine) (*perfprof.Profile, error) {
+	engines = overrideEngines(cfg, engines)
 	corpus := Corpus(cfg)
 	series := make([]perfprof.Series, len(engines))
 	for ei := range engines {
@@ -84,6 +85,10 @@ func tcProfile(cfg Config, engines []apps.Engine) (*perfprof.Profile, error) {
 		series[ei].Times = make([]float64, len(corpus))
 	}
 	for ci, g := range corpus {
+		if cfg.Explain {
+			l := matrix.Tril(matrix.Permute(g.Graph, matrix.DegreeDescPerm(g.Graph)))
+			maybeExplain(cfg, "TC "+g.Name, l.Pattern(), l.Pattern(), l.Pattern())
+		}
 		for ei, eng := range engines {
 			series[ei].Times[ci] = minTime(cfg.reps(), func() (time.Duration, error) {
 				r, err := apps.TriangleCount(g.Graph, eng)
@@ -145,7 +150,7 @@ func tcScaleEngines(threads int) []apps.Engine {
 // grows (paper: 8–20, edge factor 16). Expected: MSA-1P highest; SS:SAXPY
 // closes the gap as inputs grow; SS schemes poor at small scales.
 func Fig10(cfg Config) *Table {
-	engines := tcScaleEngines(cfg.Threads)
+	engines := overrideEngines(cfg, tcScaleEngines(cfg.Threads))
 	t := &Table{
 		Title: "Fig 10: Triangle Counting GFLOPS vs R-MAT scale",
 		Notes: []string{"GFLOPS = 2*flops(L·L)/masked_time", "paper: MSA-1P highest, SS:SAXPY approaches at large scale"},
@@ -188,7 +193,7 @@ func Fig10(cfg Config) *Table {
 func Fig11(cfg Config) *Table {
 	scale := cfg.MaxScale
 	g := grgen.RMAT(scale, 16, cfg.Seed+42)
-	engines := tcScaleEngines(0) // threads set per measurement below
+	engines := overrideEngines(cfg, tcScaleEngines(0)) // threads set per measurement below
 	t := &Table{
 		Title: fmt.Sprintf("Fig 11: Triangle Counting strong scaling, R-MAT scale %d", scale),
 		Notes: []string{"GFLOPS per thread count", "paper: all algorithms scale well to 32/68 threads"},
@@ -237,18 +242,11 @@ func parallelMax() int {
 
 // retargetEngine rebuilds a scheme with a specific thread count.
 func retargetEngine(e apps.Engine, threads int) apps.Engine {
-	switch e.Name {
-	case "SS:SAXPY":
-		return apps.EngineSSSaxpy(baseline.Options{Threads: threads})
-	case "SS:DOT":
-		return apps.EngineSSDot(baseline.Options{Threads: threads})
-	default:
-		v, err := core.VariantByName(e.Name)
-		if err != nil {
-			return e
-		}
-		return apps.EngineVariant(v, core.Options{Threads: threads})
+	re, err := apps.EngineByName(e.Name, threads)
+	if err != nil {
+		return e
 	}
+	return re
 }
 
 func intsToStrings(xs []int) []string {

@@ -94,6 +94,11 @@ type Options struct {
 	// *out*. MCA does not support complemented masks (§8.4) and returns an
 	// error; Heap/HeapDot run with NInspect=0 under complement (§5.5).
 	Complement bool
+	// Auto asks the layers above core (the masked facade and the apps
+	// engines) to route the call through the adaptive planner instead of a
+	// caller-pinned variant. The fixed-variant entry points in this package
+	// ignore it; see repro/internal/planner.
+	Auto bool
 }
 
 // Variant is a named (algorithm, phase) pair, the unit the paper benchmarks
@@ -142,26 +147,114 @@ func MaskedSpGEMM[T any](v Variant, m *matrix.Pattern, a, b *matrix.CSR[T], sr s
 	if opt.Complement && !v.SupportsComplement() {
 		return nil, fmt.Errorf("core: %s does not support complemented masks", v.Alg)
 	}
-	var factory func() kernel[T]
-	switch v.Alg {
-	case MSA:
-		factory = newMSAKernelFactory(m, a, b, sr, opt.Complement)
-	case Hash:
-		factory = newHashKernelFactory(m, a, b, sr, opt.Complement)
-	case MCA:
-		factory = newMCAKernelFactory(m, a, b, sr)
-	case Heap:
-		factory = newHeapKernelFactory(m, a, b, sr, opt.Complement, 1)
-	case HeapDot:
-		factory = newHeapKernelFactory(m, a, b, sr, opt.Complement, nInspectAll)
-	case Inner:
-		bcsc := matrix.ToCSC(b)
-		factory = newInnerKernelFactory(m, a, bcsc, sr, opt.Complement)
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %d", v.Alg)
+	factory, err := algKernelFactory(v.Alg, m, a, b, nil, sr, opt.Complement)
+	if err != nil {
+		return nil, err
 	}
 	bound := allocBound(m, a, b, opt.Complement)
 	return runDriver(v.Phase, m, b.NCols, bound, factory, opt), nil
+}
+
+// algKernelFactory builds the per-worker kernel factory for one algorithm
+// family. bcsc may be nil; it is only consulted for Inner, where a non-nil
+// value avoids re-transposing B (blocked plans share one CSC across blocks).
+func algKernelFactory[T any](alg Algorithm, m *matrix.Pattern, a, b *matrix.CSR[T], bcsc *matrix.CSC[T], sr semiring.Semiring[T], complement bool) (func() kernel[T], error) {
+	switch alg {
+	case MSA:
+		return newMSAKernelFactory(m, a, b, sr, complement), nil
+	case Hash:
+		return newHashKernelFactory(m, a, b, sr, complement), nil
+	case MCA:
+		return newMCAKernelFactory(m, a, b, sr), nil
+	case Heap:
+		return newHeapKernelFactory(m, a, b, sr, complement, 1), nil
+	case HeapDot:
+		return newHeapKernelFactory(m, a, b, sr, complement, nInspectAll), nil
+	case Inner:
+		if bcsc == nil {
+			bcsc = matrix.ToCSC(b)
+		}
+		return newInnerKernelFactory(m, a, bcsc, sr, complement), nil
+	}
+	return nil, fmt.Errorf("core: unknown algorithm %d", alg)
+}
+
+// ExecBlock assigns an algorithm variant to the contiguous row range
+// [Lo, Hi) of a blocked (mixed-variant) execution plan. The phase is global
+// to the call — the drivers run all blocks under one phase strategy — so a
+// block carries only the algorithm family.
+type ExecBlock struct {
+	Lo, Hi Index
+	Alg    Algorithm
+}
+
+// BlockStat reports what one block of a blocked execution actually did.
+type BlockStat struct {
+	// Block is the executed row range and algorithm.
+	Block ExecBlock
+	// Rows is the number of rows in the block.
+	Rows int64
+	// MaskNNZ is the number of mask entries in the block's rows.
+	MaskNNZ int64
+	// OutNNZ is the number of output entries the block produced.
+	OutNNZ int64
+}
+
+// MaskedSpGEMMBlocked computes C = M .* (A·B) (or the complement form) with
+// a mixed-variant plan: each block of rows runs its own algorithm family,
+// all under the given phase. Blocks must be sorted, non-overlapping and
+// cover [0, m.NRows) exactly. All algorithms produce entries in sorted
+// column order with identical per-row floating-point sums, so a blocked
+// product is bit-identical to any single-variant product. If stats is
+// non-nil it receives one BlockStat per block after execution. B is
+// transposed to CSC at most once, shared by all Inner blocks.
+func MaskedSpGEMMBlocked[T any](phase Phase, blocks []ExecBlock, m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], opt Options, stats *[]BlockStat) (*matrix.CSR[T], error) {
+	if err := checkDims(m, a, b); err != nil {
+		return nil, err
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("core: blocked plan has no blocks")
+	}
+	var bcsc *matrix.CSC[T]
+	segs := make([]execSeg[T], 0, len(blocks))
+	next := Index(0)
+	for _, blk := range blocks {
+		if blk.Lo != next || blk.Hi < blk.Lo {
+			return nil, fmt.Errorf("core: blocked plan does not tile the row space: block [%d,%d) after row %d", blk.Lo, blk.Hi, next)
+		}
+		next = blk.Hi
+		if opt.Complement && blk.Alg == MCA {
+			return nil, fmt.Errorf("core: %s does not support complemented masks", MCA)
+		}
+		if blk.Alg == Inner && bcsc == nil {
+			bcsc = matrix.ToCSC(b)
+		}
+		factory, err := algKernelFactory(blk.Alg, m, a, b, bcsc, sr, opt.Complement)
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, execSeg[T]{lo: blk.Lo, hi: blk.Hi, factory: factory})
+	}
+	if next != m.NRows {
+		return nil, fmt.Errorf("core: blocked plan covers rows [0,%d), want [0,%d)", next, m.NRows)
+	}
+	bound := allocBound(m, a, b, opt.Complement)
+	out := runDriverBlocked(phase, m.NRows, b.NCols, bound, segs, opt)
+	if stats != nil {
+		*stats = (*stats)[:0]
+		for _, blk := range blocks {
+			s := BlockStat{
+				Block:  blk,
+				Rows:   int64(blk.Hi - blk.Lo),
+				OutNNZ: int64(out.RowPtr[blk.Hi] - out.RowPtr[blk.Lo]),
+			}
+			if int(blk.Hi) < len(m.RowPtr) { // degenerate zero-value masks have no RowPtr
+				s.MaskNNZ = int64(m.RowPtr[blk.Hi] - m.RowPtr[blk.Lo])
+			}
+			*stats = append(*stats, s)
+		}
+	}
+	return out, nil
 }
 
 // MaskedDotCSC runs the pull-based Inner algorithm with a pre-transposed B

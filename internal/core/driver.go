@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/matrix"
 	"repro/internal/parallel"
 )
@@ -16,28 +18,74 @@ type kernel[T any] interface {
 	numericRow(i Index, col []Index, val []T) Index
 }
 
-// runDriver executes the selected phase strategy.
-func runDriver[T any](phase Phase, m *matrix.Pattern, ncols Index, bound func(Index) int64, factory func() kernel[T], opt Options) *matrix.CSR[T] {
-	if phase == TwoPhase {
-		return driver2P(m.NRows, ncols, factory, opt)
+// execSeg assigns a kernel factory to the contiguous row range [lo, hi).
+// A plain (non-mixed) execution is a single segment covering all rows.
+type execSeg[T any] struct {
+	lo, hi  Index
+	factory func() kernel[T]
+}
+
+// workerKernels is the per-worker lazily-built kernel set of a blocked
+// execution: one kernel per segment, created on first use so a worker that
+// never claims rows of a segment pays nothing for its scratch.
+type workerKernels[T any] struct {
+	segs  []execSeg[T]
+	kerns []kernel[T]
+	cur   int // segment index of the most recent row (monotone within a chunk)
+}
+
+func newWorkerKernels[T any](segs []execSeg[T]) *workerKernels[T] {
+	return &workerKernels[T]{segs: segs, kerns: make([]kernel[T], len(segs))}
+}
+
+// at returns the kernel owning row i. Rows inside a claimed chunk are
+// consecutive, so the lookup advances linearly from the cached segment and
+// falls back to binary search only on backward jumps between chunks.
+func (w *workerKernels[T]) at(i Index) kernel[T] {
+	if i < w.segs[w.cur].lo {
+		w.cur = sort.Search(len(w.segs), func(s int) bool { return w.segs[s].hi > i })
 	}
-	return driver1P(m.NRows, ncols, bound, factory, opt)
+	for i >= w.segs[w.cur].hi {
+		w.cur++
+	}
+	if w.kerns[w.cur] == nil {
+		w.kerns[w.cur] = w.segs[w.cur].factory()
+	}
+	return w.kerns[w.cur]
+}
+
+// runDriver executes the selected phase strategy with one kernel for the
+// whole row space.
+func runDriver[T any](phase Phase, m *matrix.Pattern, ncols Index, bound func(Index) int64, factory func() kernel[T], opt Options) *matrix.CSR[T] {
+	segs := []execSeg[T]{{lo: 0, hi: m.NRows, factory: factory}}
+	return runDriverBlocked(phase, m.NRows, ncols, bound, segs, opt)
+}
+
+// runDriverBlocked executes the selected phase strategy over a partition of
+// the row space: each segment's rows run on that segment's kernel. Dynamic
+// chunk scheduling still spans the whole row space, so load balance does not
+// degrade when segments have skewed costs.
+func runDriverBlocked[T any](phase Phase, nrows, ncols Index, bound func(Index) int64, segs []execSeg[T], opt Options) *matrix.CSR[T] {
+	if phase == TwoPhase {
+		return driver2P(nrows, ncols, segs, opt)
+	}
+	return driver1P(nrows, ncols, bound, segs, opt)
 }
 
 // driver2P is the two-phase strategy (§6): a symbolic pass computes each
 // row's output size, a scan turns sizes into row pointers, and the numeric
 // pass writes directly into exactly-sized output arrays.
-func driver2P[T any](nrows, ncols Index, factory func() kernel[T], opt Options) *matrix.CSR[T] {
+func driver2P[T any](nrows, ncols Index, segs []execSeg[T], opt Options) *matrix.CSR[T] {
 	counts := make([]int64, nrows)
 	parallel.ForWorkers(int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
-		k := factory()
+		k := newWorkerKernels(segs)
 		for {
 			lo, hi, ok := claim()
 			if !ok {
 				return
 			}
 			for i := lo; i < hi; i++ {
-				counts[i] = int64(k.symbolicRow(Index(i)))
+				counts[i] = int64(k.at(Index(i)).symbolicRow(Index(i)))
 			}
 		}
 	})
@@ -54,7 +102,7 @@ func driver2P[T any](nrows, ncols Index, factory func() kernel[T], opt Options) 
 	}
 	out.RowPtr[nrows] = Index(total)
 	parallel.ForWorkers(int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
-		k := factory()
+		k := newWorkerKernels(segs)
 		for {
 			lo, hi, ok := claim()
 			if !ok {
@@ -62,7 +110,7 @@ func driver2P[T any](nrows, ncols Index, factory func() kernel[T], opt Options) 
 			}
 			for i := lo; i < hi; i++ {
 				off := out.RowPtr[i]
-				k.numericRow(Index(i), out.Col[off:out.RowPtr[i+1]], out.Val[off:out.RowPtr[i+1]])
+				k.at(Index(i)).numericRow(Index(i), out.Col[off:out.RowPtr[i+1]], out.Val[off:out.RowPtr[i+1]])
 			}
 		}
 	})
@@ -73,7 +121,7 @@ func driver2P[T any](nrows, ncols Index, factory func() kernel[T], opt Options) 
 // the per-row upper bound (for normal masks, the mask row size — the mask is
 // the "good initial approximation" §6 describes), run the numeric pass once
 // into the bounded slots, then compact into the final exactly-sized matrix.
-func driver1P[T any](nrows, ncols Index, bound func(Index) int64, factory func() kernel[T], opt Options) *matrix.CSR[T] {
+func driver1P[T any](nrows, ncols Index, bound func(Index) int64, segs []execSeg[T], opt Options) *matrix.CSR[T] {
 	offs := make([]int64, nrows)
 	parallel.ForChunks(int(nrows), opt.Threads, 512, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -85,7 +133,7 @@ func driver1P[T any](nrows, ncols Index, bound func(Index) int64, factory func()
 	tmpVal := make([]T, totalBound)
 	counts := make([]int64, nrows)
 	parallel.ForWorkers(int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
-		k := factory()
+		k := newWorkerKernels(segs)
 		for {
 			lo, hi, ok := claim()
 			if !ok {
@@ -98,7 +146,7 @@ func driver1P[T any](nrows, ncols Index, bound func(Index) int64, factory func()
 				} else {
 					end = totalBound
 				}
-				counts[i] = int64(k.numericRow(Index(i), tmpCol[offs[i]:end], tmpVal[offs[i]:end]))
+				counts[i] = int64(k.at(Index(i)).numericRow(Index(i), tmpCol[offs[i]:end], tmpVal[offs[i]:end]))
 			}
 		}
 	})

@@ -1,0 +1,125 @@
+package planner
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+)
+
+// Cache memoizes plans across calls. Iterative applications (BFS, BC, MCL,
+// k-truss) re-multiply against a mask and frontier that change every sweep
+// while the graph operand stays fixed; re-running the O(nnz(A)) analysis per
+// sweep would waste exactly the overhead the planner is meant to hide.
+//
+// The key combines the *identity* of the static B operand (backing-array
+// pointer, dimensions, nnz — all O(1)) with the mask dimensions, mask mode,
+// and log2 size buckets of the changing M and A operands. Sweeps whose
+// frontier stays in the same order of magnitude reuse the plan; when the
+// frontier grows past a power of two the bucket changes and the call is
+// re-analyzed, which is exactly when the right variant may change too.
+type Cache struct {
+	mu     sync.Mutex
+	plans  map[cacheKey]*Plan
+	hits   int64
+	misses int64
+}
+
+// fingerprint identifies a matrix by storage identity, not content: the
+// pointer to its RowPtr backing array plus shape. Rebuilding an identical
+// matrix misses the cache, which costs only a re-analysis.
+type fingerprint struct {
+	ptr          *Index
+	nrows, ncols Index
+	nnz          int
+}
+
+func fp(p *matrix.Pattern) fingerprint {
+	f := fingerprint{nrows: p.NRows, ncols: p.NCols, nnz: p.NNZ()}
+	if len(p.RowPtr) > 0 {
+		f.ptr = &p.RowPtr[0]
+	}
+	return f
+}
+
+type cacheKey struct {
+	b            fingerprint
+	mRows, mCols Index
+	complement   bool
+	mBucket      int8 // log2 bucket of nnz(M)
+	aBucket      int8 // log2 bucket of nnz(A)
+	aRows        Index
+}
+
+func bucket(nnz int) int8 { return int8(bits.Len64(uint64(nnz))) }
+
+// NewCache returns an empty plan cache safe for concurrent use.
+func NewCache() *Cache { return &Cache{plans: make(map[cacheKey]*Plan)} }
+
+// Shared is the process-wide cache used by the masked facade's Auto path.
+var Shared = NewCache()
+
+// maxCacheEntries bounds the cache: each entry pins its B operand's RowPtr
+// array through the fingerprint pointer, so growth must not be unbounded in
+// long-lived processes. Eviction is arbitrary (any map entry); a re-analysis
+// costs only one O(nnz(A)) sweep.
+const maxCacheEntries = 256
+
+// Analyze returns a cached plan for the operands if one exists, else runs
+// the full analysis and stores the result. Cached plans are returned as
+// shallow copies with CacheHit set.
+//
+// A cached plan whose kernels require sorted rows (the key buckets M and A
+// only by size, and the sweep may present different matrices) is revalidated
+// against the current M and A before reuse; B is part of the key's identity,
+// so its sortedness cannot have changed.
+func (c *Cache) Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
+	key := cacheKey{
+		b:          fp(b),
+		mRows:      m.NRows,
+		mCols:      m.NCols,
+		complement: opt.Complement,
+		mBucket:    bucket(m.NNZ()),
+		aBucket:    bucket(a.NNZ()),
+		aRows:      a.NRows,
+	}
+	c.mu.Lock()
+	p, ok := c.plans[key]
+	c.mu.Unlock()
+	if ok && (!p.NeedsSortedRows() || (sortedRows(m, opt.Threads) && sortedRows(a, opt.Threads))) {
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		hit := *p
+		hit.CacheHit = true
+		return &hit
+	}
+	p = Analyze(m, a, b, opt)
+	c.mu.Lock()
+	c.misses++
+	if len(c.plans) >= maxCacheEntries {
+		for k := range c.plans {
+			delete(c.plans, k)
+			break
+		}
+	}
+	c.plans[key] = p
+	c.mu.Unlock()
+	return p
+}
+
+// Stats reports cache hits and misses since creation.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Reset drops all cached plans and counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plans = make(map[cacheKey]*Plan)
+	c.hits, c.misses = 0, 0
+}

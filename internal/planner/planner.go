@@ -1,0 +1,419 @@
+// Package planner turns the paper's §8 variant-selection guidance into an
+// explicit, executable cost model. Given the mask and input operands of a
+// masked SpGEMM call it gathers cheap statistics (nnz, densities, the flop
+// upper bound the one-phase driver already computes) and emits a Plan: the
+// algorithm variant to run, the phase, and — when the row space has
+// distinctly different local density profiles, as power-law graphs do — a
+// *mixed* plan that partitions the rows into blocks and assigns each block
+// its own algorithm family.
+//
+// The selection rules encode the paper's empirical findings:
+//
+//	Inner        mask much sparser than the product's work (§4.3, §8.1)
+//	Heap/HeapDot inputs much sparser than the mask (§5.5, §8.1)
+//	MSA/Hash     the comparable-density middle (§8.1; Hash when the work is
+//	             tiny relative to the columns, so MSA's dense scratch is not
+//	             amortized)
+//	1P           unless the one-phase allocation bound is memory-tight (§6),
+//	             which only happens under complemented masks
+//
+// Analysis costs O(nnz(A) + nrows) — negligible next to the multiply — and
+// Cache memoizes plans across the iterative sweeps of BFS, BC and MCL.
+package planner
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+	"repro/internal/semiring"
+)
+
+// Index mirrors matrix.Index.
+type Index = matrix.Index
+
+// Stats are the cheap per-call statistics the cost model consumes.
+type Stats struct {
+	// NRows, NCols are the output (= mask) dimensions.
+	NRows, NCols Index
+	// NNZM, NNZA, NNZB are the operand entry counts.
+	NNZM, NNZA, NNZB int64
+	// Flops is flops(A·B) = Σ_{A_ik≠0} nnz(B_k*), the §8 work metric and
+	// the exact upper bound on unmasked accumulator traffic.
+	Flops int64
+	// Bound1P is the one-phase allocation bound summed over rows: nnz(M)
+	// for normal masks, Σ min(ncols, flops_i) under complement.
+	Bound1P int64
+	// AvgDegB is nnz(B)/nrows(B); AvgColDegB is nnz(B)/ncols(B).
+	AvgDegB, AvgColDegB float64
+	// Sorted reports whether all operand rows are sorted, the precondition
+	// of the MCA/Heap/HeapDot/Inner kernels.
+	Sorted bool
+	// Complement is the mask mode of the call.
+	Complement bool
+}
+
+// Block is one row range of a plan with its chosen algorithm and the local
+// statistics that drove the decision.
+type Block struct {
+	// Lo, Hi delimit the row range [Lo, Hi).
+	Lo, Hi Index
+	// Alg is the algorithm family assigned to the range.
+	Alg core.Algorithm
+	// MaskNNZ, ANNZ and Flops are the range's mask entries, A entries and
+	// flop bound.
+	MaskNNZ, ANNZ, Flops int64
+	// Reason is a one-line human explanation of the choice.
+	Reason string
+}
+
+// Plan is the planner's output: a phase, one or more row blocks with their
+// algorithms, and the statistics behind them. Execute runs it.
+type Plan struct {
+	// Stats are the call statistics the plan was derived from.
+	Stats Stats
+	// Phase applies to every block (the drivers are phase-global).
+	Phase core.Phase
+	// Blocks tile [0, NRows) in order.
+	Blocks []Block
+	// CacheHit reports that the plan was reused from a Cache rather than
+	// re-analyzed.
+	CacheHit bool
+}
+
+// Mixed reports whether the plan assigns different algorithms to different
+// row blocks.
+func (p *Plan) Mixed() bool {
+	for _, b := range p.Blocks[1:] {
+		if b.Alg != p.Blocks[0].Alg {
+			return true
+		}
+	}
+	return false
+}
+
+// Variant returns the plan's single (algorithm, phase) variant. For mixed
+// plans it returns the variant of the block covering the most flops.
+func (p *Plan) Variant() core.Variant {
+	best, bestFlops := core.MSA, int64(-1)
+	for _, b := range p.Blocks {
+		if b.Flops+b.MaskNNZ > bestFlops {
+			bestFlops, best = b.Flops+b.MaskNNZ, b.Alg
+		}
+	}
+	return core.Variant{Alg: best, Phase: p.Phase}
+}
+
+// ExecBlocks converts the plan's blocks to the core execution form.
+func (p *Plan) ExecBlocks() []core.ExecBlock {
+	out := make([]core.ExecBlock, len(p.Blocks))
+	for i, b := range p.Blocks {
+		out[i] = core.ExecBlock{Lo: b.Lo, Hi: b.Hi, Alg: b.Alg}
+	}
+	return out
+}
+
+// Explain renders the plan and the statistics behind it as a multi-line
+// human-readable report.
+func (p *Plan) Explain() string {
+	var sb strings.Builder
+	kind := "uniform"
+	if p.Mixed() {
+		kind = "mixed"
+	}
+	from := "analyzed"
+	if p.CacheHit {
+		from = "cached"
+	}
+	fmt.Fprintf(&sb, "plan: %s, %d block(s), phase %s, %s\n",
+		kind, len(p.Blocks), p.Phase, from)
+	s := p.Stats
+	mode := "normal"
+	if s.Complement {
+		mode = "complemented"
+	}
+	fmt.Fprintf(&sb, "stats: %dx%d %s mask nnz=%d, nnz(A)=%d, nnz(B)=%d, flops(A·B)=%d, 1P bound=%d\n",
+		s.NRows, s.NCols, mode, s.NNZM, s.NNZA, s.NNZB, s.Flops, s.Bound1P)
+	for _, b := range p.Blocks {
+		fmt.Fprintf(&sb, "  rows [%d,%d) → %s: %s (mask nnz=%d, flops=%d)\n",
+			b.Lo, b.Hi, b.Alg, b.Reason, b.MaskNNZ, b.Flops)
+	}
+	return sb.String()
+}
+
+// Cost-model constants. The pull/heap margins reproduce the ~8× density
+// ratios of the hybrid kernel's Fig. 7 thresholds; see decide().
+const (
+	// pullMargin: Inner must beat the best push-style estimate by this
+	// factor (its strided column accesses are pessimistic per unit cost);
+	// matches the hybrid kernel's empirically-tuned ~8× Fig. 7 threshold.
+	pullMargin = 8
+	// heapMaskDiscountShift: heap's mask term is a sequential merge, ~4×
+	// cheaper per entry than the scatter/gather of MSA/Hash.
+	heapMaskDiscountShift = 2
+	// heapDotMaxMaskFraction: within the heap regime, full mask inspection
+	// (NInspect=∞, HeapDot) only pays when the mask is sparse enough that
+	// inspections actually skip pushes — mask rows under 1/64 of the
+	// columns. Denser masks run NInspect=1 (Heap).
+	heapDotMaxMaskFraction = 64
+	// hashWorkFraction: prefer Hash over MSA when the call's total work is
+	// under ncols/hashWorkFraction — MSA's O(ncols) dense scratch per
+	// worker would dominate (tiny frontiers in BFS/BC sweeps).
+	hashWorkFraction = 4
+	// phaseMemFactor: switch to two-phase when the 1P allocation bound
+	// exceeds phaseMemFactor × the operand footprint (§6 "memory tight").
+	phaseMemFactor = 4
+	// analysisBlocks is the target number of row blocks the analysis
+	// aggregates over; minBlockRows floors their size so per-block stats
+	// stay meaningful.
+	analysisBlocks = 64
+	minBlockRows   = 1024
+	// maxPlanBlocks caps a mixed plan's block count after coalescing; a
+	// profile more fragmented than this collapses to the global winner.
+	maxPlanBlocks = 32
+)
+
+// NeedsSortedRows reports whether any block of the plan runs a kernel with
+// the sorted-rows precondition (MCA, Heap, HeapDot, Inner).
+func (p *Plan) NeedsSortedRows() bool {
+	for _, b := range p.Blocks {
+		if b.Alg != core.MSA && b.Alg != core.Hash {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze derives a Plan for C = M .* (A·B) from operand structure alone
+// (values never matter to selection, so all operands are Patterns — use
+// CSR.Pattern() for free views). opt contributes only Complement.
+func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
+	nrows, ncols := m.NRows, m.NCols
+	if nrows == 0 || len(m.RowPtr) == 0 || len(a.RowPtr) == 0 || len(b.RowPtr) == 0 {
+		// Degenerate (possibly zero-value) operands: nothing to analyze, and
+		// the scans below must not index empty row pointers.
+		return &Plan{
+			Stats:  Stats{NRows: nrows, NCols: ncols, Complement: opt.Complement, Sorted: true},
+			Phase:  core.OnePhase,
+			Blocks: []Block{{Lo: 0, Hi: nrows, Alg: core.MSA, Reason: "empty operands"}},
+		}
+	}
+	st := Stats{
+		NRows: nrows, NCols: ncols,
+		NNZM: int64(m.NNZ()), NNZA: int64(a.NNZ()), NNZB: int64(b.NNZ()),
+		Complement: opt.Complement,
+		Sorted:     sortedRows(m, opt.Threads) && sortedRows(a, opt.Threads) && sortedRows(b, opt.Threads),
+	}
+	if b.NRows > 0 {
+		st.AvgDegB = float64(st.NNZB) / float64(b.NRows)
+	}
+	if b.NCols > 0 {
+		st.AvgColDegB = float64(st.NNZB) / float64(b.NCols)
+	}
+
+	// Partition the rows into analysis blocks and gather per-block mask
+	// sizes and flop bounds in one parallel O(nnz(A)) sweep. The 1P
+	// complement bound rides along.
+	blockRows := int64(minBlockRows)
+	if want := (int64(nrows) + analysisBlocks - 1) / analysisBlocks; want > blockRows {
+		blockRows = want
+	}
+	nblocks := int((int64(nrows) + blockRows - 1) / blockRows)
+	if nblocks < 1 {
+		nblocks = 1
+	}
+	flopsPerBlock := make([]int64, nblocks)
+	boundPerBlock := make([]int64, nblocks)
+	parallel.ForChunks(nblocks, opt.Threads, 1, func(blo, bhi int) {
+		for bi := blo; bi < bhi; bi++ {
+			lo := Index(int64(bi) * blockRows)
+			hi := Index(int64(bi+1) * blockRows)
+			if hi > nrows {
+				hi = nrows
+			}
+			var flops, bnd int64
+			for i := lo; i < hi; i++ {
+				var rowFlops int64
+				for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+					k := a.Col[kk]
+					rowFlops += int64(b.RowPtr[k+1] - b.RowPtr[k])
+				}
+				flops += rowFlops
+				if opt.Complement {
+					if rowFlops > int64(ncols) {
+						rowFlops = int64(ncols)
+					}
+					bnd += rowFlops
+				}
+			}
+			flopsPerBlock[bi] = flops
+			boundPerBlock[bi] = bnd
+		}
+	})
+	for _, f := range flopsPerBlock {
+		st.Flops += f
+	}
+	if opt.Complement {
+		for _, bnd := range boundPerBlock {
+			st.Bound1P += bnd
+		}
+	} else {
+		st.Bound1P = st.NNZM
+	}
+
+	phase := core.OnePhase
+	if st.Bound1P > phaseMemFactor*(st.NNZM+st.NNZA+st.NNZB+int64(ncols)) {
+		phase = core.TwoPhase
+	}
+
+	// Decide per analysis block, then coalesce equal neighbours.
+	push := pushAlg(st)
+	blocks := make([]Block, 0, nblocks)
+	for bi := 0; bi < nblocks; bi++ {
+		lo := Index(int64(bi) * blockRows)
+		hi := Index(int64(bi+1) * blockRows)
+		if hi > nrows {
+			hi = nrows
+		}
+		mn := int64(m.RowPtr[hi] - m.RowPtr[lo])
+		an := int64(a.RowPtr[hi] - a.RowPtr[lo])
+		alg, reason := decide(st, push, int64(hi-lo), mn, an, flopsPerBlock[bi])
+		blocks = append(blocks, Block{Lo: lo, Hi: hi, Alg: alg, MaskNNZ: mn, ANNZ: an, Flops: flopsPerBlock[bi], Reason: reason})
+	}
+	blocks = demoteUnpaidInner(st, push, blocks)
+	blocks = coalesce(blocks)
+	if len(blocks) > maxPlanBlocks {
+		// Too fragmented to pay for per-block dispatch: one global decision.
+		alg, reason := decide(st, push, int64(nrows), st.NNZM, st.NNZA, st.Flops)
+		blocks = []Block{{Lo: 0, Hi: nrows, Alg: alg, MaskNNZ: st.NNZM, Flops: st.Flops,
+			Reason: "collapsed fragmented profile: " + reason}}
+	}
+	if len(blocks) == 0 { // nrows == 0
+		blocks = []Block{{Lo: 0, Hi: 0, Alg: push, Reason: "empty row space"}}
+	}
+	return &Plan{Stats: st, Phase: phase, Blocks: blocks}
+}
+
+// sortedRows is a parallel matrix.Pattern.IsSortedRows: the check is the
+// most expensive part of a cold analysis on dense masks, and it runs once
+// per cache miss.
+func sortedRows(p *matrix.Pattern, threads int) bool {
+	var unsorted atomic.Bool
+	parallel.ForChunks(int(p.NRows), threads, 2048, func(lo, hi int) {
+		if unsorted.Load() {
+			return
+		}
+		for i := lo; i < hi; i++ {
+			cols := p.Col[p.RowPtr[i]:p.RowPtr[i+1]]
+			for k := 1; k < len(cols); k++ {
+				if cols[k-1] >= cols[k] {
+					unsorted.Store(true)
+					return
+				}
+			}
+		}
+	})
+	return !unsorted.Load()
+}
+
+// pushAlg picks the scatter/gather family for the comparable-density middle:
+// MSA (the paper's overall winner) unless the call's total work cannot
+// amortize MSA's O(ncols) per-worker dense scratch, where Hash wins (§8.1
+// "Hash on larger matrices"; BFS/BC early sweeps).
+func pushAlg(st Stats) core.Algorithm {
+	if (st.NNZM+st.Flops)*hashWorkFraction < int64(st.NCols) {
+		return core.Hash
+	}
+	return core.MSA
+}
+
+// decide applies the §8 selection rules to one row range. push is the
+// globally-chosen scatter/gather family; rows/maskNNZ/aNNZ/flops are the
+// range's local statistics.
+func decide(st Stats, push core.Algorithm, rows, maskNNZ, aNNZ, flops int64) (core.Algorithm, string) {
+	if st.Complement {
+		// MCA cannot run complemented (§8.4), and pull complement probes
+		// Θ(ncols − nnz(m_i)) columns per row, defeating its advantage.
+		return push, "complemented mask: scatter/gather push"
+	}
+	if !st.Sorted {
+		return push, "unsorted operand rows: only MSA/Hash are applicable"
+	}
+	if maskNNZ == 0 || rows == 0 {
+		return push, "no mask entries: any kernel emits nothing"
+	}
+	// Abstract per-entry cost estimates (§4.3, §5): push gathers the whole
+	// mask row and touches every flop; heap replaces the gather with a
+	// cheap merge but pays a log factor on flops; inner merges A rows with
+	// B columns under the mask.
+	costPush := maskNNZ + flops
+	avgU := aNNZ / rows
+	logU := int64(math.Ceil(math.Log2(float64(avgU + 2))))
+	costHeap := maskNNZ>>heapMaskDiscountShift + logU*flops
+	costInner := aNNZ + maskNNZ + int64(float64(maskNNZ)*st.AvgColDegB)
+	switch {
+	case costInner*pullMargin < costPush && costInner*pullMargin < costHeap:
+		return core.Inner, fmt.Sprintf("mask ≪ work: pull dot products (est %d vs push %d)", costInner, costPush)
+	case costHeap < costPush:
+		if maskNNZ*heapDotMaxMaskFraction < rows*int64(st.NCols) {
+			return core.HeapDot, fmt.Sprintf("work ≪ mask: heap merge, full mask inspection (est %d vs push %d)", costHeap, costPush)
+		}
+		return core.Heap, fmt.Sprintf("work ≪ mask: heap merge (est %d vs push %d)", costHeap, costPush)
+	default:
+		return push, fmt.Sprintf("comparable densities: %s (est push %d, heap %d, inner %d)", push, costPush, costHeap, costInner)
+	}
+}
+
+// demoteUnpaidInner drops Inner blocks when their combined estimated saving
+// cannot repay the one-off B transpose (ToCSC is O(nnz(B) + ncols)).
+func demoteUnpaidInner(st Stats, push core.Algorithm, blocks []Block) []Block {
+	var saving int64
+	for _, b := range blocks {
+		if b.Alg == core.Inner {
+			costPush := b.MaskNNZ + b.Flops
+			costInner := b.ANNZ + b.MaskNNZ + int64(float64(b.MaskNNZ)*st.AvgColDegB)
+			saving += costPush - costInner
+		}
+	}
+	if saving == 0 || saving >= st.NNZB+int64(st.NCols) {
+		return blocks
+	}
+	for i := range blocks {
+		if blocks[i].Alg == core.Inner {
+			blocks[i].Alg = push
+			blocks[i].Reason = "pull saving does not repay the B transpose: " + blocks[i].Reason
+		}
+	}
+	return blocks
+}
+
+// coalesce merges adjacent blocks that chose the same algorithm.
+func coalesce(blocks []Block) []Block {
+	out := blocks[:0]
+	for _, b := range blocks {
+		if n := len(out); n > 0 && out[n-1].Alg == b.Alg {
+			out[n-1].Hi = b.Hi
+			out[n-1].MaskNNZ += b.MaskNNZ
+			out[n-1].ANNZ += b.ANNZ
+			out[n-1].Flops += b.Flops
+			continue
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Execute runs a plan. stats, if non-nil, receives per-block execution
+// results. The plan must have been analyzed for operands with the same row
+// count and mask mode (Cache guarantees this; core re-validates the tiling).
+func Execute[T any](p *Plan, m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], opt core.Options, stats *[]core.BlockStat) (*matrix.CSR[T], error) {
+	if opt.Complement != p.Stats.Complement {
+		return nil, fmt.Errorf("planner: plan analyzed with Complement=%v, executed with Complement=%v",
+			p.Stats.Complement, opt.Complement)
+	}
+	return core.MaskedSpGEMMBlocked(p.Phase, p.ExecBlocks(), m, a, b, sr, opt, stats)
+}

@@ -17,11 +17,23 @@
 //	    masked.PlusPair(), masked.Options{})
 //	triangles := masked.Sum(c)
 //
-// Choosing an algorithm: Multiply defaults to MSA-1P, the paper's overall
-// winner. MultiplyVariant exposes all 12 variants (6 algorithms × one/two
-// phase); see the paper's guidance — Inner for masks much sparser than the
-// inputs, Heap/HeapDot for inputs much sparser than the mask, MSA/Hash for
-// the comparable-density middle, and one-phase unless memory is tight.
+// Choosing an algorithm: Multiply routes every call through the adaptive
+// planner, which applies the paper's §8 guidance as an explicit cost model —
+// Inner for masks much sparser than the inputs, Heap/HeapDot for inputs much
+// sparser than the mask, MSA/Hash for the comparable-density middle, and
+// one-phase unless memory is tight. On row spaces with skewed local density
+// (power-law graphs) the planner may emit a *mixed* plan that runs different
+// variants on different row blocks; results are bit-identical regardless.
+// Plans are cached across calls keyed on the static operands, so iterative
+// callers (BFS, BC, MCL) skip re-analysis. MultiplyAuto additionally returns
+// the Plan, whose Explain method describes the decision; MultiplyVariant
+// pins one of the 12 fixed variants (6 algorithms × one/two phase).
+//
+// Options.Auto extends the same selection to the application entry points:
+// TriangleCount, KTruss, BetweennessCentrality and the extensions accept a
+// pinned variant, but with Options{Auto: true} the variant argument is
+// ignored and every masked product inside the application is planned
+// adaptively (with a per-engine plan cache).
 //
 // The graph applications of the paper's evaluation are available as
 // TriangleCount, KTruss and BetweennessCentrality.
@@ -34,6 +46,7 @@ import (
 	"repro/internal/grgen"
 	"repro/internal/matrix"
 	"repro/internal/mmio"
+	"repro/internal/planner"
 	"repro/internal/semiring"
 )
 
@@ -86,10 +99,37 @@ var (
 	PlusSecond = semiring.PlusSecond
 )
 
-// Multiply computes C = M .* (A·B) with the paper's best general-purpose
-// variant, MSA-1P. Set opt.Complement for C = ¬M .* (A·B).
+// Plan is the planner's decision for one masked multiply: the variant (or
+// per-row-block variants), the phase, and the statistics that drove the
+// choice. Its Explain method renders a human-readable report.
+type Plan = planner.Plan
+
+// BlockStat reports what one row block of a plan's execution actually did.
+type BlockStat = core.BlockStat
+
+// Multiply computes C = M .* (A·B), selecting the algorithm variant
+// adaptively from the operands' density profile (the §8 selection guidance
+// as a cost model; plans are cached across calls on the same operands). Set
+// opt.Complement for C = ¬M .* (A·B). The result is bit-identical to every
+// fixed variant's. Use MultiplyVariant to pin a variant, MultiplyAuto to
+// also inspect the chosen plan.
 func Multiply(m *Pattern, a, b *Matrix, sr Semiring, opt Options) (*Matrix, error) {
-	return core.MaskedSpGEMM(Variant{Alg: core.MSA, Phase: core.OnePhase}, m, a, b, sr, opt)
+	c, _, err := MultiplyAuto(m, a, b, sr, opt)
+	return c, err
+}
+
+// MultiplyAuto computes C = M .* (A·B) like Multiply and returns the plan
+// that was executed alongside the product.
+func MultiplyAuto(m *Pattern, a, b *Matrix, sr Semiring, opt Options) (*Matrix, *Plan, error) {
+	p := planner.Shared.Analyze(m, a.Pattern(), b.Pattern(), opt)
+	c, err := planner.Execute(p, m, a, b, sr, opt, nil)
+	return c, p, err
+}
+
+// Explain analyzes C = M .* (A·B) without executing it and returns the plan
+// the adaptive path would run.
+func Explain(m *Pattern, a, b *Matrix, opt Options) *Plan {
+	return planner.Analyze(m, a.Pattern(), b.Pattern(), opt)
 }
 
 // MultiplyVariant computes C = M .* (A·B) with an explicit algorithm

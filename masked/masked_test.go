@@ -160,3 +160,62 @@ func TestComplementOption(t *testing.T) {
 		t.Fatal("MCA must reject complement")
 	}
 }
+
+func TestMultiplyAutoPlanAndExplain(t *testing.T) {
+	g := RMAT(9, 8, 4)
+	l := Tril(g)
+	c, plan, err := MultiplyAuto(l.Pattern(), l, l, PlusPair(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MultiplyVariant(Variant{Alg: MSA, Phase: OnePhase}, l.Pattern(), l, l, PlusPair(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Sum(c) != Sum(want) {
+		t.Fatalf("auto sum %v != MSA-1P sum %v", Sum(c), Sum(want))
+	}
+	if plan == nil || len(plan.Blocks) == 0 {
+		t.Fatal("MultiplyAuto returned no plan")
+	}
+	exp := plan.Explain()
+	if exp == "" {
+		t.Fatal("empty Explain")
+	}
+	// Explain without executing agrees on the block structure.
+	if dry := Explain(l.Pattern(), l, l, Options{}); len(dry.Blocks) != len(plan.Blocks) {
+		t.Fatalf("Explain blocks %d != executed plan blocks %d", len(dry.Blocks), len(plan.Blocks))
+	}
+}
+
+func TestOptionsAutoRoutesApplications(t *testing.T) {
+	g := RMAT(8, 8, 5)
+	// The pinned variant must be ignored under Auto: pass MCA (which cannot
+	// run the complemented masks BC needs) and expect success anyway.
+	v := Variant{Alg: MCA, Phase: OnePhase}
+	fixed, err := TriangleCount(g, Variant{Alg: MSA, Phase: OnePhase}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := TriangleCount(g, v, Options{Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Triangles != fixed.Triangles {
+		t.Fatalf("auto TC %d != fixed TC %d", auto.Triangles, fixed.Triangles)
+	}
+	sources := []Index{0, 1, 2}
+	bcFixed, err := BetweennessCentrality(g, sources, Variant{Alg: MSA, Phase: OnePhase}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcAuto, err := BetweennessCentrality(g, sources, v, Options{Auto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bcFixed.Scores {
+		if math.Abs(bcFixed.Scores[i]-bcAuto.Scores[i]) > 1e-9 {
+			t.Fatalf("BC scores diverge at %d: %v vs %v", i, bcFixed.Scores[i], bcAuto.Scores[i])
+		}
+	}
+}
