@@ -20,9 +20,12 @@
 //	             scheme: "auto" (the adaptive planner), a variant like
 //	             "MSA-1P", or a baseline ("SS:DOT", "SS:SAXPY")
 //	-explain     print the adaptive plan for each corpus input to stderr
+//	-timeout D   abort the whole run after duration D (cooperative
+//	             cancellation of in-flight kernels), e.g. -timeout 90s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +35,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/bench"
+	"repro/internal/core"
 )
 
 func main() {
@@ -45,6 +49,7 @@ func main() {
 	plot := flag.Bool("plot", false, "also render each table as an ASCII line chart")
 	alg := flag.String("alg", "", "run application figures with this single scheme (e.g. auto, MSA-1P, SS:SAXPY)")
 	explain := flag.Bool("explain", false, "print the adaptive plan for each corpus input to stderr")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration, e.g. 90s (0 = no limit)")
 	flag.Parse()
 	plotTables = *plot
 
@@ -53,8 +58,17 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// One engine session for the whole run: every figure shares this plan
+	// cache and thread/context budget.
+	session := apps.NewSession(core.Options{Threads: *threads, Ctx: ctx})
 	if *alg != "" {
-		if _, err := apps.EngineByName(*alg, *threads); err != nil {
+		if _, err := session.EngineByName(*alg); err != nil {
 			fatal(fmt.Errorf("-alg: %w", err))
 		}
 	}
@@ -67,6 +81,8 @@ func main() {
 		Quick:     *quick,
 		Engine:    *alg,
 		Explain:   *explain,
+		Ctx:       ctx,
+		Engines:   session,
 	}
 	dimList, err := parseDims(*dims)
 	if err != nil {

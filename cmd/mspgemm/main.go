@@ -7,7 +7,7 @@
 //
 //	mspgemm -a A.mtx -b B.mtx -mask M.mtx [-alg auto|MSA-1P|hybrid]
 //	        [-explain] [-complement] [-semiring arithmetic|plus-pair]
-//	        [-threads N] [-out C.mtx]
+//	        [-threads N] [-timeout 30s] [-out C.mtx]
 //
 // Omitting -b squares A (B = A); omitting -mask uses A's pattern as the
 // mask (the triangle-counting shape). -alg auto selects the variant (or a
@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,7 @@ func main() {
 	complement := flag.Bool("complement", false, "use the complement of the mask")
 	srName := flag.String("semiring", "arithmetic", "semiring: arithmetic | plus-pair | min-plus")
 	threads := flag.Int("threads", runtime.GOMAXPROCS(0), "worker goroutines")
+	timeout := flag.Duration("timeout", 0, "abort the multiply after this duration, e.g. 30s (0 = no limit)")
 	outPath := flag.String("out", "", "output Matrix Market path (default: stats only)")
 	flag.Parse()
 
@@ -74,10 +76,16 @@ func main() {
 		check(fmt.Errorf("unknown semiring %q", *srName))
 	}
 
-	opt := core.Options{Threads: *threads, Complement: *complement}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opt := core.Options{Threads: *threads, Complement: *complement, Ctx: ctx}
 	var plan *planner.Plan
 	if *algName == "auto" || *explain {
-		plan = planner.Shared.Analyze(mask, a.Pattern(), b.Pattern(), opt)
+		plan = planner.Analyze(mask, a.Pattern(), b.Pattern(), opt)
 	}
 	if *explain {
 		fmt.Fprint(os.Stderr, plan.Explain())

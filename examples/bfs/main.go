@@ -4,15 +4,20 @@
 // next = ¬visited .* (frontierᵀ·A), and the kernel switches between push
 // (MSA scatter from the frontier) and pull (dot products into the
 // unvisited candidates) by the Beamer heuristic.
+//
+// The traversal runs on a masked.Session — the iterative loop reuses the
+// session's pooled workspaces every level — under a -timeout deadline
+// honored mid-multiply.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/apps"
-	"repro/internal/core"
 	"repro/masked"
 )
 
@@ -21,12 +26,16 @@ func main() {
 	edgeFactor := flag.Int("ef", 16, "R-MAT edge factor")
 	source := flag.Int("source", 0, "BFS source vertex")
 	seed := flag.Uint64("seed", 11, "generator seed")
+	timeout := flag.Duration("timeout", time.Minute, "abort the search after this duration")
 	flag.Parse()
 
 	g := masked.RMAT(*scale, *edgeFactor, *seed)
 	fmt.Printf("graph: %d vertices, %d directed edges\n", g.NRows, g.NNZ())
 
-	res, err := apps.BFS(g, masked.Index(*source), core.Options{})
+	s := masked.NewSession()
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	res, err := s.BFS(ctx, g, masked.Index(*source))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,9 +1,10 @@
-// Quickstart: build two small sparse matrices and a mask, run the masked
-// product with every algorithm variant, and show they agree — the minimal
-// end-to-end tour of the public API.
+// Quickstart: build two small sparse matrices and a mask, open a Session,
+// run the masked product with every algorithm variant, and show they
+// agree — the minimal end-to-end tour of the public API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,28 +37,33 @@ func main() {
 		Val: []float64{1, 1, 1, 1, 1, 1},
 	}).Pattern()
 
-	// Default algorithm (MSA-1P, the paper's overall winner).
-	c, err := masked.Multiply(mask, a, b, masked.Arithmetic(), masked.Options{})
+	// A session owns the plan cache and reusable workspaces of a sequence
+	// of products; every operation takes a cancellable context.
+	s := masked.NewSession()
+	ctx := context.Background()
+
+	// Default: the adaptive planner picks the variant.
+	c, err := s.Multiply(ctx, mask, a, b)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("C = M .* (A*B):")
 	printMatrix(c)
 
-	// The same product with every variant must agree.
+	// The same product with every pinned variant must agree.
 	for _, v := range masked.Variants() {
-		ci, err := masked.MultiplyVariant(v, mask, a, b, masked.Arithmetic(), masked.Options{})
+		ci, err := s.Multiply(ctx, mask, a, b, masked.WithVariant(v))
 		if err != nil {
 			log.Fatal(err)
 		}
 		if !sameMatrix(c, ci) {
-			log.Fatalf("%s disagrees with MSA-1P", v.Name())
+			log.Fatalf("%s disagrees with the planned product", v.Name())
 		}
 	}
 	fmt.Printf("all %d variants agree\n", len(masked.Variants()))
 
 	// Complemented mask: entries of A*B *outside* the mask.
-	cc, err := masked.Multiply(mask, a, b, masked.Arithmetic(), masked.Options{Complement: true})
+	cc, err := s.Multiply(ctx, mask, a, b, masked.WithComplement())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -92,7 +92,7 @@ func TestTriangleCountKnownGraphs(t *testing.T) {
 func TestTriangleCountAllEnginesAgree(t *testing.T) {
 	g := grgen.RMAT(8, 8, 5)
 	want := TriangleCountExact(g)
-	for _, eng := range AllEngines(2) {
+	for _, eng := range NewSession(core.Options{Threads: 2}).AllEngines() {
 		got, err := TriangleCount(g, eng)
 		if err != nil {
 			t.Fatalf("%s: %v", eng.Name, err)

@@ -47,10 +47,10 @@ func BFS(a *matrix.CSR[float64], source Index, opt core.Options) (BFSResult, err
 	frontier := &matrix.SparseVec[float64]{N: n, Idx: []Index{source}, Val: []float64{1}}
 	visited := frontier.Clone()
 	res := BFSResult{}
+	stepOpt := opt // one copy: the session's ctx/threads/workspaces ride along
+	stepOpt.Complement = true
 	for frontier.NNZ() > 0 {
-		next, dir, err := core.MaskedSpGEVMAuto(visited, frontier, a, bcsc, sr, core.Options{
-			Threads: opt.Threads, Grain: opt.Grain, Complement: true,
-		})
+		next, dir, err := core.MaskedSpGEVMAuto(visited, frontier, a, bcsc, sr, stepOpt)
 		if err != nil {
 			return res, fmt.Errorf("apps: BFS step %d: %w", res.Depth, err)
 		}

@@ -5,6 +5,12 @@
 // or with the SuiteSparse:GraphBLAS-style baselines, exactly as the paper
 // swaps the Masked SpGEMM implementation inside fixed GraphBLAS-style
 // application code.
+//
+// Engines are constructed from a Session, which scopes the state an engine
+// sweep shares: one set of execution options (thread budget, context,
+// workspace arena) and one plan cache, so a 14-engine comparison or an
+// iterative application analyzes each product once instead of once per
+// engine.
 package apps
 
 import (
@@ -28,13 +34,41 @@ type Engine struct {
 	Mult func(m *matrix.Pattern, a, b *matrix.CSR[float64], sr semiring.Semiring[float64], complement bool) (*matrix.CSR[float64], error)
 }
 
+// Session scopes engine construction. Every engine built from one session
+// runs with the session's options (thread budget, cancellation context,
+// pooled workspaces — a single Options value governs the paper's variants
+// and the baselines alike, since baseline.Options is the same type) and
+// the Auto engines share the session's plan cache, so an engine sweep over
+// the same operands analyzes each product once, not once per engine.
+type Session struct {
+	// Opt is the execution options every engine of the session runs with.
+	Opt core.Options
+	// Cache is the session's plan cache, consulted by every Auto engine.
+	Cache *planner.Cache
+}
+
+// NewSession returns a session running with the given options and a fresh
+// plan cache.
+func NewSession(opt core.Options) *Session {
+	return &Session{Opt: opt, Cache: planner.NewCache()}
+}
+
+// WithOptions returns a derived session that runs with opt but shares the
+// receiver's plan cache — the way a per-operation context or thread
+// override is threaded into engine construction without losing cached
+// plans.
+func (s *Session) WithOptions(opt core.Options) *Session {
+	return &Session{Opt: opt, Cache: s.Cache}
+}
+
 // EngineVariant wraps one of the paper's algorithm variants. With
-// opt.Auto set, the pinned variant is ignored and the call is routed
+// s.Opt.Auto set, the pinned variant is ignored and the call is routed
 // through the adaptive planner instead (see EngineAuto).
-func EngineVariant(v core.Variant, opt core.Options) Engine {
-	if opt.Auto {
-		return EngineAuto(opt)
+func (s *Session) EngineVariant(v core.Variant) Engine {
+	if s.Opt.Auto {
+		return s.EngineAuto()
 	}
+	opt := s.Opt
 	return Engine{
 		Name: v.Name(),
 		Mult: func(m *matrix.Pattern, a, b *matrix.CSR[float64], sr semiring.Semiring[float64], complement bool) (*matrix.CSR[float64], error) {
@@ -46,12 +80,12 @@ func EngineVariant(v core.Variant, opt core.Options) Engine {
 }
 
 // EngineAuto is the planner-backed engine: every masked product is analyzed
-// (or recalled from the engine's plan cache — iterative applications like
+// (or recalled from the session's plan cache — iterative applications like
 // BFS, BC, MCL and k-truss re-multiply against evolving masks over a static
 // graph) and executed with the variant, or per-row-block variant mix, the
 // §8 cost model selects.
-func EngineAuto(opt core.Options) Engine {
-	cache := planner.NewCache()
+func (s *Session) EngineAuto() Engine {
+	opt, cache := s.Opt, s.Cache
 	return Engine{
 		Name: "Auto",
 		Mult: func(m *matrix.Pattern, a, b *matrix.CSR[float64], sr semiring.Semiring[float64], complement bool) (*matrix.CSR[float64], error) {
@@ -65,70 +99,123 @@ func EngineAuto(opt core.Options) Engine {
 
 // EngineSSDot wraps the SS:DOT baseline. It does not support complemented
 // masks (the paper excludes SS:DOT from the BC comparison).
-func EngineSSDot(opt baseline.Options) Engine {
+func (s *Session) EngineSSDot() Engine {
+	opt := s.Opt
 	return Engine{
 		Name: "SS:DOT",
 		Mult: func(m *matrix.Pattern, a, b *matrix.CSR[float64], sr semiring.Semiring[float64], complement bool) (*matrix.CSR[float64], error) {
 			if complement {
 				return nil, fmt.Errorf("apps: SS:DOT does not support complemented masks")
 			}
-			return baseline.SSDot(m, a, b, sr, opt), nil
+			c := baseline.SSDot(m, a, b, sr, opt)
+			if err := opt.Err(); err != nil {
+				return nil, err // cancelled mid-loop: the partial result is garbage
+			}
+			return c, nil
 		},
 	}
 }
 
 // EngineSSSaxpy wraps the SS:SAXPY baseline.
-func EngineSSSaxpy(opt baseline.Options) Engine {
+func (s *Session) EngineSSSaxpy() Engine {
+	opt := s.Opt
 	return Engine{
 		Name: "SS:SAXPY",
 		Mult: func(m *matrix.Pattern, a, b *matrix.CSR[float64], sr semiring.Semiring[float64], complement bool) (*matrix.CSR[float64], error) {
 			o := opt
 			o.Complement = complement
-			return baseline.SSSaxpy(m, a, b, sr, o), nil
+			c := baseline.SSSaxpy(m, a, b, sr, o)
+			if err := o.Err(); err != nil {
+				return nil, err
+			}
+			return c, nil
 		},
 	}
 }
 
 // EnginePlainThenMask wraps the unmasked-multiply-then-filter strawman of
 // Figure 1.
-func EnginePlainThenMask(opt baseline.Options) Engine {
+func (s *Session) EnginePlainThenMask() Engine {
+	opt := s.Opt
 	return Engine{
 		Name: "PlainThenMask",
 		Mult: func(m *matrix.Pattern, a, b *matrix.CSR[float64], sr semiring.Semiring[float64], complement bool) (*matrix.CSR[float64], error) {
 			o := opt
 			o.Complement = complement
-			return baseline.PlainThenMask(m, a, b, sr, o), nil
+			c := baseline.PlainThenMask(m, a, b, sr, o)
+			if err := o.Err(); err != nil {
+				return nil, err
+			}
+			return c, nil
 		},
 	}
 }
 
 // AllEngines returns the paper's 14 schemes (§8): the 12 proposed variants
-// plus the two SuiteSparse-style baselines.
-func AllEngines(threads int) []Engine {
-	copt := core.Options{Threads: threads}
-	bopt := baseline.Options{Threads: threads}
+// plus the two SuiteSparse-style baselines, all sharing the session's
+// options and plan cache.
+func (s *Session) AllEngines() []Engine {
 	var out []Engine
 	for _, v := range core.AllVariants() {
-		out = append(out, EngineVariant(v, copt))
+		out = append(out, s.EngineVariant(v))
 	}
-	out = append(out, EngineSSDot(bopt), EngineSSSaxpy(bopt))
-	return out
+	return append(out, s.EngineSSDot(), s.EngineSSSaxpy())
 }
 
 // EngineByName resolves a scheme label: "Auto", a variant name such as
-// "MSA-1P", or a baseline ("SS:DOT", "SS:SAXPY").
-func EngineByName(name string, threads int) (Engine, error) {
+// "MSA-1P", or a baseline ("SS:DOT", "SS:SAXPY"). Repeated resolutions of
+// "Auto" from one session share the session's plan cache.
+func (s *Session) EngineByName(name string) (Engine, error) {
 	switch name {
 	case "Auto", "auto":
-		return EngineAuto(core.Options{Threads: threads}), nil
+		return s.EngineAuto(), nil
 	case "SS:DOT":
-		return EngineSSDot(baseline.Options{Threads: threads}), nil
+		return s.EngineSSDot(), nil
 	case "SS:SAXPY":
-		return EngineSSSaxpy(baseline.Options{Threads: threads}), nil
+		return s.EngineSSSaxpy(), nil
 	}
 	v, err := core.VariantByName(name)
 	if err != nil {
 		return Engine{}, err
 	}
-	return EngineVariant(v, core.Options{Threads: threads}), nil
+	return s.EngineVariant(v), nil
+}
+
+// EngineVariant constructs a variant engine with a one-off session.
+//
+// Deprecated: build engines from a Session so iterative Auto callers share
+// one plan cache; this wrapper creates a fresh cache per engine.
+func EngineVariant(v core.Variant, opt core.Options) Engine {
+	return NewSession(opt).EngineVariant(v)
+}
+
+// EngineAuto constructs a planner-backed engine with a one-off session.
+//
+// Deprecated: build engines from a Session so iterative Auto callers share
+// one plan cache; this wrapper creates a fresh cache per engine.
+func EngineAuto(opt core.Options) Engine {
+	return NewSession(opt).EngineAuto()
+}
+
+// EngineSSDot constructs the SS:DOT baseline engine with a one-off session.
+//
+// Deprecated: build engines from a Session.
+func EngineSSDot(opt baseline.Options) Engine {
+	return NewSession(opt).EngineSSDot()
+}
+
+// EngineSSSaxpy constructs the SS:SAXPY baseline engine with a one-off
+// session.
+//
+// Deprecated: build engines from a Session.
+func EngineSSSaxpy(opt baseline.Options) Engine {
+	return NewSession(opt).EngineSSSaxpy()
+}
+
+// EnginePlainThenMask constructs the Figure-1 strawman engine with a
+// one-off session.
+//
+// Deprecated: build engines from a Session.
+func EnginePlainThenMask(opt baseline.Options) Engine {
+	return NewSession(opt).EnginePlainThenMask()
 }

@@ -26,6 +26,7 @@ package baseline
 import (
 	"sort"
 
+	"repro/internal/core"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
 	"repro/internal/semiring"
@@ -34,19 +35,20 @@ import (
 // Index mirrors matrix.Index.
 type Index = matrix.Index
 
-// Options configures a baseline call.
-type Options struct {
-	// Threads is the number of worker goroutines; 0 means GOMAXPROCS.
-	Threads int
-	// Grain is the dynamic scheduling chunk; 0 means the package default.
-	Grain int
-	// Complement computes C = ¬M .* (A·B). Supported by SSSaxpy (SS:GB
-	// supports complemented masks in its saxpy path); SSDot ignores it and
-	// callers should treat SS:DOT as unmasked-complement-incapable like the
-	// paper does (it is excluded from the BC comparison as prohibitively
-	// slow).
-	Complement bool
-}
+// Options configures a baseline call. It is the same type as core.Options,
+// so one session-level thread budget, context and workspace arena govern
+// the paper's variants and the SuiteSparse-style baselines alike. The
+// baselines consume Threads, Grain, Complement and Ctx; Complement is
+// supported by SSSaxpy (SS:GB supports complemented masks in its saxpy
+// path) while SSDot ignores it and callers should treat SS:DOT as
+// complement-incapable like the paper does (it is excluded from the BC
+// comparison as prohibitively slow).
+//
+// Because the baselines predate error returns, a cancelled Ctx stops their
+// loops early and the partial result is garbage; callers that pass a
+// cancellable context must check opt.Err() after the call (the apps engine
+// wrappers do).
+type Options = core.Options
 
 // SSDot computes C = M .* (A·B) with the dot-product strategy: B is
 // transposed to CSR-of-Bᵀ (cost included, as in the library §8.4), then for
@@ -61,7 +63,7 @@ func SSDot[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T
 		val []T
 	}
 	bufs := make([]rowBuf, nrows)
-	parallel.ForChunks(int(nrows), opt.Threads, opt.Grain, func(lo, hi int) {
+	parallel.ForChunksCtx(opt.Ctx, int(nrows), opt.Threads, opt.Grain, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			ii := Index(i)
 			aLo, aHi := a.RowPtr[ii], a.RowPtr[ii+1]
@@ -163,7 +165,7 @@ func SSSaxpy[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring
 		val []T
 	}
 	bufs := make([]rowBuf, nrows)
-	parallel.ForWorkers(int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
+	parallel.ForWorkersCtx(opt.Ctx, int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
 		val := make([]T, b.NCols)
 		occupied := make([]bool, b.NCols)
 		var touched []Index
@@ -250,7 +252,7 @@ func SpGEMM[T any](a, b *matrix.CSR[T], sr semiring.Semiring[T], opt Options) *m
 		val []T
 	}
 	bufs := make([]rowBuf, nrows)
-	parallel.ForWorkers(int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
+	parallel.ForWorkersCtx(opt.Ctx, int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
 		val := make([]T, b.NCols)
 		occupied := make([]bool, b.NCols)
 		var touched []Index
@@ -332,7 +334,7 @@ func assembleRows[T any](nrows, ncols Index, counts []int64, row func(Index) ([]
 		out.RowPtr[i] = Index(offs[i])
 	}
 	out.RowPtr[nrows] = Index(total)
-	parallel.ForChunks(int(nrows), opt.Threads, 512, func(lo, hi int) {
+	parallel.ForChunksCtx(opt.Ctx, int(nrows), opt.Threads, 512, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			cols, vals := row(Index(i))
 			copy(out.Col[offs[i]:], cols)

@@ -11,6 +11,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -48,6 +49,29 @@ type Config struct {
 	// Explain prints the adaptive plan of each corpus input's masked
 	// product to stderr before timing it.
 	Explain bool
+	// Ctx, if non-nil, cancels in-flight kernels cooperatively (the CLI's
+	// -timeout flag); a run that exceeds it fails with ctx.Err().
+	Ctx context.Context
+	// Engines, if non-nil, scopes engine construction for the whole run:
+	// every figure builds its schemes from this session, sharing one plan
+	// cache. Nil falls back to a fresh session per figure.
+	Engines *apps.Session
+}
+
+// Options returns the core execution options every kernel of the run uses
+// (one thread budget and context for variants and baselines alike).
+func (c Config) Options() core.Options {
+	return core.Options{Threads: c.Threads, Ctx: c.Ctx}
+}
+
+// Session returns the run's engine session (cfg.Engines), or a fresh one
+// per call when the caller did not provide one — set Engines to share a
+// plan cache across figures and measurements.
+func (c Config) Session() *apps.Session {
+	if c.Engines != nil {
+		return c.Engines
+	}
+	return apps.NewSession(c.Options())
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -171,7 +195,7 @@ func overrideEngines(cfg Config, def []apps.Engine) []apps.Engine {
 	if cfg.Engine == "" {
 		return def
 	}
-	e, err := apps.EngineByName(cfg.Engine, cfg.Threads)
+	e, err := cfg.Session().EngineByName(cfg.Engine)
 	if err != nil {
 		return def
 	}
@@ -185,7 +209,7 @@ func maybeExplain(cfg Config, name string, m *matrix.Pattern, a, b *matrix.Patte
 		return
 	}
 	fmt.Fprintf(os.Stderr, "# plan for %s\n%s", name,
-		planner.Analyze(m, a, b, core.Options{Threads: cfg.Threads}).Explain())
+		planner.Analyze(m, a, b, cfg.Options()).Explain())
 }
 
 // minTime runs f reps times and returns the smallest positive duration in

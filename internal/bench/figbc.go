@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/apps"
-	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/grgen"
 	"repro/internal/matrix"
@@ -15,13 +14,13 @@ import (
 // bcEngines is the scheme set of the BC plots: the paper keeps MSA and Hash
 // (1P/2P) plus SS:SAXPY, excluding MCA (no complement), Heap, Inner and
 // SS:DOT (prohibitively slow under the dense masks BC produces).
-func bcEngines(threads int) []apps.Engine {
+func bcEngines(ses *apps.Session) []apps.Engine {
 	return []apps.Engine{
-		apps.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}, core.Options{Threads: threads}),
-		apps.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.OnePhase}, core.Options{Threads: threads}),
-		apps.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.TwoPhase}, core.Options{Threads: threads}),
-		apps.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.TwoPhase}, core.Options{Threads: threads}),
-		apps.EngineSSSaxpy(baseline.Options{Threads: threads}),
+		ses.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}),
+		ses.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.OnePhase}),
+		ses.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.TwoPhase}),
+		ses.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.TwoPhase}),
+		ses.EngineSSSaxpy(),
 	}
 }
 
@@ -48,7 +47,7 @@ func bcSources(n matrix.Index, batch int, seed uint64) []matrix.Index {
 // grows (paper: batch 512, scale 8–20). Expected: push-based schemes
 // (MSA-1P, Hash-1P, SS:SAXPY) increase MTEPS with scale.
 func Fig15(cfg Config) *Table {
-	engines := overrideEngines(cfg, bcEngines(cfg.Threads))
+	engines := overrideEngines(cfg, bcEngines(cfg.Session()))
 	t := &Table{
 		Title: "Fig 15: Betweenness Centrality MTEPS vs R-MAT scale",
 		Notes: []string{fmt.Sprintf("MTEPS = batch*edges/total_time/1e6, batch=%d (paper: 512)", cfg.BatchSize),
@@ -86,7 +85,7 @@ func Fig15(cfg Config) *Table {
 // backward masked SpGEMM time) over the corpus. Expected: MSA-1P best on
 // every instance, 1P > 2P.
 func Fig16(cfg Config) (*Table, error) {
-	engines := overrideEngines(cfg, bcEngines(cfg.Threads))
+	engines := overrideEngines(cfg, bcEngines(cfg.Session()))
 	corpus := Corpus(cfg)
 	series := make([]perfprof.Series, len(engines))
 	for ei := range engines {

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/apps"
-	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/grgen"
 	"repro/internal/perfprof"
@@ -41,9 +40,10 @@ func ktrussProfile(cfg Config, engines []apps.Engine) (*perfprof.Profile, error)
 // machines, Inner competitive (the mask sparsifies as pruning proceeds),
 // heap-based schemes noncompetitive.
 func Fig12(cfg Config) (*Table, error) {
+	ses := cfg.Session()
 	var engines []apps.Engine
 	for _, v := range core.AllVariants() {
-		engines = append(engines, apps.EngineVariant(v, core.Options{Threads: cfg.Threads}))
+		engines = append(engines, ses.EngineVariant(v))
 	}
 	p, err := ktrussProfile(cfg, engines)
 	if err != nil {
@@ -57,13 +57,14 @@ func Fig12(cfg Config) (*Table, error) {
 // SS:GB-style baselines. Expected: MSA-1P and Inner-1P significantly beat
 // both baselines.
 func Fig13(cfg Config) (*Table, error) {
+	ses := cfg.Session()
 	engines := []apps.Engine{
-		apps.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
-		apps.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
-		apps.EngineVariant(core.Variant{Alg: core.MCA, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
-		apps.EngineVariant(core.Variant{Alg: core.Inner, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
-		apps.EngineSSSaxpy(baseline.Options{Threads: cfg.Threads}),
-		apps.EngineSSDot(baseline.Options{Threads: cfg.Threads}),
+		ses.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}),
+		ses.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.OnePhase}),
+		ses.EngineVariant(core.Variant{Alg: core.MCA, Phase: core.OnePhase}),
+		ses.EngineVariant(core.Variant{Alg: core.Inner, Phase: core.OnePhase}),
+		ses.EngineSSSaxpy(),
+		ses.EngineSSDot(),
 	}
 	p, err := ktrussProfile(cfg, engines)
 	if err != nil {
@@ -77,12 +78,13 @@ func Fig13(cfg Config) (*Table, error) {
 // Expected: pull-based schemes (Inner, SS:DOT) improve their rate with
 // scale as the mask sparsifies through pruning.
 func Fig14(cfg Config) *Table {
+	ses := cfg.Session()
 	engines := []apps.Engine{
-		apps.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
-		apps.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
-		apps.EngineVariant(core.Variant{Alg: core.Inner, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
-		apps.EngineSSSaxpy(baseline.Options{Threads: cfg.Threads}),
-		apps.EngineSSDot(baseline.Options{Threads: cfg.Threads}),
+		ses.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}),
+		ses.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.OnePhase}),
+		ses.EngineVariant(core.Variant{Alg: core.Inner, Phase: core.OnePhase}),
+		ses.EngineSSSaxpy(),
+		ses.EngineSSDot(),
 	}
 	engines = overrideEngines(cfg, engines)
 	t := &Table{

@@ -6,7 +6,6 @@ import (
 	"time"
 
 	"repro/internal/apps"
-	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/grgen"
 	"repro/internal/matrix"
@@ -55,9 +54,9 @@ func Fig7(cfg Config, dims []int) []*Table {
 						t0 := time.Now()
 						var err error
 						if alg == core.Inner {
-							_, err = core.MaskedDotCSC(core.OnePhase, mask, a, bcsc, semiring.Arithmetic(), core.Options{Threads: cfg.Threads})
+							_, err = core.MaskedDotCSC(core.OnePhase, mask, a, bcsc, semiring.Arithmetic(), cfg.Options())
 						} else {
-							_, err = core.MaskedSpGEMM(core.Variant{Alg: alg, Phase: core.OnePhase}, mask, a, b, semiring.Arithmetic(), core.Options{Threads: cfg.Threads})
+							_, err = core.MaskedSpGEMM(core.Variant{Alg: alg, Phase: core.OnePhase}, mask, a, b, semiring.Arithmetic(), cfg.Options())
 						}
 						return time.Since(t0), err
 					})
@@ -103,9 +102,10 @@ func tcProfile(cfg Config, engines []apps.Engine) (*perfprof.Profile, error) {
 // all 12 proposed variants over the graph corpus. Expected shape: MSA-1P
 // best, then MCA-1P; 1P beats 2P per algorithm; heap-based schemes worst.
 func Fig8(cfg Config) (*Table, error) {
+	ses := cfg.Session()
 	var engines []apps.Engine
 	for _, v := range core.AllVariants() {
-		engines = append(engines, apps.EngineVariant(v, core.Options{Threads: cfg.Threads}))
+		engines = append(engines, ses.EngineVariant(v))
 	}
 	p, err := tcProfile(cfg, engines)
 	if err != nil {
@@ -119,12 +119,13 @@ func Fig8(cfg Config) (*Table, error) {
 // SuiteSparse-style baselines. Expected: our schemes dominate SS:SAXPY and
 // SS:DOT on almost all cases.
 func Fig9(cfg Config) (*Table, error) {
+	ses := cfg.Session()
 	engines := []apps.Engine{
-		apps.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
-		apps.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
-		apps.EngineVariant(core.Variant{Alg: core.MCA, Phase: core.OnePhase}, core.Options{Threads: cfg.Threads}),
-		apps.EngineSSSaxpy(baseline.Options{Threads: cfg.Threads}),
-		apps.EngineSSDot(baseline.Options{Threads: cfg.Threads}),
+		ses.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}),
+		ses.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.OnePhase}),
+		ses.EngineVariant(core.Variant{Alg: core.MCA, Phase: core.OnePhase}),
+		ses.EngineSSSaxpy(),
+		ses.EngineSSDot(),
 	}
 	p, err := tcProfile(cfg, engines)
 	if err != nil {
@@ -135,14 +136,14 @@ func Fig9(cfg Config) (*Table, error) {
 }
 
 // tcScaleEngines is the scheme set of the Fig. 10 GFLOPS plot.
-func tcScaleEngines(threads int) []apps.Engine {
+func tcScaleEngines(ses *apps.Session) []apps.Engine {
 	return []apps.Engine{
-		apps.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}, core.Options{Threads: threads}),
-		apps.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.OnePhase}, core.Options{Threads: threads}),
-		apps.EngineVariant(core.Variant{Alg: core.MCA, Phase: core.OnePhase}, core.Options{Threads: threads}),
-		apps.EngineVariant(core.Variant{Alg: core.Inner, Phase: core.OnePhase}, core.Options{Threads: threads}),
-		apps.EngineSSSaxpy(baseline.Options{Threads: threads}),
-		apps.EngineSSDot(baseline.Options{Threads: threads}),
+		ses.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}),
+		ses.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.OnePhase}),
+		ses.EngineVariant(core.Variant{Alg: core.MCA, Phase: core.OnePhase}),
+		ses.EngineVariant(core.Variant{Alg: core.Inner, Phase: core.OnePhase}),
+		ses.EngineSSSaxpy(),
+		ses.EngineSSDot(),
 	}
 }
 
@@ -150,7 +151,7 @@ func tcScaleEngines(threads int) []apps.Engine {
 // grows (paper: 8–20, edge factor 16). Expected: MSA-1P highest; SS:SAXPY
 // closes the gap as inputs grow; SS schemes poor at small scales.
 func Fig10(cfg Config) *Table {
-	engines := overrideEngines(cfg, tcScaleEngines(cfg.Threads))
+	engines := overrideEngines(cfg, tcScaleEngines(cfg.Session()))
 	t := &Table{
 		Title: "Fig 10: Triangle Counting GFLOPS vs R-MAT scale",
 		Notes: []string{"GFLOPS = 2*flops(L·L)/masked_time", "paper: MSA-1P highest, SS:SAXPY approaches at large scale"},
@@ -193,7 +194,8 @@ func Fig10(cfg Config) *Table {
 func Fig11(cfg Config) *Table {
 	scale := cfg.MaxScale
 	g := grgen.RMAT(scale, 16, cfg.Seed+42)
-	engines := overrideEngines(cfg, tcScaleEngines(0)) // threads set per measurement below
+	ses := cfg.Session()                                 // one session for the sweep: retargets share its plan cache
+	engines := overrideEngines(cfg, tcScaleEngines(ses)) // threads retargeted per measurement below
 	t := &Table{
 		Title: fmt.Sprintf("Fig 11: Triangle Counting strong scaling, R-MAT scale %d", scale),
 		Notes: []string{"GFLOPS per thread count", "paper: all algorithms scale well to 32/68 threads"},
@@ -205,7 +207,7 @@ func Fig11(cfg Config) *Table {
 	for _, threads := range threadSweep() {
 		row := []string{fmt.Sprintf("%d", threads)}
 		for _, base := range engines {
-			eng := retargetEngine(base, threads)
+			eng := retargetEngine(ses, base, threads)
 			var gf float64
 			sec := minTime(cfg.reps(), func() (time.Duration, error) {
 				r, err := apps.TriangleCount(g, eng)
@@ -240,9 +242,12 @@ func parallelMax() int {
 	return maxInt(1, runtime.GOMAXPROCS(0))
 }
 
-// retargetEngine rebuilds a scheme with a specific thread count.
-func retargetEngine(e apps.Engine, threads int) apps.Engine {
-	re, err := apps.EngineByName(e.Name, threads)
+// retargetEngine rebuilds a scheme with a specific thread count, keeping
+// the given session's context and plan cache.
+func retargetEngine(ses *apps.Session, e apps.Engine, threads int) apps.Engine {
+	o := ses.Opt
+	o.Threads = threads
+	re, err := ses.WithOptions(o).EngineByName(e.Name)
 	if err != nil {
 		return e
 	}

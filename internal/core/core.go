@@ -24,6 +24,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/matrix"
@@ -99,6 +100,23 @@ type Options struct {
 	// caller-pinned variant. The fixed-variant entry points in this package
 	// ignore it; see repro/internal/planner.
 	Auto bool
+	// Ctx, if non-nil, carries a cancellation signal honored cooperatively
+	// by the parallel drivers: workers observe it between scheduling chunks
+	// and the call returns ctx.Err() without completing the product. Nil
+	// means the call cannot be cancelled.
+	Ctx context.Context
+	// Workspaces, if non-nil, supplies pooled accumulator scratch that is
+	// reused across calls instead of reallocated per worker per call.
+	// Sessions own one arena for their whole lifetime; see Workspaces.
+	Workspaces *Workspaces
+}
+
+// Err returns the options' context error: non-nil once o.Ctx is cancelled.
+func (o Options) Err() error {
+	if o.Ctx != nil {
+		return o.Ctx.Err()
+	}
+	return nil
 }
 
 // Variant is a named (algorithm, phase) pair, the unit the paper benchmarks
@@ -147,29 +165,33 @@ func MaskedSpGEMM[T any](v Variant, m *matrix.Pattern, a, b *matrix.CSR[T], sr s
 	if opt.Complement && !v.SupportsComplement() {
 		return nil, fmt.Errorf("core: %s does not support complemented masks", v.Alg)
 	}
-	factory, err := algKernelFactory(v.Alg, m, a, b, nil, sr, opt.Complement)
+	if err := opt.Err(); err != nil {
+		return nil, err
+	}
+	factory, err := algKernelFactory(v.Alg, m, a, b, nil, sr, opt.Complement, opt.Workspaces)
 	if err != nil {
 		return nil, err
 	}
 	bound := allocBound(m, a, b, opt.Complement)
-	return runDriver(v.Phase, m, b.NCols, bound, factory, opt), nil
+	return runDriver(v.Phase, m, b.NCols, bound, factory, opt)
 }
 
 // algKernelFactory builds the per-worker kernel factory for one algorithm
 // family. bcsc may be nil; it is only consulted for Inner, where a non-nil
 // value avoids re-transposing B (blocked plans share one CSC across blocks).
-func algKernelFactory[T any](alg Algorithm, m *matrix.Pattern, a, b *matrix.CSR[T], bcsc *matrix.CSC[T], sr semiring.Semiring[T], complement bool) (func() kernel[T], error) {
+// ws may be nil (no pooling).
+func algKernelFactory[T any](alg Algorithm, m *matrix.Pattern, a, b *matrix.CSR[T], bcsc *matrix.CSC[T], sr semiring.Semiring[T], complement bool, ws *Workspaces) (func() kernel[T], error) {
 	switch alg {
 	case MSA:
-		return newMSAKernelFactory(m, a, b, sr, complement), nil
+		return newMSAKernelFactory(m, a, b, sr, complement, ws), nil
 	case Hash:
-		return newHashKernelFactory(m, a, b, sr, complement), nil
+		return newHashKernelFactory(m, a, b, sr, complement, ws), nil
 	case MCA:
-		return newMCAKernelFactory(m, a, b, sr), nil
+		return newMCAKernelFactory(m, a, b, sr, ws), nil
 	case Heap:
-		return newHeapKernelFactory(m, a, b, sr, complement, 1), nil
+		return newHeapKernelFactory(m, a, b, sr, complement, 1, ws), nil
 	case HeapDot:
-		return newHeapKernelFactory(m, a, b, sr, complement, nInspectAll), nil
+		return newHeapKernelFactory(m, a, b, sr, complement, nInspectAll, ws), nil
 	case Inner:
 		if bcsc == nil {
 			bcsc = matrix.ToCSC(b)
@@ -215,6 +237,9 @@ func MaskedSpGEMMBlocked[T any](phase Phase, blocks []ExecBlock, m *matrix.Patte
 	if len(blocks) == 0 {
 		return nil, fmt.Errorf("core: blocked plan has no blocks")
 	}
+	if err := opt.Err(); err != nil {
+		return nil, err
+	}
 	var bcsc *matrix.CSC[T]
 	segs := make([]execSeg[T], 0, len(blocks))
 	next := Index(0)
@@ -229,7 +254,7 @@ func MaskedSpGEMMBlocked[T any](phase Phase, blocks []ExecBlock, m *matrix.Patte
 		if blk.Alg == Inner && bcsc == nil {
 			bcsc = matrix.ToCSC(b)
 		}
-		factory, err := algKernelFactory(blk.Alg, m, a, b, bcsc, sr, opt.Complement)
+		factory, err := algKernelFactory(blk.Alg, m, a, b, bcsc, sr, opt.Complement, opt.Workspaces)
 		if err != nil {
 			return nil, err
 		}
@@ -239,7 +264,10 @@ func MaskedSpGEMMBlocked[T any](phase Phase, blocks []ExecBlock, m *matrix.Patte
 		return nil, fmt.Errorf("core: blocked plan covers rows [0,%d), want [0,%d)", next, m.NRows)
 	}
 	bound := allocBound(m, a, b, opt.Complement)
-	out := runDriverBlocked(phase, m.NRows, b.NCols, bound, segs, opt)
+	out, err := runDriverBlocked(phase, m.NRows, b.NCols, bound, segs, opt)
+	if err != nil {
+		return nil, err
+	}
 	if stats != nil {
 		*stats = (*stats)[:0]
 		for _, blk := range blocks {
@@ -265,9 +293,12 @@ func MaskedDotCSC[T any](phase Phase, m *matrix.Pattern, a *matrix.CSR[T], bcsc 
 		return nil, fmt.Errorf("core: dimension mismatch M(%dx%d) A(%dx%d) B(%dx%d)",
 			m.NRows, m.NCols, a.NRows, a.NCols, bcsc.NRows, bcsc.NCols)
 	}
+	if err := opt.Err(); err != nil {
+		return nil, err
+	}
 	factory := newInnerKernelFactory(m, a, bcsc, sr, opt.Complement)
 	bound := innerBound(m, bcsc.NCols, opt.Complement)
-	return runDriver(phase, m, bcsc.NCols, bound, factory, opt), nil
+	return runDriver(phase, m, bcsc.NCols, bound, factory, opt)
 }
 
 func checkDims[T any](m *matrix.Pattern, a, b *matrix.CSR[T]) error {
@@ -315,9 +346,9 @@ func MaskedSpGEMMHeapNInspect[T any](phase Phase, m *matrix.Pattern, a, b *matri
 	if err := checkDims(m, a, b); err != nil {
 		return nil, err
 	}
-	factory := newHeapKernelFactory(m, a, b, sr, opt.Complement, nInspect)
+	factory := newHeapKernelFactory(m, a, b, sr, opt.Complement, nInspect, opt.Workspaces)
 	bound := allocBound(m, a, b, opt.Complement)
-	return runDriver(phase, m, b.NCols, bound, factory, opt), nil
+	return runDriver(phase, m, b.NCols, bound, factory, opt)
 }
 
 // MaskedSpGEMMHashLoad runs the Hash algorithm with an explicit table load
@@ -326,14 +357,14 @@ func MaskedSpGEMMHashLoad[T any](phase Phase, m *matrix.Pattern, a, b *matrix.CS
 	if err := checkDims(m, a, b); err != nil {
 		return nil, err
 	}
-	inner := newHashKernelFactory(m, a, b, sr, opt.Complement)
+	inner := newHashKernelFactory(m, a, b, sr, opt.Complement, nil)
 	factory := func() kernel[T] {
 		k := inner().(*hashKernel[T])
 		k.acc.SetLoadFactor(num, den)
 		return k
 	}
 	bound := allocBound(m, a, b, opt.Complement)
-	return runDriver(phase, m, b.NCols, bound, factory, opt), nil
+	return runDriver(phase, m, b.NCols, bound, factory, opt)
 }
 
 // Flops returns flops(A·B) = Σ_{A_ik ≠ 0} nnz(B_k*), the number of

@@ -16,6 +16,11 @@ type kernel[T any] interface {
 	// numericRow computes row i into col/val (caller-sized) and returns the
 	// number of entries written. Entries are written in sorted column order.
 	numericRow(i Index, col []Index, val []T) Index
+	// recycle returns the kernel's reusable scratch (accumulators, heap
+	// storage) to the arena after the worker's last row. ws may be nil, in
+	// which case the scratch is simply dropped. The kernel must not be used
+	// after recycle.
+	recycle(ws *Workspaces)
 }
 
 // execSeg assigns a kernel factory to the contiguous row range [lo, hi).
@@ -54,9 +59,22 @@ func (w *workerKernels[T]) at(i Index) kernel[T] {
 	return w.kerns[w.cur]
 }
 
+// recycle returns every created kernel's scratch to the arena (nil ws is a
+// no-op inside each kernel). Called once per worker when it runs out of
+// chunks — including on cancellation, where completed rows have already
+// left the accumulators fully reset.
+func (w *workerKernels[T]) recycle(ws *Workspaces) {
+	for _, k := range w.kerns {
+		if k != nil {
+			k.recycle(ws)
+		}
+	}
+}
+
 // runDriver executes the selected phase strategy with one kernel for the
-// whole row space.
-func runDriver[T any](phase Phase, m *matrix.Pattern, ncols Index, bound func(Index) int64, factory func() kernel[T], opt Options) *matrix.CSR[T] {
+// whole row space. It returns opt.Ctx's error (and no matrix) when the
+// context is cancelled before the product completes.
+func runDriver[T any](phase Phase, m *matrix.Pattern, ncols Index, bound func(Index) int64, factory func() kernel[T], opt Options) (*matrix.CSR[T], error) {
 	segs := []execSeg[T]{{lo: 0, hi: m.NRows, factory: factory}}
 	return runDriverBlocked(phase, m.NRows, ncols, bound, segs, opt)
 }
@@ -65,7 +83,7 @@ func runDriver[T any](phase Phase, m *matrix.Pattern, ncols Index, bound func(In
 // the row space: each segment's rows run on that segment's kernel. Dynamic
 // chunk scheduling still spans the whole row space, so load balance does not
 // degrade when segments have skewed costs.
-func runDriverBlocked[T any](phase Phase, nrows, ncols Index, bound func(Index) int64, segs []execSeg[T], opt Options) *matrix.CSR[T] {
+func runDriverBlocked[T any](phase Phase, nrows, ncols Index, bound func(Index) int64, segs []execSeg[T], opt Options) (*matrix.CSR[T], error) {
 	if phase == TwoPhase {
 		return driver2P(nrows, ncols, segs, opt)
 	}
@@ -75,10 +93,11 @@ func runDriverBlocked[T any](phase Phase, nrows, ncols Index, bound func(Index) 
 // driver2P is the two-phase strategy (§6): a symbolic pass computes each
 // row's output size, a scan turns sizes into row pointers, and the numeric
 // pass writes directly into exactly-sized output arrays.
-func driver2P[T any](nrows, ncols Index, segs []execSeg[T], opt Options) *matrix.CSR[T] {
+func driver2P[T any](nrows, ncols Index, segs []execSeg[T], opt Options) (*matrix.CSR[T], error) {
 	counts := make([]int64, nrows)
-	parallel.ForWorkers(int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
+	err := parallel.ForWorkersCtx(opt.Ctx, int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
 		k := newWorkerKernels(segs)
+		defer k.recycle(opt.Workspaces)
 		for {
 			lo, hi, ok := claim()
 			if !ok {
@@ -89,6 +108,9 @@ func driver2P[T any](nrows, ncols Index, segs []execSeg[T], opt Options) *matrix
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	total := parallel.ExclusiveScan(counts) // counts[i] is now the row offset
 	out := &matrix.CSR[T]{
 		NRows:  nrows,
@@ -101,8 +123,9 @@ func driver2P[T any](nrows, ncols Index, segs []execSeg[T], opt Options) *matrix
 		out.RowPtr[i] = Index(counts[i])
 	}
 	out.RowPtr[nrows] = Index(total)
-	parallel.ForWorkers(int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
+	err = parallel.ForWorkersCtx(opt.Ctx, int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
 		k := newWorkerKernels(segs)
+		defer k.recycle(opt.Workspaces)
 		for {
 			lo, hi, ok := claim()
 			if !ok {
@@ -114,26 +137,33 @@ func driver2P[T any](nrows, ncols Index, segs []execSeg[T], opt Options) *matrix
 			}
 		}
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // driver1P is the one-phase strategy (§6): allocate temporary storage from
 // the per-row upper bound (for normal masks, the mask row size — the mask is
 // the "good initial approximation" §6 describes), run the numeric pass once
 // into the bounded slots, then compact into the final exactly-sized matrix.
-func driver1P[T any](nrows, ncols Index, bound func(Index) int64, segs []execSeg[T], opt Options) *matrix.CSR[T] {
+func driver1P[T any](nrows, ncols Index, bound func(Index) int64, segs []execSeg[T], opt Options) (*matrix.CSR[T], error) {
 	offs := make([]int64, nrows)
-	parallel.ForChunks(int(nrows), opt.Threads, 512, func(lo, hi int) {
+	err := parallel.ForChunksCtx(opt.Ctx, int(nrows), opt.Threads, 512, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			offs[i] = bound(Index(i))
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	totalBound := parallel.ExclusiveScan(offs) // offs[i] = temp offset of row i
 	tmpCol := make([]Index, totalBound)
 	tmpVal := make([]T, totalBound)
 	counts := make([]int64, nrows)
-	parallel.ForWorkers(int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
+	err = parallel.ForWorkersCtx(opt.Ctx, int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
 		k := newWorkerKernels(segs)
+		defer k.recycle(opt.Workspaces)
 		for {
 			lo, hi, ok := claim()
 			if !ok {
@@ -150,6 +180,9 @@ func driver1P[T any](nrows, ncols Index, bound func(Index) int64, segs []execSeg
 			}
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Compact: scan actual counts into final row pointers, parallel copy.
 	finalPtr := make([]int64, nrows)
 	copy(finalPtr, counts)
@@ -165,12 +198,15 @@ func driver1P[T any](nrows, ncols Index, bound func(Index) int64, segs []execSeg
 		out.RowPtr[i] = Index(finalPtr[i])
 	}
 	out.RowPtr[nrows] = Index(total)
-	parallel.ForChunks(int(nrows), opt.Threads, 512, func(lo, hi int) {
+	err = parallel.ForChunksCtx(opt.Ctx, int(nrows), opt.Threads, 512, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			n := counts[i]
 			copy(out.Col[finalPtr[i]:finalPtr[i]+n], tmpCol[offs[i]:offs[i]+n])
 			copy(out.Val[finalPtr[i]:finalPtr[i]+n], tmpVal[offs[i]:offs[i]+n])
 		}
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -20,11 +20,16 @@ type hashKernel[T any] struct {
 	vals []T
 }
 
-func newHashKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], comp bool) func() kernel[T] {
+func newHashKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], comp bool, ws *Workspaces) func() kernel[T] {
 	return func() kernel[T] {
 		return &hashKernel[T]{m: m, a: a, b: b, sr: sr, comp: comp,
-			acc: accum.NewHash[T](16)}
+			acc: wsGetHash[T](ws, 16)}
 	}
+}
+
+func (k *hashKernel[T]) recycle(ws *Workspaces) {
+	wsPutHash(ws, k.acc)
+	k.acc = nil
 }
 
 func (k *hashKernel[T]) numericRow(i Index, col []Index, val []T) Index {

@@ -32,16 +32,22 @@ type heapKernel[T any] struct {
 	sr       semiring.Semiring[T]
 	comp     bool
 	nInspect int32
-	pq       accum.IterHeap
+	pq       *accum.IterHeap
 }
 
-func newHeapKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], comp bool, nInspect int32) func() kernel[T] {
+func newHeapKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], comp bool, nInspect int32, ws *Workspaces) func() kernel[T] {
 	if comp {
 		nInspect = 0
 	}
 	return func() kernel[T] {
-		return &heapKernel[T]{m: m, a: a, b: b, sr: sr, comp: comp, nInspect: nInspect}
+		return &heapKernel[T]{m: m, a: a, b: b, sr: sr, comp: comp, nInspect: nInspect,
+			pq: wsGetHeap(ws)}
 	}
+}
+
+func (k *heapKernel[T]) recycle(ws *Workspaces) {
+	wsPutHeap(ws, k.pq)
+	k.pq = nil
 }
 
 // insert is the Insert procedure of Algorithm 5. it must be valid.

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/accum"
 	"repro/internal/matrix"
 	"repro/internal/semiring"
 )
@@ -48,16 +47,21 @@ const hybridPullFactor = 8
 // hybridHeapFactor: heap when nnz(m_i) > hybridHeapFactor · flops_i.
 const hybridHeapFactor = 8
 
-func newHybridKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], bcsc *matrix.CSC[T], sr semiring.Semiring[T], stats *HybridStats) func() kernel[T] {
+func newHybridKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], bcsc *matrix.CSC[T], sr semiring.Semiring[T], stats *HybridStats, ws *Workspaces) func() kernel[T] {
 	return func() kernel[T] {
 		return &hybridKernel[T]{
 			m: m, a: a, b: b, bcsc: bcsc, sr: sr,
-			msa:   &msaKernel[T]{m: m, a: a, b: b, sr: sr, acc: accum.NewMSA[T](int(b.NCols))},
-			heap:  &heapKernel[T]{m: m, a: a, b: b, sr: sr, nInspect: 1},
+			msa:   &msaKernel[T]{m: m, a: a, b: b, sr: sr, acc: wsGetMSA[T](ws, int(b.NCols))},
+			heap:  &heapKernel[T]{m: m, a: a, b: b, sr: sr, nInspect: 1, pq: wsGetHeap(ws)},
 			dot:   &innerKernel[T]{m: m, a: a, bcsc: bcsc, sr: sr},
 			stats: stats,
 		}
 	}
+}
+
+func (k *hybridKernel[T]) recycle(ws *Workspaces) {
+	k.msa.recycle(ws)
+	k.heap.recycle(ws)
 }
 
 // route picks the sub-kernel for row i.
@@ -115,10 +119,13 @@ func MaskedSpGEMMHybrid[T any](phase Phase, m *matrix.Pattern, a, b *matrix.CSR[
 	if opt.Complement {
 		return nil, errHybridComplement
 	}
+	if err := opt.Err(); err != nil {
+		return nil, err
+	}
 	bcsc := matrix.ToCSC(b)
-	factory := newHybridKernelFactory(m, a, b, bcsc, sr, stats)
+	factory := newHybridKernelFactory(m, a, b, bcsc, sr, stats, opt.Workspaces)
 	bound := allocBound(m, a, b, false)
-	return runDriver(phase, m, b.NCols, bound, factory, opt), nil
+	return runDriver(phase, m, b.NCols, bound, factory, opt)
 }
 
 var errHybridComplement = fmtErr("core: hybrid kernel does not support complemented masks")

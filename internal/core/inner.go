@@ -31,6 +31,9 @@ func newInnerKernelFactory[T any](m *matrix.Pattern, a *matrix.CSR[T], bcsc *mat
 	}
 }
 
+// recycle is a no-op: the inner kernel holds no per-worker scratch.
+func (k *innerKernel[T]) recycle(*Workspaces) {}
+
 // dot merges the sorted index lists and accumulates matching products.
 // ok reports whether the patterns intersect at all.
 func (k *innerKernel[T]) dot(aIdx []Index, aVal []T, bIdx []Index, bVal []T) (T, bool) {

@@ -20,10 +20,15 @@ type mcaKernel[T any] struct {
 	acc  *accum.MCA[T]
 }
 
-func newMCAKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T]) func() kernel[T] {
+func newMCAKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], ws *Workspaces) func() kernel[T] {
 	return func() kernel[T] {
-		return &mcaKernel[T]{m: m, a: a, b: b, sr: sr, acc: accum.NewMCA[T](64)}
+		return &mcaKernel[T]{m: m, a: a, b: b, sr: sr, acc: wsGetMCA[T](ws, 64)}
 	}
+}
+
+func (k *mcaKernel[T]) recycle(ws *Workspaces) {
+	wsPutMCA(ws, k.acc)
+	k.acc = nil
 }
 
 func (k *mcaKernel[T]) numericRow(i Index, col []Index, val []T) Index {

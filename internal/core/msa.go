@@ -20,11 +20,16 @@ type msaKernel[T any] struct {
 	acc  *accum.MSA[T]
 }
 
-func newMSAKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], comp bool) func() kernel[T] {
+func newMSAKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], comp bool, ws *Workspaces) func() kernel[T] {
 	return func() kernel[T] {
 		return &msaKernel[T]{m: m, a: a, b: b, sr: sr, comp: comp,
-			acc: accum.NewMSA[T](int(b.NCols))}
+			acc: wsGetMSA[T](ws, int(b.NCols))}
 	}
+}
+
+func (k *msaKernel[T]) recycle(ws *Workspaces) {
+	wsPutMSA(ws, k.acc)
+	k.acc = nil
 }
 
 func (k *msaKernel[T]) numericRow(i Index, col []Index, val []T) Index {

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/accum"
+)
+
+// Workspaces is a session-scoped arena of reusable accumulator scratch.
+// The expensive per-worker state of the kernels — the MSA's two dense
+// length-ncols arrays, hash tables, MCA buffers and heap iterator storage —
+// is taken from the arena when a call starts and returned when its workers
+// finish, so iterative callers (BFS, BC, MCL, k-truss sweeps) stop paying
+// an O(ncols) allocation per worker per call.
+//
+// Workspaces is safe for concurrent use (sync.Pool underneath) and a nil
+// *Workspaces disables pooling entirely: every helper falls back to a fresh
+// allocation, which is the pre-session behavior. Pooled entries hold no row
+// state between calls — each kernel leaves its accumulator fully reset (the
+// per-row reset discipline the kernels already follow), so reuse is
+// bit-identical to fresh scratch.
+//
+// The pools store concrete *accum.MSA[T] etc. values for whatever element
+// type the calls use; a stored entry of a different T than the requester's
+// is discarded and replaced by a fresh allocation (sessions are in practice
+// monomorphic in T, so this never happens on the hot path).
+type Workspaces struct {
+	msa  sync.Pool // *accum.MSA[T]
+	hash sync.Pool // *accum.Hash[T]
+	mca  sync.Pool // *accum.MCA[T]
+	heap sync.Pool // *accum.IterHeap
+}
+
+// NewWorkspaces returns an empty arena.
+func NewWorkspaces() *Workspaces { return &Workspaces{} }
+
+func wsGetMSA[T any](ws *Workspaces, ncols int) *accum.MSA[T] {
+	if ws != nil {
+		if v, ok := ws.msa.Get().(*accum.MSA[T]); ok {
+			v.Resize(ncols)
+			return v
+		}
+	}
+	return accum.NewMSA[T](ncols)
+}
+
+func wsPutMSA[T any](ws *Workspaces, a *accum.MSA[T]) {
+	if ws != nil && a != nil {
+		ws.msa.Put(a)
+	}
+}
+
+func wsGetHash[T any](ws *Workspaces, capHint int) *accum.Hash[T] {
+	if ws != nil {
+		if v, ok := ws.hash.Get().(*accum.Hash[T]); ok {
+			v.SetLoadFactor(1, 4) // restore the paper's default sizing
+			return v
+		}
+	}
+	return accum.NewHash[T](capHint)
+}
+
+func wsPutHash[T any](ws *Workspaces, h *accum.Hash[T]) {
+	if ws != nil && h != nil {
+		ws.hash.Put(h)
+	}
+}
+
+func wsGetMCA[T any](ws *Workspaces, capHint int) *accum.MCA[T] {
+	if ws != nil {
+		if v, ok := ws.mca.Get().(*accum.MCA[T]); ok {
+			return v
+		}
+	}
+	return accum.NewMCA[T](capHint)
+}
+
+func wsPutMCA[T any](ws *Workspaces, c *accum.MCA[T]) {
+	if ws != nil && c != nil {
+		ws.mca.Put(c)
+	}
+}
+
+func wsGetHeap(ws *Workspaces) *accum.IterHeap {
+	if ws != nil {
+		if v, ok := ws.heap.Get().(*accum.IterHeap); ok {
+			v.Reset()
+			return v
+		}
+	}
+	return &accum.IterHeap{}
+}
+
+func wsPutHeap(ws *Workspaces, h *accum.IterHeap) {
+	if ws != nil && h != nil {
+		ws.heap.Put(h)
+	}
+}

@@ -1,0 +1,62 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForWorkersCtxNilAndBackground(t *testing.T) {
+	var ran atomic.Int64
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		ran.Store(0)
+		err := ForWorkersCtx(ctx, 1000, 4, 16, func(_ int, claim func() (int, int, bool)) {
+			for {
+				lo, hi, ok := claim()
+				if !ok {
+					return
+				}
+				ran.Add(int64(hi - lo))
+			}
+		})
+		if err != nil {
+			t.Fatalf("uncancellable context: err %v", err)
+		}
+		if ran.Load() != 1000 {
+			t.Fatalf("ran %d of 1000 iterations", ran.Load())
+		}
+	}
+}
+
+func TestForWorkersCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := ForWorkersCtx(ctx, 1000, 4, 16, func(_ int, claim func() (int, int, bool)) {
+		called = true
+	})
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if called {
+		t.Fatal("worker ran despite pre-cancelled context")
+	}
+}
+
+func TestForChunksCtxMidFlightCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	const n = 1 << 20
+	err := ForChunksCtx(ctx, n, 4, 16, func(lo, hi int) {
+		if ran.Add(int64(hi-lo)) > 1024 {
+			cancel() // cancel from inside the loop: later claims must stop
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran.Load() == n {
+		t.Fatal("loop ran to completion despite cancellation")
+	}
+}

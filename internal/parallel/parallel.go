@@ -10,6 +10,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -130,6 +131,63 @@ func ForWorkers(n, workers, grain int, worker func(id int, claim func() (lo, hi 
 		}(w)
 	}
 	wg.Wait()
+}
+
+// ForWorkersCtx is ForWorkers with cooperative cancellation: the claim
+// function observes ctx between chunks, so a cancelled context stops every
+// worker after at most one grain of remaining work per worker. Returns
+// ctx.Err() when the iteration stopped early, nil when every index ran.
+// A nil context (or one that can never be cancelled) adds no overhead.
+//
+// Cancellation is cooperative at chunk granularity: indices inside an
+// already-claimed chunk still run, so per-index state stays consistent and
+// workers never abandon a row half-computed.
+func ForWorkersCtx(ctx context.Context, n, workers, grain int, worker func(id int, claim func() (lo, hi int, ok bool))) error {
+	if ctx == nil || ctx.Done() == nil {
+		ForWorkers(n, workers, grain, worker)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := ctx.Done()
+	var cancelled atomic.Bool
+	ForWorkers(n, workers, grain, func(id int, claim func() (lo, hi int, ok bool)) {
+		worker(id, func() (int, int, bool) {
+			if cancelled.Load() {
+				return 0, 0, false
+			}
+			select {
+			case <-done:
+				cancelled.Store(true)
+				return 0, 0, false
+			default:
+			}
+			return claim()
+		})
+	})
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// ForChunksCtx is ForChunks with cooperative cancellation (see
+// ForWorkersCtx for the semantics).
+func ForChunksCtx(ctx context.Context, n, workers, grain int, body func(lo, hi int)) error {
+	if ctx == nil || ctx.Done() == nil {
+		ForChunks(n, workers, grain, body)
+		return nil
+	}
+	return ForWorkersCtx(ctx, n, workers, grain, func(_ int, claim func() (lo, hi int, ok bool)) {
+		for {
+			lo, hi, ok := claim()
+			if !ok {
+				return
+			}
+			body(lo, hi)
+		}
+	})
 }
 
 // ExclusiveScan computes the exclusive prefix sum of counts in place:

@@ -54,11 +54,13 @@ type cacheKey struct {
 
 func bucket(nnz int) int8 { return int8(bits.Len64(uint64(nnz))) }
 
-// NewCache returns an empty plan cache safe for concurrent use.
+// NewCache returns an empty plan cache safe for concurrent use. Caches are
+// session-scoped: masked.Session and apps.Session each own one, so
+// concurrent workloads do not contend on (or evict) each other's plans.
+// (A process-wide Shared cache existed before sessions; it was removed
+// because a mutable global is exactly the wrong ownership for a serving
+// system.)
 func NewCache() *Cache { return &Cache{plans: make(map[cacheKey]*Plan)} }
-
-// Shared is the process-wide cache used by the masked facade's Auto path.
-var Shared = NewCache()
 
 // maxCacheEntries bounds the cache: each entry pins its B operand's RowPtr
 // array through the fingerprint pointer, so growth must not be unbounded in

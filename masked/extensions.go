@@ -63,26 +63,35 @@ func MultiplyHybrid(m *Pattern, a, b *Matrix, sr Semiring, opt Options, stats *H
 type BFSResult = apps.BFSResult
 
 // BFS runs a single-source direction-optimized breadth-first search.
+//
+// Deprecated: use Session.BFS.
 func BFS(g *Matrix, source Index, opt Options) (BFSResult, error) {
-	return apps.BFS(g, source, opt)
+	return DefaultSession().BFS(legacyCtx(opt), g, source, legacyOps(opt)...)
 }
 
 // MultiSourceBFSResult reports a batched BFS.
 type MultiSourceBFSResult = apps.MultiSourceBFSResult
 
 // MultiSourceBFS runs BFS from every source simultaneously with
-// complement-masked SpGEMM, using variant v.
+// complement-masked SpGEMM, using variant v (or the planner with opt.Auto).
+//
+// Deprecated: use Session.MultiSourceBFS.
 func MultiSourceBFS(g *Matrix, sources []Index, v Variant, opt Options) (MultiSourceBFSResult, error) {
-	return apps.MultiSourceBFS(g, sources, apps.EngineVariant(v, opt))
+	return DefaultSession().MultiSourceBFS(legacyCtx(opt), g, sources,
+		legacyOps(opt, legacyVariant(v, opt))...)
 }
 
 // SimilarityResult reports a masked similarity computation.
 type SimilarityResult = apps.SimilarityResult
 
 // CosineSimilarity scores the candidate item pairs of F·Fᵀ with cosine
-// normalization via masked SpGEMM, using variant v.
+// normalization via masked SpGEMM, using variant v (or the planner with
+// opt.Auto).
+//
+// Deprecated: use Session.CosineSimilarity.
 func CosineSimilarity(f *Matrix, candidates *Pattern, v Variant, opt Options) (SimilarityResult, error) {
-	return apps.CosineSimilarity(f, candidates, apps.EngineVariant(v, opt))
+	return DefaultSession().CosineSimilarity(legacyCtx(opt), f, candidates,
+		legacyOps(opt, legacyVariant(v, opt))...)
 }
 
 // MultiplyColumns computes C = M .* (A·B) with column-by-column (CSC-major)
@@ -101,9 +110,12 @@ type MCLResult = apps.MCLResult
 
 // MCL runs Markov clustering (expansion = SpGEMM, optionally masked by the
 // iterate's own pattern; inflation = element-wise powering) with variant v
-// supplying the masked expansion.
+// supplying the masked expansion (or the planner with opt.Auto).
+//
+// Deprecated: use Session.MCL.
 func MCL(g *Matrix, o MCLOptions, v Variant, opt Options) (MCLResult, error) {
-	return apps.MCL(g, o, apps.EngineVariant(v, opt))
+	return DefaultSession().MCL(legacyCtx(opt), g, o,
+		legacyOps(opt, legacyVariant(v, opt))...)
 }
 
 // OpCounts aggregates abstract operation counts of an instrumented run.

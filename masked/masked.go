@@ -9,37 +9,66 @@
 // away: triangle counting masks L·L by L itself, BFS-style traversals mask
 // frontier expansion by the complement of the visited set.
 //
-// Quick start:
+// # Sessions
 //
-//	g := masked.RMAT(12, 16, 1)                   // a Graph500-style graph
-//	l := masked.Tril(g)                           // strictly lower triangle
-//	c, err := masked.Multiply(l.Pattern(), l, l,  // C = L .* (L·L)
-//	    masked.PlusPair(), masked.Options{})
+// The unit of the API is the Session: a handle owning a plan cache, a
+// thread budget, and pooled accumulator workspaces that every operation of
+// the session shares. Operations take a context.Context, honored
+// cooperatively mid-multiply, and are configured by descriptor options:
+//
+//	s := masked.NewSession(masked.WithThreads(8))
+//	g := masked.RMAT(12, 16, 1)                     // a Graph500-style graph
+//	l := masked.Tril(g)                             // strictly lower triangle
+//	c, err := s.Multiply(ctx, l.Pattern(), l, l,    // C = L .* (L·L)
+//	    masked.WithAccumulate(masked.PlusPair()))
 //	triangles := masked.Sum(c)
 //
-// Choosing an algorithm: Multiply routes every call through the adaptive
-// planner, which applies the paper's §8 guidance as an explicit cost model —
-// Inner for masks much sparser than the inputs, Heap/HeapDot for inputs much
-// sparser than the mask, MSA/Hash for the comparable-density middle, and
-// one-phase unless memory is tight. On row spaces with skewed local density
-// (power-law graphs) the planner may emit a *mixed* plan that runs different
-// variants on different row blocks; results are bit-identical regardless.
-// Plans are cached across calls keyed on the static operands, so iterative
-// callers (BFS, BC, MCL) skip re-analysis. MultiplyAuto additionally returns
-// the Plan, whose Explain method describes the decision; MultiplyVariant
-// pins one of the 12 fixed variants (6 algorithms × one/two phase).
+// Iterative applications — BFS, BC, MCL, k-truss, anything that
+// re-multiplies against a static graph — should run all their products on
+// one session: plans are re-used instead of re-analyzed, and accumulator
+// workspaces are recycled instead of reallocated per call.
 //
-// Options.Auto extends the same selection to the application entry points:
-// TriangleCount, KTruss, BetweennessCentrality and the extensions accept a
-// pinned variant, but with Options{Auto: true} the variant argument is
-// ignored and every masked product inside the application is planned
-// adaptively (with a per-engine plan cache).
+// Choosing an algorithm: by default every operation routes through the
+// adaptive planner, which applies the paper's §8 guidance as an explicit
+// cost model — Inner for masks much sparser than the inputs, Heap/HeapDot
+// for inputs much sparser than the mask, MSA/Hash for the
+// comparable-density middle, and one-phase unless memory is tight. On row
+// spaces with skewed local density (power-law graphs) the planner may emit
+// a *mixed* plan that runs different variants on different row blocks;
+// results are bit-identical regardless. WithVariant pins one of the 12
+// fixed variants (6 algorithms × one/two phase) instead;
+// Session.MultiplyAuto returns the executed Plan and Session.Explain
+// previews it.
 //
-// The graph applications of the paper's evaluation are available as
-// TriangleCount, KTruss and BetweennessCentrality.
+// The applications of the paper's evaluation are Session.TriangleCount,
+// Session.KTruss and Session.BC; the extensions add Session.BFS,
+// Session.MultiSourceBFS, Session.MCL and Session.CosineSimilarity, and
+// the SS:GB-style baselines run under the same descriptors via
+// Session.SSDot and Session.SSSaxpy.
+//
+// # Migrating from the free functions
+//
+// The pre-session API — free functions taking a positional (Variant,
+// Options) pair — remains as thin deprecated wrappers over a lazily
+// created DefaultSession and returns bit-identical results:
+//
+//	Multiply(m, a, b, sr, opt)        → s.Multiply(ctx, m, a, b, WithAccumulate(sr), ...)
+//	MultiplyVariant(v, m, a, b, sr, o)→ s.Multiply(ctx, m, a, b, WithVariant(v), WithAccumulate(sr))
+//	TriangleCount(g, v, opt)          → s.TriangleCount(ctx, g, WithVariant(v))
+//	KTruss(g, k, v, opt)              → s.KTruss(ctx, g, k, WithVariant(v))
+//	BetweennessCentrality(g, src, v, o)→ s.BC(ctx, g, src, WithVariant(v))
+//	BFS(g, source, opt)               → s.BFS(ctx, g, source)
+//	MCL(g, o, v, opt)                 → s.MCL(ctx, g, o, WithVariant(v))
+//	CosineSimilarity(f, cand, v, opt) → s.CosineSimilarity(ctx, f, cand, WithVariant(v))
+//	SSDot/SSSaxpy(m, a, b, sr, threads)→ s.SSDot/SSSaxpy(ctx, m, a, b, WithAccumulate(sr), WithThreads(threads))
+//
+// Passing Options{Auto: true} to a wrapper ignores the pinned variant and
+// plans adaptively, as before.
 package masked
 
 import (
+	"context"
+
 	"repro/internal/apps"
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -107,12 +136,40 @@ type Plan = planner.Plan
 // BlockStat reports what one row block of a plan's execution actually did.
 type BlockStat = core.BlockStat
 
+// legacyCtx extracts the context a deprecated free-function call runs
+// under: opt.Ctx when set, Background otherwise.
+func legacyCtx(opt Options) context.Context {
+	if opt.Ctx != nil {
+		return opt.Ctx
+	}
+	return context.Background()
+}
+
+// legacyOps translates the positional Options style into descriptor
+// options.
+func legacyOps(opt Options, extra ...Op) []Op {
+	ops := []Op{WithThreads(opt.Threads), WithGrain(opt.Grain)}
+	if opt.Complement {
+		ops = append(ops, WithComplement())
+	}
+	return append(ops, extra...)
+}
+
+// legacyVariant resolves the old (Variant, Options.Auto) pair: Auto wins
+// over the pinned variant, as the application entry points documented.
+func legacyVariant(v Variant, opt Options) Op {
+	if opt.Auto {
+		return WithAuto()
+	}
+	return WithVariant(v)
+}
+
 // Multiply computes C = M .* (A·B), selecting the algorithm variant
-// adaptively from the operands' density profile (the §8 selection guidance
-// as a cost model; plans are cached across calls on the same operands). Set
-// opt.Complement for C = ¬M .* (A·B). The result is bit-identical to every
-// fixed variant's. Use MultiplyVariant to pin a variant, MultiplyAuto to
-// also inspect the chosen plan.
+// adaptively from the operands' density profile. Set opt.Complement for
+// C = ¬M .* (A·B). The result is bit-identical to every fixed variant's.
+//
+// Deprecated: use Session.Multiply, which scopes the plan cache and
+// workspaces and takes a context; this wrapper runs on DefaultSession.
 func Multiply(m *Pattern, a, b *Matrix, sr Semiring, opt Options) (*Matrix, error) {
 	c, _, err := MultiplyAuto(m, a, b, sr, opt)
 	return c, err
@@ -120,22 +177,28 @@ func Multiply(m *Pattern, a, b *Matrix, sr Semiring, opt Options) (*Matrix, erro
 
 // MultiplyAuto computes C = M .* (A·B) like Multiply and returns the plan
 // that was executed alongside the product.
+//
+// Deprecated: use Session.MultiplyAuto.
 func MultiplyAuto(m *Pattern, a, b *Matrix, sr Semiring, opt Options) (*Matrix, *Plan, error) {
-	p := planner.Shared.Analyze(m, a.Pattern(), b.Pattern(), opt)
-	c, err := planner.Execute(p, m, a, b, sr, opt, nil)
-	return c, p, err
+	return DefaultSession().MultiplyAuto(legacyCtx(opt), m, a, b,
+		legacyOps(opt, WithAccumulate(sr))...)
 }
 
 // Explain analyzes C = M .* (A·B) without executing it and returns the plan
 // the adaptive path would run.
+//
+// Deprecated: use Session.Explain.
 func Explain(m *Pattern, a, b *Matrix, opt Options) *Plan {
 	return planner.Analyze(m, a.Pattern(), b.Pattern(), opt)
 }
 
 // MultiplyVariant computes C = M .* (A·B) with an explicit algorithm
 // variant. MCA does not support opt.Complement.
+//
+// Deprecated: use Session.Multiply with WithVariant.
 func MultiplyVariant(v Variant, m *Pattern, a, b *Matrix, sr Semiring, opt Options) (*Matrix, error) {
-	return core.MaskedSpGEMM(v, m, a, b, sr, opt)
+	return DefaultSession().Multiply(legacyCtx(opt), m, a, b,
+		legacyOps(opt, WithAccumulate(sr), WithVariant(v))...)
 }
 
 // Variants returns all 12 (algorithm, phase) combinations the paper
@@ -200,33 +263,48 @@ type KTrussResult = apps.KTrussResult
 type BCResult = apps.BCResult
 
 // TriangleCount counts triangles via sum(L .* (L·L)) with degree-descending
-// relabeling, using variant v.
+// relabeling, using variant v (or the planner with opt.Auto).
+//
+// Deprecated: use Session.TriangleCount.
 func TriangleCount(g *Matrix, v Variant, opt Options) (TCResult, error) {
-	return apps.TriangleCount(g, apps.EngineVariant(v, opt))
+	return DefaultSession().TriangleCount(legacyCtx(opt), g,
+		legacyOps(opt, legacyVariant(v, opt))...)
 }
 
 // KTruss computes the k-truss subgraph by iterated masked support counting,
-// using variant v.
+// using variant v (or the planner with opt.Auto).
+//
+// Deprecated: use Session.KTruss.
 func KTruss(g *Matrix, k int, v Variant, opt Options) (*Matrix, KTrussResult, error) {
-	return apps.KTruss(g, k, apps.EngineVariant(v, opt))
+	return DefaultSession().KTruss(legacyCtx(opt), g, k,
+		legacyOps(opt, legacyVariant(v, opt))...)
 }
 
 // BetweennessCentrality computes batched Brandes betweenness centrality
 // contributions for the given sources, using variant v (which must support
 // complemented masks — any variant except MCA).
+//
+// Deprecated: use Session.BC.
 func BetweennessCentrality(g *Matrix, sources []Index, v Variant, opt Options) (BCResult, error) {
-	return apps.BetweennessCentrality(g, sources, apps.EngineVariant(v, opt))
+	return DefaultSession().BC(legacyCtx(opt), g, sources,
+		legacyOps(opt, legacyVariant(v, opt))...)
 }
 
 // --- Baselines (for comparison studies) ---
 
 // SSDot is the SuiteSparse:GraphBLAS-style dot-product baseline.
+//
+// Deprecated: use Session.SSDot, which takes a context and can be
+// cancelled.
 func SSDot(m *Pattern, a, b *Matrix, sr Semiring, threads int) *Matrix {
 	return baseline.SSDot(m, a, b, sr, baseline.Options{Threads: threads})
 }
 
 // SSSaxpy is the SuiteSparse:GraphBLAS-style saxpy baseline (mask applied
 // at gather, not during accumulation).
+//
+// Deprecated: use Session.SSSaxpy, which takes a context and can be
+// cancelled.
 func SSSaxpy(m *Pattern, a, b *Matrix, sr Semiring, threads int) *Matrix {
 	return baseline.SSSaxpy(m, a, b, sr, baseline.Options{Threads: threads})
 }

@@ -1,0 +1,275 @@
+package masked
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/planner"
+)
+
+// Session is the unit of resource ownership of this package: it holds the
+// plan cache, the thread budget, and pooled accumulator workspaces that a
+// sequence of masked products shares. The paper's applications — and the
+// serving workloads the repository grows toward — are iterative loops that
+// re-multiply against a static graph; scoping this state to an explicit
+// session (instead of process-wide globals and per-call allocations) makes
+// each loop's cost proportional to the multiplies it runs, keeps separate
+// workloads isolated from each other, and lets every operation be cancelled
+// mid-multiply through its context.
+//
+//	s := masked.NewSession(masked.WithThreads(8))
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	c, err := s.Multiply(ctx, l.Pattern(), l, l, masked.WithAccumulate(masked.PlusPair()))
+//
+// Operations are configured by descriptor options (Op): WithVariant pins
+// one of the paper's 12 variants, WithAuto (the default) routes through the
+// adaptive planner, WithComplement flips the mask, WithThreads/WithGrain
+// bound parallelism, WithAccumulate selects the semiring of Multiply.
+// Options passed to NewSession become the session's defaults; options
+// passed to an operation override them for that call. The same descriptor
+// vocabulary drives Multiply, the application methods (TriangleCount,
+// KTruss, BC, BFS, MCL, CosineSimilarity, ...) and the baseline engines
+// (SSDot, SSSaxpy).
+//
+// A Session is safe for concurrent use by multiple goroutines and needs no
+// Close: its workspaces are reclaimed by the garbage collector when the
+// session becomes unreachable.
+type Session struct {
+	def   opSpec
+	ws    *core.Workspaces
+	cache *planner.Cache
+}
+
+// Op configures a session or one operation. Ops are created by the With*
+// constructors (WithVariant, WithAuto, WithComplement, WithThreads,
+// WithGrain, WithAccumulate) and applied in order, so later options win.
+type Op func(*opSpec)
+
+// opSpec is the resolved descriptor an operation runs with.
+type opSpec struct {
+	variant    Variant
+	pinned     bool // WithVariant: run variant instead of planning
+	complement bool
+	threads    int
+	grain      int
+	sr         Semiring
+	hasSR      bool
+}
+
+func (d opSpec) apply(opts []Op) opSpec {
+	for _, o := range opts {
+		o(&d)
+	}
+	return d
+}
+
+// semiring returns the descriptor's semiring (Arithmetic when unset).
+func (d opSpec) semiring() Semiring {
+	if d.hasSR {
+		return d.sr
+	}
+	return Arithmetic()
+}
+
+// WithVariant pins one of the paper's 12 algorithm variants instead of
+// letting the planner choose. All variants produce bit-identical results;
+// pinning only fixes the execution strategy.
+func WithVariant(v Variant) Op {
+	return func(d *opSpec) { d.variant, d.pinned = v, true }
+}
+
+// WithAuto routes the operation through the adaptive planner (the §8 cost
+// model with the session's plan cache) — the default; useful to override a
+// session-level WithVariant for one call.
+func WithAuto() Op {
+	return func(d *opSpec) { d.pinned = false }
+}
+
+// WithComplement computes against the complement of the mask:
+// C = ¬M .* (A·B). MCA variants do not support complemented masks.
+func WithComplement() Op {
+	return func(d *opSpec) { d.complement = true }
+}
+
+// WithThreads bounds the operation to n worker goroutines (0 = GOMAXPROCS).
+// One thread budget governs the paper's variants and the baselines alike.
+func WithThreads(n int) Op {
+	return func(d *opSpec) { d.threads = n }
+}
+
+// WithGrain sets the dynamic-scheduling chunk size in rows (0 = default).
+func WithGrain(n int) Op {
+	return func(d *opSpec) { d.grain = n }
+}
+
+// WithAccumulate selects the semiring Multiply accumulates over (default
+// Arithmetic). The application methods fix their own semirings and ignore
+// it.
+func WithAccumulate(sr Semiring) Op {
+	return func(d *opSpec) { d.hasSR, d.sr = true, sr }
+}
+
+// NewSession returns a session with its own plan cache and workspace arena.
+// The given options become the session's defaults for every operation.
+func NewSession(opts ...Op) *Session {
+	return &Session{
+		def:   opSpec{}.apply(opts),
+		ws:    core.NewWorkspaces(),
+		cache: planner.NewCache(),
+	}
+}
+
+// defaultSession backs the deprecated free functions.
+var (
+	defaultOnce    sync.Once
+	defaultSession *Session
+)
+
+// DefaultSession returns the lazily-created process-wide session the
+// deprecated free functions run on. New code should create its own
+// sessions; separate workloads sharing the default session contend for one
+// plan cache and workspace arena.
+func DefaultSession() *Session {
+	defaultOnce.Do(func() { defaultSession = NewSession() })
+	return defaultSession
+}
+
+// options resolves a descriptor into the core execution options, attaching
+// the session's workspaces and the operation's context.
+func (s *Session) options(ctx context.Context, d opSpec) Options {
+	return Options{
+		Threads:    d.threads,
+		Grain:      d.grain,
+		Complement: d.complement,
+		Ctx:        ctx,
+		Workspaces: s.ws,
+	}
+}
+
+// engine builds the apps engine a descriptor names: the pinned variant, or
+// the planner-backed Auto engine sharing the session's plan cache.
+func (s *Session) engine(ctx context.Context, d opSpec) apps.Engine {
+	as := (&apps.Session{Opt: s.options(ctx, d), Cache: s.cache})
+	if d.pinned {
+		return as.EngineVariant(d.variant)
+	}
+	return as.EngineAuto()
+}
+
+// Multiply computes C = M .* (A·B) (or the complement form under
+// WithComplement). By default the variant is planned adaptively with the
+// session's cache; WithVariant pins it. The semiring defaults to Arithmetic
+// (WithAccumulate overrides). Cancelling ctx stops the product mid-multiply
+// and returns ctx.Err().
+func (s *Session) Multiply(ctx context.Context, m *Pattern, a, b *Matrix, opts ...Op) (*Matrix, error) {
+	c, _, err := s.MultiplyAuto(ctx, m, a, b, opts...)
+	return c, err
+}
+
+// MultiplyAuto is Multiply returning also the executed plan (nil when the
+// variant was pinned with WithVariant).
+func (s *Session) MultiplyAuto(ctx context.Context, m *Pattern, a, b *Matrix, opts ...Op) (*Matrix, *Plan, error) {
+	d := s.def.apply(opts)
+	o := s.options(ctx, d)
+	if d.pinned {
+		c, err := core.MaskedSpGEMM(d.variant, m, a, b, d.semiring(), o)
+		return c, nil, err
+	}
+	p := s.cache.Analyze(m, a.Pattern(), b.Pattern(), o)
+	c, err := planner.Execute(p, m, a, b, d.semiring(), o, nil)
+	return c, p, err
+}
+
+// Explain analyzes C = M .* (A·B) without executing it and returns the
+// plan the session's adaptive path would run (consulting and filling the
+// session's plan cache).
+func (s *Session) Explain(m *Pattern, a, b *Matrix, opts ...Op) *Plan {
+	d := s.def.apply(opts)
+	return s.cache.Analyze(m, a.Pattern(), b.Pattern(), s.options(context.Background(), d))
+}
+
+// PlanCacheStats reports the session plan cache's hits and misses.
+func (s *Session) PlanCacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+// --- Applications ---
+
+// TriangleCount counts triangles via sum(L .* (L·L)) with degree-descending
+// relabeling (§8.2).
+func (s *Session) TriangleCount(ctx context.Context, g *Matrix, opts ...Op) (TCResult, error) {
+	d := s.def.apply(opts)
+	return apps.TriangleCount(g, s.engine(ctx, d))
+}
+
+// KTruss computes the k-truss subgraph by iterated masked support counting
+// (§8.3). Each round's masked product runs on the session's workspaces and
+// plan cache; cancelling ctx aborts between or inside rounds.
+func (s *Session) KTruss(ctx context.Context, g *Matrix, k int, opts ...Op) (*Matrix, KTrussResult, error) {
+	d := s.def.apply(opts)
+	return apps.KTruss(g, k, s.engine(ctx, d))
+}
+
+// BC computes batched Brandes betweenness centrality contributions for the
+// given sources (§8.4). The forward sweep uses complemented masks, so MCA
+// variants return an error.
+func (s *Session) BC(ctx context.Context, g *Matrix, sources []Index, opts ...Op) (BCResult, error) {
+	d := s.def.apply(opts)
+	return apps.BetweennessCentrality(g, sources, s.engine(ctx, d))
+}
+
+// BFS runs a single-source direction-optimized breadth-first search; every
+// push/pull step honors ctx and reuses the session's workspaces.
+//
+// BFS is built on the vector primitive (SpGEVM), whose kernel is chosen
+// per step by the push/pull direction heuristic — WithVariant/WithAuto do
+// not apply here; WithThreads and WithGrain do. Use MultiSourceBFS to run
+// a traversal on a pinned SpGEMM variant.
+func (s *Session) BFS(ctx context.Context, g *Matrix, source Index, opts ...Op) (BFSResult, error) {
+	d := s.def.apply(opts)
+	return apps.BFS(g, source, s.options(ctx, d))
+}
+
+// MultiSourceBFS runs BFS from every source simultaneously with
+// complement-masked SpGEMM.
+func (s *Session) MultiSourceBFS(ctx context.Context, g *Matrix, sources []Index, opts ...Op) (MultiSourceBFSResult, error) {
+	d := s.def.apply(opts)
+	return apps.MultiSourceBFS(g, sources, s.engine(ctx, d))
+}
+
+// MCL runs Markov clustering; the masked expansion (o.MaskedExpansion)
+// runs through the session. An unset o.Threads inherits the session's
+// thread budget.
+func (s *Session) MCL(ctx context.Context, g *Matrix, o MCLOptions, opts ...Op) (MCLResult, error) {
+	d := s.def.apply(opts)
+	if o.Threads == 0 {
+		o.Threads = d.threads
+	}
+	return apps.MCL(g, o, s.engine(ctx, d))
+}
+
+// CosineSimilarity scores the candidate item pairs of F·Fᵀ with cosine
+// normalization via masked SpGEMM.
+func (s *Session) CosineSimilarity(ctx context.Context, f *Matrix, candidates *Pattern, opts ...Op) (SimilarityResult, error) {
+	d := s.def.apply(opts)
+	return apps.CosineSimilarity(f, candidates, s.engine(ctx, d))
+}
+
+// --- Baseline engines ---
+
+// SSDot runs the SuiteSparse:GraphBLAS-style dot-product baseline under the
+// session's descriptor (complemented masks unsupported).
+func (s *Session) SSDot(ctx context.Context, m *Pattern, a, b *Matrix, opts ...Op) (*Matrix, error) {
+	d := s.def.apply(opts)
+	as := &apps.Session{Opt: s.options(ctx, d), Cache: s.cache}
+	return as.EngineSSDot().Mult(m, a, b, d.semiring(), d.complement)
+}
+
+// SSSaxpy runs the SuiteSparse:GraphBLAS-style saxpy baseline (mask applied
+// at gather, not during accumulation) under the session's descriptor.
+func (s *Session) SSSaxpy(ctx context.Context, m *Pattern, a, b *Matrix, opts ...Op) (*Matrix, error) {
+	d := s.def.apply(opts)
+	as := &apps.Session{Opt: s.options(ctx, d), Cache: s.cache}
+	return as.EngineSSSaxpy().Mult(m, a, b, d.semiring(), d.complement)
+}

@@ -1,0 +1,274 @@
+package masked
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+func sameCSR(t *testing.T, label string, got, want *Matrix) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("%s: nil matrix (got %v, want %v)", label, got == nil, want == nil)
+	}
+	if !matrix.Equal(got, want, func(a, b float64) bool { return a == b }) {
+		t.Fatalf("%s: results differ (got nnz=%d, want nnz=%d)", label, got.NNZ(), want.NNZ())
+	}
+}
+
+// tcOperands returns the triangle-counting-shaped operands (L, L, mask L)
+// of a power-law graph — the canonical iterative workload.
+func tcOperands(scale, ef int, seed uint64) (*Pattern, *Matrix) {
+	l := Tril(RMAT(scale, ef, seed))
+	return l.Pattern(), l
+}
+
+// TestSessionPooledResultsBitIdentical: repeated calls on one session reuse
+// pooled accumulator workspaces; results must be bit-identical to a fresh
+// session's for every variant, the planner path, and both mask modes.
+func TestSessionPooledResultsBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	lp, l := tcOperands(9, 8, 42)
+	for _, v := range Variants() {
+		for _, comp := range []bool{false, true} {
+			if comp && v.Alg == MCA {
+				continue
+			}
+			ops := []Op{WithVariant(v), WithAccumulate(PlusPair())}
+			if comp {
+				ops = append(ops, WithComplement())
+			}
+			fresh, err := NewSession().Multiply(ctx, lp, l, l, ops...)
+			if err != nil {
+				t.Fatalf("%s fresh: %v", v.Name(), err)
+			}
+			s := NewSession()
+			for rep := 0; rep < 3; rep++ {
+				got, err := s.Multiply(ctx, lp, l, l, ops...)
+				if err != nil {
+					t.Fatalf("%s rep %d: %v", v.Name(), rep, err)
+				}
+				sameCSR(t, v.Name(), got, fresh)
+			}
+		}
+	}
+	// Planner path: warm cache + warm workspaces stay bit-identical.
+	s := NewSession(WithAccumulate(PlusPair()))
+	fresh, err := NewSession().Multiply(ctx, lp, l, l, WithAccumulate(PlusPair()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		got, err := s.Multiply(ctx, lp, l, l)
+		if err != nil {
+			t.Fatalf("auto rep %d: %v", rep, err)
+		}
+		sameCSR(t, "auto", got, fresh)
+	}
+	if hits, _ := s.PlanCacheStats(); hits == 0 {
+		t.Errorf("expected plan-cache hits on repeated session multiplies")
+	}
+}
+
+// TestFreeFunctionsMatchSession: the deprecated free functions are wrappers
+// over DefaultSession and must return bit-identical results to an explicit
+// session (the PR-1 behavior).
+func TestFreeFunctionsMatchSession(t *testing.T) {
+	ctx := context.Background()
+	lp, l := tcOperands(9, 8, 7)
+	want, err := NewSession().Multiply(ctx, lp, l, l, WithAccumulate(PlusPair()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Multiply(lp, l, l, PlusPair(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCSR(t, "Multiply", got, want)
+	for _, v := range Variants() {
+		got, err := MultiplyVariant(v, lp, l, l, PlusPair(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameCSR(t, "MultiplyVariant/"+v.Name(), got, want)
+	}
+	// An application wrapper agrees with its session method.
+	g := RMAT(8, 8, 5)
+	v := Variant{Alg: MSA, Phase: OnePhase}
+	old, err := TriangleCount(g, v, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neu, err := NewSession().TriangleCount(ctx, g, WithVariant(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Triangles != neu.Triangles {
+		t.Fatalf("TriangleCount: free %d != session %d", old.Triangles, neu.Triangles)
+	}
+}
+
+// TestSessionPreCancelledContext: an operation on an already-cancelled
+// context returns context.Canceled without doing the product.
+func TestSessionPreCancelledContext(t *testing.T) {
+	lp, l := tcOperands(12, 16, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := NewSession()
+	start := time.Now()
+	for name, call := range map[string]func() error{
+		"Multiply": func() error {
+			_, err := s.Multiply(ctx, lp, l, l, WithAccumulate(PlusPair()))
+			return err
+		},
+		"Multiply/pinned": func() error {
+			_, err := s.Multiply(ctx, lp, l, l, WithVariant(Variant{Alg: Hash, Phase: TwoPhase}))
+			return err
+		},
+		"TriangleCount": func() error {
+			_, err := s.TriangleCount(ctx, l)
+			return err
+		},
+		"SSSaxpy": func() error {
+			_, err := s.SSSaxpy(ctx, lp, l, l)
+			return err
+		},
+	} {
+		if err := call(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s with cancelled context: got %v, want context.Canceled", name, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("pre-cancelled calls took %v; want a prompt return", elapsed)
+	}
+}
+
+// TestSessionMidFlightCancel: cancelling the context while the product is
+// in flight aborts it promptly (cooperatively, between scheduling chunks)
+// and leaks no goroutines. The semiring's Mul signals the first multiply
+// and then sleeps, so the full product would take minutes — a prompt
+// return is unambiguous proof of mid-flight cancellation.
+func TestSessionMidFlightCancel(t *testing.T) {
+	lp, l := tcOperands(10, 8, 3)
+	started := make(chan struct{})
+	var once sync.Once
+	slow := semiring.Semiring[float64]{
+		Name: "slow-pair",
+		Add:  func(x, y float64) float64 { return x + y },
+		Mul: func(x, y float64) float64 {
+			once.Do(func() { close(started) })
+			time.Sleep(50 * time.Microsecond)
+			return 1
+		},
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-started
+		cancel()
+	}()
+	s := NewSession()
+	start := time.Now()
+	_, err := s.Multiply(ctx, lp, l, l,
+		WithAccumulate(slow), WithVariant(Variant{Alg: MSA, Phase: OnePhase}), WithGrain(8))
+	elapsed := time.Since(start)
+	if err != context.Canceled {
+		t.Fatalf("mid-flight cancel: got %v, want context.Canceled", err)
+	}
+	// Full product: ~flops × 50µs ≫ 30s. Workers only finish the chunk in
+	// hand (8 rows), so a prompt return means the cancel was honored.
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancelled multiply took %v; cancellation was not honored mid-flight", elapsed)
+	}
+	// No goroutine leak: workers drain once they observe the cancel.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("goroutines leaked after cancelled multiply: %d before, %d after", before, now)
+	}
+}
+
+// TestSessionReusesWorkspaceAllocations: a warm session performs strictly
+// fewer allocations per multiply than fresh per-call state, on both the
+// pinned-variant path (workspace pooling) and the planner path (workspace
+// pooling + plan-cache hit). Thread count 1 keeps the counts deterministic.
+func TestSessionReusesWorkspaceAllocations(t *testing.T) {
+	ctx := context.Background()
+	lp, l := tcOperands(10, 8, 9)
+	msa := Variant{Alg: MSA, Phase: OnePhase}
+
+	pinned := []Op{WithThreads(1), WithVariant(msa), WithAccumulate(PlusPair())}
+	warm := NewSession(pinned...)
+	if _, err := warm.Multiply(ctx, lp, l, l); err != nil {
+		t.Fatal(err)
+	}
+	perWarm := testing.AllocsPerRun(10, func() {
+		if _, err := warm.Multiply(ctx, lp, l, l); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perFresh := testing.AllocsPerRun(10, func() {
+		if _, err := NewSession(pinned...).Multiply(ctx, lp, l, l); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perWarm >= perFresh {
+		t.Errorf("pinned: warm session allocs %.0f, fresh state %.0f; want strictly fewer", perWarm, perFresh)
+	}
+
+	auto := []Op{WithThreads(1), WithAccumulate(PlusPair())}
+	warmAuto := NewSession(auto...)
+	if _, err := warmAuto.Multiply(ctx, lp, l, l); err != nil {
+		t.Fatal(err)
+	}
+	perWarmAuto := testing.AllocsPerRun(10, func() {
+		if _, err := warmAuto.Multiply(ctx, lp, l, l); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perFreshAuto := testing.AllocsPerRun(10, func() {
+		if _, err := NewSession(auto...).Multiply(ctx, lp, l, l); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perWarmAuto >= perFreshAuto {
+		t.Errorf("auto: warm session allocs %.0f, fresh state %.0f; want strictly fewer", perWarmAuto, perFreshAuto)
+	}
+}
+
+// benchmarkIterativeApp runs the same iterative application (multi-source
+// BFS: one complement-masked SpGEMM per level) either on one long-lived
+// session or on fresh per-call state. Compare the two with -benchmem: the
+// session run allocates strictly less.
+func benchmarkIterativeApp(b *testing.B, fresh bool) {
+	g := RMAT(11, 8, 7)
+	sources := []Index{0, 1, 2, 3, 4, 5, 6, 7}
+	ctx := context.Background()
+	sess := NewSession()
+	if _, err := sess.MultiSourceBFS(ctx, g, sources); err != nil { // warm the arenas
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sess
+		if fresh {
+			s = NewSession()
+		}
+		if _, err := s.MultiSourceBFS(ctx, g, sources); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiSourceBFSSession(b *testing.B)    { benchmarkIterativeApp(b, false) }
+func BenchmarkMultiSourceBFSFreshState(b *testing.B) { benchmarkIterativeApp(b, true) }
