@@ -466,3 +466,37 @@ func itoa(n int) string {
 	}
 	return string(buf[i:])
 }
+
+// BenchmarkMaskRep compares the CSR probe against the bitmap mask
+// representation on the dense-mask shapes the representation subsystem
+// targets: the k-truss support product (mask = the graph itself, flat ER
+// degrees — MCA's per-A-entry merge regime) and the Hash kernel under a
+// dense mask. The planner's auto thresholds are calibrated from this data.
+func BenchmarkMaskRep(b *testing.B) {
+	loadInputs()
+	erK := grgen.ErdosRenyiSym(1<<11, 32, 21)
+	cases := []struct {
+		name string
+		alg  core.Algorithm
+		m    *matrix.Pattern
+		a, c *matrix.CSR[float64]
+	}{
+		{"ktrussMCA", core.MCA, erK.Pattern(), erK, erK},
+		{"ktrussHash", core.Hash, erK.Pattern(), erK, erK},
+		{"denseMaskHash", core.Hash, erMaskDn, erA, erB},
+	}
+	for _, tc := range cases {
+		for _, rep := range []core.MaskRep{core.RepCSR, core.RepBitmap} {
+			b.Run(tc.name+"/"+rep.String(), func(b *testing.B) {
+				sr := semiring.PlusPairF()
+				v := core.Variant{Alg: tc.alg, Phase: core.OnePhase}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.MaskedSpGEMM(v, tc.m, tc.a, tc.c, sr, core.Options{MaskRep: rep}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

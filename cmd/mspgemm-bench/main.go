@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|all
+//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|maskrep|all
 //
 // Flags:
 //
@@ -16,12 +16,20 @@
 //	-batch N     BC batch size (default 64; paper uses 512)
 //	-dims LIST   comma-separated log2 dimensions for fig7 (default "12,14")
 //	-quick       shrink grids/corpora for a smoke run
+//	-plot        also render each table as an ASCII line chart
 //	-alg NAME    replace each application figure's scheme grid with one
 //	             scheme: "auto" (the adaptive planner), a variant like
 //	             "MSA-1P", or a baseline ("SS:DOT", "SS:SAXPY")
+//	-maskrep R   pin the mask representation for every kernel of the run:
+//	             auto (default; the planner picks per row block), csr,
+//	             bitmap, or dense
 //	-explain     print the adaptive plan for each corpus input to stderr
 //	-timeout D   abort the whole run after duration D (cooperative
 //	             cancellation of in-flight kernels), e.g. -timeout 90s
+//
+// The "maskrep" subcommand is the dense-mask representation study: it times
+// the probe-based kernels under the CSR and bitmap representations on
+// k-truss- and multi-source-BFS-shaped products and reports the speedup.
 package main
 
 import (
@@ -48,6 +56,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a smoke run")
 	plot := flag.Bool("plot", false, "also render each table as an ASCII line chart")
 	alg := flag.String("alg", "", "run application figures with this single scheme (e.g. auto, MSA-1P, SS:SAXPY)")
+	maskRep := flag.String("maskrep", "auto", "pin the mask representation: auto | csr | bitmap | dense")
 	explain := flag.Bool("explain", false, "print the adaptive plan for each corpus input to stderr")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration, e.g. 90s (0 = no limit)")
 	flag.Parse()
@@ -64,9 +73,13 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	rep, err := core.MaskRepByName(*maskRep)
+	if err != nil {
+		fatal(fmt.Errorf("-maskrep: %w", err))
+	}
 	// One engine session for the whole run: every figure shares this plan
 	// cache and thread/context budget.
-	session := apps.NewSession(core.Options{Threads: *threads, Ctx: ctx})
+	session := apps.NewSession(core.Options{Threads: *threads, MaskRep: rep, Ctx: ctx})
 	if *alg != "" {
 		if _, err := session.EngineByName(*alg); err != nil {
 			fatal(fmt.Errorf("-alg: %w", err))
@@ -80,6 +93,7 @@ func main() {
 		BatchSize: *batch,
 		Quick:     *quick,
 		Engine:    *alg,
+		MaskRep:   rep,
 		Explain:   *explain,
 		Ctx:       ctx,
 		Engines:   session,
@@ -114,13 +128,15 @@ func main() {
 			emitT(bench.Fig15(cfg))
 		case "fig16":
 			emit(bench.Fig16(cfg))
+		case "maskrep":
+			emit(bench.MaskRepStudy(cfg))
 		default:
 			fatal(fmt.Errorf("unknown figure %q", name))
 		}
 	}
 	if which == "all" {
 		for _, name := range []string{"fig7", "fig8", "fig9", "fig10", "fig11",
-			"fig12", "fig13", "fig14", "fig15", "fig16"} {
+			"fig12", "fig13", "fig14", "fig15", "fig16", "maskrep"} {
 			run(name)
 		}
 		return

@@ -6,13 +6,16 @@
 // Usage:
 //
 //	mspgemm -a A.mtx -b B.mtx -mask M.mtx [-alg auto|MSA-1P|hybrid]
-//	        [-explain] [-complement] [-semiring arithmetic|plus-pair]
-//	        [-threads N] [-timeout 30s] [-out C.mtx]
+//	        [-maskrep auto|csr|bitmap|dense] [-explain] [-complement]
+//	        [-semiring arithmetic|plus-pair] [-threads N] [-timeout 30s]
+//	        [-out C.mtx]
 //
 // Omitting -b squares A (B = A); omitting -mask uses A's pattern as the
 // mask (the triangle-counting shape). -alg auto selects the variant (or a
-// per-row-block mix) from the operands' density profile; -explain prints
-// the plan the planner chooses for these operands.
+// per-row-block mix) from the operands' density profile; -maskrep pins the
+// mask representation kernels probe membership with (default: chosen per
+// row block); -explain prints the plan the planner chooses for these
+// operands, including the representation per block.
 package main
 
 import (
@@ -35,6 +38,7 @@ func main() {
 	bPath := flag.String("b", "", "Matrix Market file for B (default: A)")
 	mPath := flag.String("mask", "", "Matrix Market file for the mask (default: pattern of A)")
 	algName := flag.String("alg", "auto", "algorithm: 'auto' (planner), a variant (MSA-1P..Inner-2P), or 'hybrid'")
+	maskRep := flag.String("maskrep", "auto", "mask representation: auto | csr | bitmap | dense")
 	explain := flag.Bool("explain", false, "print the adaptive plan for these operands to stderr")
 	complement := flag.Bool("complement", false, "use the complement of the mask")
 	srName := flag.String("semiring", "arithmetic", "semiring: arithmetic | plus-pair | min-plus")
@@ -82,7 +86,9 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opt := core.Options{Threads: *threads, Complement: *complement, Ctx: ctx}
+	rep, err := core.MaskRepByName(*maskRep)
+	check(err)
+	opt := core.Options{Threads: *threads, Complement: *complement, MaskRep: rep, Ctx: ctx}
 	var plan *planner.Plan
 	if *algName == "auto" || *explain {
 		plan = planner.Analyze(mask, a.Pattern(), b.Pattern(), opt)
@@ -98,8 +104,8 @@ func main() {
 		c, err = planner.Execute(plan, mask, a, b, sr, opt, &stats)
 		check(err)
 		for _, bs := range stats {
-			fmt.Fprintf(os.Stderr, "auto: rows [%d,%d) %s → %d entries\n",
-				bs.Block.Lo, bs.Block.Hi, bs.Block.Alg, bs.OutNNZ)
+			fmt.Fprintf(os.Stderr, "auto: rows [%d,%d) %s mask=%s → %d entries\n",
+				bs.Block.Lo, bs.Block.Hi, bs.Block.Alg, bs.Block.Rep, bs.OutNNZ)
 		}
 	case "hybrid":
 		var stats core.HybridStats

@@ -9,8 +9,19 @@ package accum
 //
 // The APos field remembers which A_i* entry spawned the iterator so the
 // kernel can fetch the scale factor u_k = A_ik lazily.
+//
+// Ties on the column index are broken by APos, so entries of one output
+// column pop in A-entry order — the same per-column accumulation order the
+// scatter-based kernels use, which keeps heap results bit-identical to
+// theirs regardless of the push sequence (the mask representations push in
+// different orders).
 type IterHeap struct {
 	h []RowIterator
+}
+
+// before is the heap order: (Col, APos) lexicographic.
+func (a RowIterator) before(b RowIterator) bool {
+	return a.Col < b.Col || (a.Col == b.Col && a.APos < b.APos)
 }
 
 // RowIterator points into one row of B.
@@ -64,7 +75,7 @@ func (ih *IterHeap) siftUp(i int) {
 	h := ih.h
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h[parent].Col <= h[i].Col {
+		if !h[i].before(h[parent]) {
 			break
 		}
 		h[parent], h[i] = h[i], h[parent]
@@ -81,10 +92,10 @@ func (ih *IterHeap) siftDown(i int) {
 			return
 		}
 		m := l
-		if r := l + 1; r < n && h[r].Col < h[l].Col {
+		if r := l + 1; r < n && h[r].before(h[l]) {
 			m = r
 		}
-		if h[i].Col <= h[m].Col {
+		if !h[m].before(h[i]) {
 			return
 		}
 		h[i], h[m] = h[m], h[i]

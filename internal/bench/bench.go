@@ -46,6 +46,9 @@ type Config struct {
 	// grid with the single named scheme: "Auto" (the adaptive planner), a
 	// variant name like "MSA-1P", or a baseline ("SS:DOT", "SS:SAXPY").
 	Engine string
+	// MaskRep pins the mask representation for every kernel of the run
+	// (RepAuto lets the planner pick per block).
+	MaskRep core.MaskRep
 	// Explain prints the adaptive plan of each corpus input's masked
 	// product to stderr before timing it.
 	Explain bool
@@ -61,7 +64,7 @@ type Config struct {
 // Options returns the core execution options every kernel of the run uses
 // (one thread budget and context for variants and baselines alike).
 func (c Config) Options() core.Options {
-	return core.Options{Threads: c.Threads, Ctx: c.Ctx}
+	return core.Options{Threads: c.Threads, MaskRep: c.MaskRep, Ctx: c.Ctx}
 }
 
 // Session returns the run's engine session (cfg.Engines), or a fresh one

@@ -151,6 +151,31 @@ func TestFig15And16Smoke(t *testing.T) {
 	}
 }
 
+func TestMaskRepStudySmoke(t *testing.T) {
+	tb, err := MaskRepStudy(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Header) != 6 {
+		t.Fatalf("header = %v", tb.Header)
+	}
+	if len(tb.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	shapes := map[string]bool{}
+	for _, row := range tb.Rows {
+		shapes[row[1]] = true
+		for _, cell := range row[3:] {
+			if cell == "err" {
+				t.Fatalf("errored row: %v", row)
+			}
+		}
+	}
+	if !shapes["ktruss"] || !shapes["msbfs"] {
+		t.Fatalf("missing shapes: %v", shapes)
+	}
+}
+
 func TestBCSources(t *testing.T) {
 	s := bcSources(100, 10, 1)
 	if len(s) != 10 {

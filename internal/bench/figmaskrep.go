@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grgen"
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+// MaskRepStudy measures the mask-representation subsystem on the two
+// dense-mask workload shapes it targets:
+//
+//   - the k-truss support product S = A .* (A·A) (§8.3), where the mask is
+//     the adjacency itself — every A entry re-walks a dense mask row under
+//     the CSR merge probe;
+//   - the multi-source BFS expansion N = ¬V .* (F·A), where the visited
+//     mask densifies as the traversal saturates.
+//
+// For each shape it times the probe-based kernels with the representation
+// pinned to CSR and to bitmap and reports the speedup. RepAuto's per-block
+// choice is what the planner would run; the pinned columns isolate the
+// representation's own effect. Results are bit-identical across columns by
+// construction, so the comparison is purely about time.
+func MaskRepStudy(cfg Config) (*Table, error) {
+	t := &Table{
+		Title: "Mask representation study: CSR probe vs bitmap on dense masks",
+		Notes: []string{
+			"ktruss shape: S = A .* (A·A) plus-pair; msbfs shape: N = ¬V .* (F·A) after two expansion rounds",
+			"expected: bitmap ≥ 1x on dense masks (MCA sheds its per-A-entry mask merge; Hash sheds its mask-preinserted table)",
+		},
+		Header: []string{"input", "shape", "kernel", "csr_s", "bitmap_s", "speedup"},
+	}
+	scale, deg := 11, 16
+	if cfg.Quick {
+		scale, deg = 9, 8
+	}
+	graphs := []NamedGraph{
+		{Name: fmt.Sprintf("rmat-s%d-d%d", scale, deg), Graph: grgen.RMAT(scale, deg, cfg.Seed+1)},
+		{Name: fmt.Sprintf("er-s%d-d%d", scale, 2*deg), Graph: grgen.ErdosRenyiSym(1<<scale, float64(2*deg), cfg.Seed+2)},
+	}
+	type scenario struct {
+		input, shape string
+		m            *matrix.Pattern
+		a, b         *matrix.CSR[float64]
+		complement   bool
+		algs         []core.Algorithm
+	}
+	var scens []scenario
+	for _, g := range graphs {
+		// k-truss round-1 support counting: mask, A and B are all the graph.
+		scens = append(scens, scenario{
+			input: g.Name, shape: "ktruss", m: g.Graph.Pattern(), a: g.Graph, b: g.Graph,
+			algs: []core.Algorithm{core.MCA, core.Hash, core.Heap},
+		})
+		// Multi-source BFS round 3: two expansion rounds build the visited
+		// mask, then the measured product expands the round-2 frontier
+		// against its complement. MCA cannot run complemented masks.
+		if m, f, err := msbfsRound(g.Graph, 64, cfg); err == nil {
+			scens = append(scens, scenario{
+				input: g.Name, shape: "msbfs", m: m, a: f, b: g.Graph, complement: true,
+				algs: []core.Algorithm{core.Hash, core.Heap},
+			})
+		}
+	}
+	sr := semiring.PlusPairF()
+	for _, sc := range scens {
+		for _, alg := range sc.algs {
+			v := core.Variant{Alg: alg, Phase: core.OnePhase}
+			times := make(map[core.MaskRep]float64)
+			for _, rep := range []core.MaskRep{core.RepCSR, core.RepBitmap} {
+				opt := cfg.Options()
+				opt.Complement = sc.complement
+				opt.MaskRep = rep
+				sec := minTime(cfg.reps(), func() (time.Duration, error) {
+					t0 := time.Now()
+					_, err := core.MaskedSpGEMM(v, sc.m, sc.a, sc.b, sr, opt)
+					return time.Since(t0), err
+				})
+				times[rep] = sec
+			}
+			row := []string{sc.input, sc.shape, v.Name()}
+			csr, bm := times[core.RepCSR], times[core.RepBitmap]
+			if csr < 0 || bm < 0 {
+				row = append(row, "err", "err", "err")
+			} else {
+				row = append(row, fmt.Sprintf("%.4f", csr), fmt.Sprintf("%.4f", bm),
+					fmt.Sprintf("%.2fx", csr/bm))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// msbfsRound runs two rounds of multi-source frontier expansion from nsrc
+// deterministic sources and returns the visited mask and current frontier —
+// the operands of the round-3 product MaskRepStudy measures.
+func msbfsRound(g *matrix.CSR[float64], nsrc matrix.Index, cfg Config) (*matrix.Pattern, *matrix.CSR[float64], error) {
+	n := g.NRows
+	if nsrc > n {
+		nsrc = n
+	}
+	coo := &matrix.COO[float64]{NRows: nsrc, NCols: n}
+	stride := n / nsrc
+	if stride == 0 {
+		stride = 1
+	}
+	for s := matrix.Index(0); s < nsrc; s++ {
+		coo.Row = append(coo.Row, s)
+		coo.Col = append(coo.Col, (s*stride)%n)
+		coo.Val = append(coo.Val, 1)
+	}
+	frontier := matrix.NewCSRFromCOO(coo, func(x, y float64) float64 { return 1 })
+	visited := frontier.Clone()
+	sr := semiring.PlusPairF()
+	opt := cfg.Options()
+	opt.Complement = true
+	for round := 0; round < 2; round++ {
+		next, err := core.MaskedSpGEMM(core.Variant{Alg: core.MSA, Phase: core.OnePhase},
+			visited.Pattern(), frontier, g, sr, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if next.NNZ() == 0 {
+			break
+		}
+		visited = matrix.EWiseAdd(visited, next, func(x, y float64) float64 { return 1 })
+		frontier = next
+	}
+	return visited.Pattern(), frontier, nil
+}

@@ -18,9 +18,24 @@
 // chunk scheduling; workers own reusable accumulator scratch so no per-row
 // allocation happens in steady state.
 //
+// Two orthogonal execution choices layer on top of the (algorithm, phase)
+// variant grid:
+//
+//   - MaskedSpGEMMBlocked runs a *mixed* plan — each contiguous row block
+//     executes its own algorithm family under one global phase, with
+//     bit-identical results to any single-variant run. The adaptive planner
+//     (repro/internal/planner) emits such plans from the §8 cost model.
+//   - MaskRep selects how kernels probe mask-row membership: the sorted-CSR
+//     probe, a pooled per-worker bitmap, or direct indexing of contiguous
+//     dense rows — per block, chosen by the planner or pinned via
+//     Options.MaskRep. Complement is native to every representation, so no
+//     kernel materializes an explicit complement pattern.
+//
 // Requirements: all kernels assume duplicate-free rows. MCA, Heap, HeapDot
 // and Inner additionally require rows (and, for Inner, CSC columns) sorted
-// by index, which every builder in internal/matrix guarantees.
+// by index, which every builder in internal/matrix guarantees; the dense-run
+// mask representation's O(1) row-contiguity check is exact only on sorted
+// mask rows.
 package core
 
 import (
@@ -100,6 +115,13 @@ type Options struct {
 	// caller-pinned variant. The fixed-variant entry points in this package
 	// ignore it; see repro/internal/planner.
 	Auto bool
+	// MaskRep pins the mask representation kernels probe membership with
+	// (sorted-CSR, bitmap, or dense-run direct index). The zero value
+	// RepAuto lets the planner choose per row block — or, on the
+	// fixed-variant entry points, resolves one representation from the
+	// aggregate mask shape. Kernels that cannot exploit the pinned
+	// representation demote it (see MaskRep).
+	MaskRep MaskRep
 	// Ctx, if non-nil, carries a cancellation signal honored cooperatively
 	// by the parallel drivers: workers observe it between scheduling chunks
 	// and the call returns ctx.Err() without completing the product. Nil
@@ -168,7 +190,8 @@ func MaskedSpGEMM[T any](v Variant, m *matrix.Pattern, a, b *matrix.CSR[T], sr s
 	if err := opt.Err(); err != nil {
 		return nil, err
 	}
-	factory, err := algKernelFactory(v.Alg, m, a, b, nil, sr, opt.Complement, opt.Workspaces)
+	rep := resolveRep(opt.MaskRep, v.Alg, m, a, 0, m.NRows, opt.Complement)
+	factory, err := algKernelFactory(v.Alg, rep, m, a, b, nil, sr, opt.Complement, opt.Workspaces)
 	if err != nil {
 		return nil, err
 	}
@@ -177,37 +200,45 @@ func MaskedSpGEMM[T any](v Variant, m *matrix.Pattern, a, b *matrix.CSR[T], sr s
 }
 
 // algKernelFactory builds the per-worker kernel factory for one algorithm
-// family. bcsc may be nil; it is only consulted for Inner, where a non-nil
-// value avoids re-transposing B (blocked plans share one CSC across blocks).
-// ws may be nil (no pooling).
-func algKernelFactory[T any](alg Algorithm, m *matrix.Pattern, a, b *matrix.CSR[T], bcsc *matrix.CSC[T], sr semiring.Semiring[T], complement bool, ws *Workspaces) (func() kernel[T], error) {
+// family, probing the mask through the given resolved representation (not
+// RepAuto; kernels that cannot exploit it demote it). bcsc may be nil; it is
+// only consulted for Inner, where a non-nil value avoids re-transposing B
+// (blocked plans share one CSC across blocks). ws may be nil (no pooling).
+func algKernelFactory[T any](alg Algorithm, rep MaskRep, m *matrix.Pattern, a, b *matrix.CSR[T], bcsc *matrix.CSC[T], sr semiring.Semiring[T], complement bool, ws *Workspaces) (func() kernel[T], error) {
+	rep = SupportedMaskRep(alg, rep, complement)
 	switch alg {
 	case MSA:
-		return newMSAKernelFactory(m, a, b, sr, complement, ws), nil
+		return newMSAKernelFactory(m, a, b, sr, complement, rep, ws), nil
 	case Hash:
-		return newHashKernelFactory(m, a, b, sr, complement, ws), nil
+		return newHashKernelFactory(m, a, b, sr, complement, rep, ws), nil
 	case MCA:
-		return newMCAKernelFactory(m, a, b, sr, ws), nil
+		return newMCAKernelFactory(m, a, b, sr, rep, ws), nil
 	case Heap:
-		return newHeapKernelFactory(m, a, b, sr, complement, 1, ws), nil
+		return newHeapKernelFactory(m, a, b, sr, complement, 1, rep, ws), nil
 	case HeapDot:
-		return newHeapKernelFactory(m, a, b, sr, complement, nInspectAll, ws), nil
+		return newHeapKernelFactory(m, a, b, sr, complement, nInspectAll, rep, ws), nil
 	case Inner:
 		if bcsc == nil {
 			bcsc = matrix.ToCSC(b)
 		}
-		return newInnerKernelFactory(m, a, bcsc, sr, complement), nil
+		return newInnerKernelFactory(m, a, bcsc, sr, complement, rep, ws), nil
 	}
 	return nil, fmt.Errorf("core: unknown algorithm %d", alg)
 }
 
-// ExecBlock assigns an algorithm variant to the contiguous row range
-// [Lo, Hi) of a blocked (mixed-variant) execution plan. The phase is global
-// to the call — the drivers run all blocks under one phase strategy — so a
-// block carries only the algorithm family.
+// ExecBlock assigns an algorithm variant and mask representation to the
+// contiguous row range [Lo, Hi) of a blocked (mixed-variant) execution
+// plan. The phase is global to the call — the drivers run all blocks under
+// one phase strategy — so a block carries only the algorithm family and the
+// representation its kernels probe the mask with (RepAuto resolves from the
+// block's local mask shape). A non-auto Rep is trusted as-is: callers
+// constructing blocks by hand (rather than through the planner, which
+// verifies this) must only set RepDense — or RepBitmap on Hash — when the
+// block's mask rows are sorted.
 type ExecBlock struct {
 	Lo, Hi Index
 	Alg    Algorithm
+	Rep    MaskRep
 }
 
 // BlockStat reports what one block of a blocked execution actually did.
@@ -254,7 +285,22 @@ func MaskedSpGEMMBlocked[T any](phase Phase, blocks []ExecBlock, m *matrix.Patte
 		if blk.Alg == Inner && bcsc == nil {
 			bcsc = matrix.ToCSC(b)
 		}
-		factory, err := algKernelFactory(blk.Alg, m, a, b, bcsc, sr, opt.Complement, opt.Workspaces)
+		// Representation resolution: a caller pin wins over the plan's and
+		// is fully verified (including the sortedness guard); a block rep
+		// set by the planner is trusted without re-scanning — Analyze only
+		// emits sortedness-requiring reps after verifying sortedness — and
+		// just demoted to what the algorithm supports; RepAuto blocks
+		// resolve from the block's local statistics.
+		var rep MaskRep
+		switch {
+		case opt.MaskRep != RepAuto:
+			rep = resolveRep(opt.MaskRep, blk.Alg, m, a, blk.Lo, blk.Hi, opt.Complement)
+		case blk.Rep != RepAuto:
+			rep = SupportedMaskRep(blk.Alg, blk.Rep, opt.Complement)
+		default:
+			rep = resolveRep(RepAuto, blk.Alg, m, a, blk.Lo, blk.Hi, opt.Complement)
+		}
+		factory, err := algKernelFactory(blk.Alg, rep, m, a, b, bcsc, sr, opt.Complement, opt.Workspaces)
 		if err != nil {
 			return nil, err
 		}
@@ -296,7 +342,11 @@ func MaskedDotCSC[T any](phase Phase, m *matrix.Pattern, a *matrix.CSR[T], bcsc 
 	if err := opt.Err(); err != nil {
 		return nil, err
 	}
-	factory := newInnerKernelFactory(m, a, bcsc, sr, opt.Complement)
+	rep := SupportedMaskRep(Inner, opt.MaskRep, opt.Complement)
+	if rep == RepAuto {
+		rep = RepCSR // no planner here; the merge walk is the safe default
+	}
+	factory := newInnerKernelFactory(m, a, bcsc, sr, opt.Complement, rep, opt.Workspaces)
 	bound := innerBound(m, bcsc.NCols, opt.Complement)
 	return runDriver(phase, m, bcsc.NCols, bound, factory, opt)
 }
@@ -346,7 +396,13 @@ func MaskedSpGEMMHeapNInspect[T any](phase Phase, m *matrix.Pattern, a, b *matri
 	if err := checkDims(m, a, b); err != nil {
 		return nil, err
 	}
-	factory := newHeapKernelFactory(m, a, b, sr, opt.Complement, nInspect, opt.Workspaces)
+	// The NInspect knob only exists on the CSR merge path, so the ablation
+	// pins the CSR representation unless the caller explicitly overrides.
+	rep := opt.MaskRep
+	if rep == RepAuto {
+		rep = RepCSR
+	}
+	factory := newHeapKernelFactory(m, a, b, sr, opt.Complement, nInspect, rep, opt.Workspaces)
 	bound := allocBound(m, a, b, opt.Complement)
 	return runDriver(phase, m, b.NCols, bound, factory, opt)
 }
@@ -357,7 +413,9 @@ func MaskedSpGEMMHashLoad[T any](phase Phase, m *matrix.Pattern, a, b *matrix.CS
 	if err := checkDims(m, a, b); err != nil {
 		return nil, err
 	}
-	inner := newHashKernelFactory(m, a, b, sr, opt.Complement, nil)
+	// The load-factor ablation studies the mask-preinserted table, so it
+	// always runs the CSR representation.
+	inner := newHashKernelFactory(m, a, b, sr, opt.Complement, RepCSR, nil)
 	factory := func() kernel[T] {
 		k := inner().(*hashKernel[T])
 		k.acc.SetLoadFactor(num, den)

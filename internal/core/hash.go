@@ -10,29 +10,114 @@ import (
 // table is sized for exactly nnz(mask row) keys at load factor 0.25, mask
 // entries are pre-inserted as Allowed, and the scatter probes instead of
 // indexing a dense array. Gather walks the mask row (stable, sorted output).
+//
+// Under the bitmap or dense-run mask representations the table holds *only
+// output* entries: membership is answered by the probe, so nothing is
+// pre-inserted and the table is sized by the row's actual output instead of
+// its mask row — on dense masks with sparse products this replaces a
+// 4·nnz(mask row) table build with an O(nnz(mask row)) bit scatter (or, for
+// contiguous rows, nothing at all). Normal and complemented masks share the
+// probe path: complement just flips the membership test, so no explicit
+// complement is ever materialized.
 type hashKernel[T any] struct {
-	m    *matrix.Pattern
-	a, b *matrix.CSR[T]
-	sr   semiring.Semiring[T]
-	comp bool
-	acc  *accum.Hash[T]
-	keys []Index // complement-mode gather scratch
-	vals []T
+	m     *matrix.Pattern
+	a, b  *matrix.CSR[T]
+	sr    semiring.Semiring[T]
+	comp  bool
+	acc   *accum.Hash[T]
+	probe *maskProbe // nil for the CSR (mask-preinserted) path
+	keys  []Index    // probe/complement-mode gather scratch
+	vals  []T
 }
 
-func newHashKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], comp bool, ws *Workspaces) func() kernel[T] {
+func newHashKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], comp bool, rep MaskRep, ws *Workspaces) func() kernel[T] {
 	return func() kernel[T] {
-		return &hashKernel[T]{m: m, a: a, b: b, sr: sr, comp: comp,
+		k := &hashKernel[T]{m: m, a: a, b: b, sr: sr, comp: comp,
 			acc: wsGetHash[T](ws, 16)}
+		if rep == RepBitmap || rep == RepDense {
+			k.probe = newMaskProbe(m, rep, ws)
+		}
+		return k
 	}
 }
 
 func (k *hashKernel[T]) recycle(ws *Workspaces) {
 	wsPutHash(ws, k.acc)
 	k.acc = nil
+	if k.probe != nil {
+		k.probe.recycle(ws)
+		k.probe = nil
+	}
+}
+
+// numericRowProbe serves both mask modes under a probe-based representation:
+// only entries that pass the membership test enter the table.
+func (k *hashKernel[T]) numericRowProbe(i Index, col []Index, val []T) Index {
+	if !k.comp && len(k.m.Row(i)) == 0 {
+		return 0
+	}
+	acc, a, b := k.acc, k.a, k.b
+	mul, add := k.sr.Mul, k.sr.Add
+	p := k.probe
+	p.begin(i)
+	acc.PrepareC(16)
+	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+		kcol := a.Col[kk]
+		av := a.Val[kk]
+		for bi := b.RowPtr[kcol]; bi < b.RowPtr[kcol+1]; bi++ {
+			j := b.Col[bi]
+			if p.contains(j) == k.comp { // masked out
+				continue
+			}
+			slot, st := acc.ProbeC(j)
+			if st == accum.NotAllowed {
+				acc.InsertNewAtC(slot, j, mul(av, b.Val[bi]))
+			} else {
+				acc.AddAt(slot, mul(av, b.Val[bi]), add)
+			}
+		}
+	}
+	p.end()
+	k.keys, k.vals = k.keys[:0], k.vals[:0]
+	k.keys, k.vals = acc.GatherC(k.keys, k.vals)
+	sortKeyVals(k.keys, k.vals)
+	copy(col, k.keys)
+	copy(val, k.vals)
+	return Index(len(k.keys))
+}
+
+// symbolicRowProbe is the symbolic twin of numericRowProbe.
+func (k *hashKernel[T]) symbolicRowProbe(i Index) Index {
+	if !k.comp && len(k.m.Row(i)) == 0 {
+		return 0
+	}
+	acc, a, b := k.acc, k.a, k.b
+	p := k.probe
+	p.begin(i)
+	acc.PrepareC(16)
+	var cnt Index
+	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+		kcol := a.Col[kk]
+		for bi := b.RowPtr[kcol]; bi < b.RowPtr[kcol+1]; bi++ {
+			j := b.Col[bi]
+			if p.contains(j) == k.comp {
+				continue
+			}
+			slot, st := acc.ProbeC(j)
+			if st == accum.NotAllowed {
+				acc.MarkNewAtC(slot, j)
+				cnt++
+			}
+		}
+	}
+	p.end()
+	return cnt
 }
 
 func (k *hashKernel[T]) numericRow(i Index, col []Index, val []T) Index {
+	if k.probe != nil {
+		return k.numericRowProbe(i, col, val)
+	}
 	if k.comp {
 		return k.numericRowC(i, col, val)
 	}
@@ -102,6 +187,9 @@ func (k *hashKernel[T]) numericRowC(i Index, col []Index, val []T) Index {
 }
 
 func (k *hashKernel[T]) symbolicRow(i Index) Index {
+	if k.probe != nil {
+		return k.symbolicRowProbe(i)
+	}
 	mrow := k.m.Row(i)
 	acc, a, b := k.acc, k.a, k.b
 	if k.comp {

@@ -26,6 +26,12 @@ const nInspectAll = math.MaxInt32
 //
 // Under a complemented mask the kernel computes products for S \ m instead
 // of S ∩ m and always uses NInspect=0 (§5.5 last paragraph).
+//
+// The merge with the mask row is the CSR mask representation. Under the
+// bitmap or dense-run representations the kernel instead pushes iterators
+// blindly (NInspect is moot — there is no merge frontier to inspect) and
+// answers membership at each pop with an O(1) probe, which avoids the
+// repeated mask-row walks Insert performs on dense masks.
 type heapKernel[T any] struct {
 	m        *matrix.Pattern
 	a, b     *matrix.CSR[T]
@@ -33,21 +39,30 @@ type heapKernel[T any] struct {
 	comp     bool
 	nInspect int32
 	pq       *accum.IterHeap
+	probe    *maskProbe // nil for the CSR merge path
 }
 
-func newHeapKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], comp bool, nInspect int32, ws *Workspaces) func() kernel[T] {
+func newHeapKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], comp bool, nInspect int32, rep MaskRep, ws *Workspaces) func() kernel[T] {
 	if comp {
 		nInspect = 0
 	}
 	return func() kernel[T] {
-		return &heapKernel[T]{m: m, a: a, b: b, sr: sr, comp: comp, nInspect: nInspect,
+		k := &heapKernel[T]{m: m, a: a, b: b, sr: sr, comp: comp, nInspect: nInspect,
 			pq: wsGetHeap(ws)}
+		if rep == RepBitmap || rep == RepDense {
+			k.probe = newMaskProbe(m, rep, ws)
+		}
+		return k
 	}
 }
 
 func (k *heapKernel[T]) recycle(ws *Workspaces) {
 	wsPutHeap(ws, k.pq)
 	k.pq = nil
+	if k.probe != nil {
+		k.probe.recycle(ws)
+		k.probe = nil
+	}
 }
 
 // insert is the Insert procedure of Algorithm 5. it must be valid.
@@ -84,7 +99,55 @@ func (k *heapKernel[T]) insert(it accum.RowIterator, mrow []Index, mPos int) {
 	// Row exhausted, or mask exhausted (nothing left to output): drop.
 }
 
+// numericRowProbe is numericRow under a probe-based mask representation:
+// blind pushes, O(1) membership at pop.
+func (k *heapKernel[T]) numericRowProbe(i Index, col []Index, val []T) Index {
+	if !k.comp && len(k.m.Row(i)) == 0 {
+		return 0
+	}
+	a, b := k.a, k.b
+	mul, add := k.sr.Mul, k.sr.Add
+	p := k.probe
+	p.begin(i)
+	k.pq.Reset()
+	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+		kcol := a.Col[kk]
+		it := accum.RowIterator{Pos: b.RowPtr[kcol], End: b.RowPtr[kcol+1], APos: kk}
+		if it.Valid() {
+			it.Col = b.Col[it.Pos]
+			k.pq.Push(it)
+		}
+	}
+	prevKey := Index(-1)
+	var cnt Index
+	for k.pq.Len() > 0 {
+		min := k.pq.PopMin()
+		if p.contains(min.Col) != k.comp { // keep: mask hit (normal) or miss (complement)
+			j := min.Col
+			v := mul(a.Val[min.APos], b.Val[min.Pos])
+			if prevKey == j {
+				val[cnt-1] = add(val[cnt-1], v)
+			} else {
+				col[cnt] = j
+				val[cnt] = v
+				cnt++
+				prevKey = j
+			}
+		}
+		min.Pos++
+		if min.Pos < min.End {
+			min.Col = b.Col[min.Pos]
+			k.pq.Push(min)
+		}
+	}
+	p.end()
+	return cnt
+}
+
 func (k *heapKernel[T]) numericRow(i Index, col []Index, val []T) Index {
+	if k.probe != nil {
+		return k.numericRowProbe(i, col, val)
+	}
 	mrow := k.m.Row(i)
 	if !k.comp && len(mrow) == 0 {
 		return 0
@@ -131,7 +194,45 @@ func (k *heapKernel[T]) numericRow(i Index, col []Index, val []T) Index {
 	return cnt
 }
 
+// symbolicRowProbe is symbolicRow under a probe-based mask representation.
+func (k *heapKernel[T]) symbolicRowProbe(i Index) Index {
+	if !k.comp && len(k.m.Row(i)) == 0 {
+		return 0
+	}
+	a, b := k.a, k.b
+	p := k.probe
+	p.begin(i)
+	k.pq.Reset()
+	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+		kcol := a.Col[kk]
+		it := accum.RowIterator{Pos: b.RowPtr[kcol], End: b.RowPtr[kcol+1], APos: kk}
+		if it.Valid() {
+			it.Col = b.Col[it.Pos]
+			k.pq.Push(it)
+		}
+	}
+	prevKey := Index(-1)
+	var cnt Index
+	for k.pq.Len() > 0 {
+		min := k.pq.PopMin()
+		if p.contains(min.Col) != k.comp && prevKey != min.Col {
+			cnt++
+			prevKey = min.Col
+		}
+		min.Pos++
+		if min.Pos < min.End {
+			min.Col = b.Col[min.Pos]
+			k.pq.Push(min)
+		}
+	}
+	p.end()
+	return cnt
+}
+
 func (k *heapKernel[T]) symbolicRow(i Index) Index {
+	if k.probe != nil {
+		return k.symbolicRowProbe(i)
+	}
 	mrow := k.m.Row(i)
 	if !k.comp && len(mrow) == 0 {
 		return 0

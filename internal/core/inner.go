@@ -17,22 +17,36 @@ import (
 // row, which is why the paper excludes pull-based algorithms from the
 // betweenness centrality benchmark as prohibitively slow. Provided here for
 // completeness and correctness testing.
+//
+// Mask representations only matter to the complemented form (in normal mode
+// the mask *drives* the iteration; there is nothing to probe): the bitmap
+// replaces the merge walk with O(1) probes, and a dense-run row skips its
+// whole excluded range [lo,hi) in one jump.
 type innerKernel[T any] struct {
-	m    *matrix.Pattern
-	a    *matrix.CSR[T]
-	bcsc *matrix.CSC[T]
-	sr   semiring.Semiring[T]
-	comp bool
+	m     *matrix.Pattern
+	a     *matrix.CSR[T]
+	bcsc  *matrix.CSC[T]
+	sr    semiring.Semiring[T]
+	comp  bool
+	probe *maskProbe // non-nil only for complemented probe representations
 }
 
-func newInnerKernelFactory[T any](m *matrix.Pattern, a *matrix.CSR[T], bcsc *matrix.CSC[T], sr semiring.Semiring[T], comp bool) func() kernel[T] {
+func newInnerKernelFactory[T any](m *matrix.Pattern, a *matrix.CSR[T], bcsc *matrix.CSC[T], sr semiring.Semiring[T], comp bool, rep MaskRep, ws *Workspaces) func() kernel[T] {
 	return func() kernel[T] {
-		return &innerKernel[T]{m: m, a: a, bcsc: bcsc, sr: sr, comp: comp}
+		k := &innerKernel[T]{m: m, a: a, bcsc: bcsc, sr: sr, comp: comp}
+		if comp && (rep == RepBitmap || rep == RepDense) {
+			k.probe = newMaskProbe(m, rep, ws)
+		}
+		return k
 	}
 }
 
-// recycle is a no-op: the inner kernel holds no per-worker scratch.
-func (k *innerKernel[T]) recycle(*Workspaces) {}
+func (k *innerKernel[T]) recycle(ws *Workspaces) {
+	if k.probe != nil {
+		k.probe.recycle(ws)
+		k.probe = nil
+	}
+}
 
 // dot merges the sorted index lists and accumulates matching products.
 // ok reports whether the patterns intersect at all.
@@ -98,6 +112,26 @@ func (k *innerKernel[T]) numericRow(i Index, col []Index, val []T) Index {
 		}
 		return cnt
 	}
+	if p := k.probe; p != nil {
+		p.begin(i)
+		for j := Index(0); j < k.bcsc.NCols; j++ {
+			if p.rep == RepDense && p.runOK && j == p.lo {
+				j = p.hi - 1 // skip the whole excluded run
+				continue
+			}
+			if p.contains(j) {
+				continue
+			}
+			bIdx, bVal := k.bcsc.Column(j)
+			if v, ok := k.dot(aIdx, aVal, bIdx, bVal); ok {
+				col[cnt] = j
+				val[cnt] = v
+				cnt++
+			}
+		}
+		p.end()
+		return cnt
+	}
 	mi := 0
 	for j := Index(0); j < k.bcsc.NCols; j++ {
 		if mi < len(mrow) && mrow[mi] == j {
@@ -129,6 +163,24 @@ func (k *innerKernel[T]) symbolicRow(i Index) Index {
 				cnt++
 			}
 		}
+		return cnt
+	}
+	if p := k.probe; p != nil {
+		p.begin(i)
+		for j := Index(0); j < k.bcsc.NCols; j++ {
+			if p.rep == RepDense && p.runOK && j == p.lo {
+				j = p.hi - 1
+				continue
+			}
+			if p.contains(j) {
+				continue
+			}
+			bIdx, _ := k.bcsc.Column(j)
+			if dotPattern(aIdx, bIdx) {
+				cnt++
+			}
+		}
+		p.end()
 		return cnt
 	}
 	mi := 0

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+// randFloatCSR is randCSR with irrational-ish values, so any change in
+// floating-point accumulation order changes result bits — the signal the
+// bit-identity tests below rely on.
+func randFloatCSR(r *rand.Rand, m, n Index, density float64) *matrix.CSR[float64] {
+	coo := &matrix.COO[float64]{NRows: m, NCols: n}
+	target := int(density * float64(m) * float64(n))
+	for e := 0; e < target; e++ {
+		coo.Row = append(coo.Row, Index(r.Intn(int(m))))
+		coo.Col = append(coo.Col, Index(r.Intn(int(n))))
+		coo.Val = append(coo.Val, r.Float64()*2-1)
+	}
+	return matrix.NewCSRFromCOO(coo, func(a, b float64) float64 { return a + b })
+}
+
+// runMask builds a mask whose rows are contiguous runs — the dense-row
+// direct-index shape — with random bounds per row (some rows empty).
+func runMask(r *rand.Rand, m, n Index) *matrix.Pattern {
+	coo := &matrix.COO[float64]{NRows: m, NCols: n}
+	for i := Index(0); i < m; i++ {
+		if r.Intn(8) == 0 {
+			continue // empty row
+		}
+		lo := Index(r.Intn(int(n)))
+		hi := lo + Index(1+r.Intn(int(n-lo)))
+		for j := lo; j < hi; j++ {
+			coo.Row = append(coo.Row, i)
+			coo.Col = append(coo.Col, j)
+			coo.Val = append(coo.Val, 1)
+		}
+	}
+	return matrix.NewCSRFromCOO(coo, func(a, b float64) float64 { return 1 }).Pattern()
+}
+
+// TestMaskRepEquivalence is the representation-equivalence property test:
+// for every variant, phase, mask mode and mask shape, the bitmap and dense
+// representations must produce output bit-identical to the CSR probe (same
+// pattern, same value bits — accumulation order is part of the contract).
+func TestMaskRepEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	sr := semiring.Arithmetic()
+	intSR := semiring.Arithmetic()
+	type maskGen func(r *rand.Rand, m, n Index) *matrix.Pattern
+	sparseMask := func(r *rand.Rand, m, n Index) *matrix.Pattern {
+		return randFloatCSR(r, m, n, 0.1).Pattern()
+	}
+	denseMask := func(r *rand.Rand, m, n Index) *matrix.Pattern {
+		return randFloatCSR(r, m, n, 0.6).Pattern()
+	}
+	shapes := []struct {
+		name    string
+		m, k, n Index
+		mask    maskGen
+	}{
+		{"sparse", 40, 30, 50, sparseMask},
+		{"dense", 32, 24, 48, denseMask},
+		{"runs", 33, 29, 41, runMask},
+		{"tiny", 3, 2, 2, denseMask},
+	}
+	reps := []MaskRep{RepCSR, RepBitmap, RepDense}
+	for _, sh := range shapes {
+		a := randFloatCSR(r, sh.m, sh.k, 0.25)
+		b := randFloatCSR(r, sh.k, sh.n, 0.25)
+		mask := sh.mask(r, sh.m, sh.n)
+		aInt := randCSR(r, sh.m, sh.k, 0.25)
+		bInt := randCSR(r, sh.k, sh.n, 0.25)
+		for _, v := range AllVariants() {
+			for _, comp := range []bool{false, true} {
+				if comp && !v.SupportsComplement() {
+					continue
+				}
+				// Integer-valued correctness oracle: every representation
+				// must match the sequential reference exactly.
+				wantInt := Reference(mask, aInt, bInt, intSR, comp)
+				var baseline *matrix.CSR[float64]
+				for _, rep := range reps {
+					opt := Options{Threads: 2, Grain: 3, Complement: comp, MaskRep: rep}
+					gotInt, err := MaskedSpGEMM(v, mask, aInt, bInt, intSR, opt)
+					if err != nil {
+						t.Fatalf("%s %s comp=%v rep=%s: %v", sh.name, v.Name(), comp, rep, err)
+					}
+					if !matrix.Equal(gotInt, wantInt, eqF) {
+						t.Fatalf("%s %s comp=%v rep=%s: mismatch vs reference", sh.name, v.Name(), comp, rep)
+					}
+					// Float-valued bit-identity across representations.
+					got, err := MaskedSpGEMM(v, mask, a, b, sr, opt)
+					if err != nil {
+						t.Fatalf("%s %s comp=%v rep=%s: %v", sh.name, v.Name(), comp, rep, err)
+					}
+					if err := got.Validate(); err != nil {
+						t.Fatalf("%s %s comp=%v rep=%s: invalid: %v", sh.name, v.Name(), comp, rep, err)
+					}
+					if baseline == nil {
+						baseline = got
+						continue
+					}
+					if !matrix.Equal(got, baseline, eqF) {
+						t.Fatalf("%s %s comp=%v rep=%s: not bit-identical to %s", sh.name, v.Name(), comp, rep, reps[0])
+					}
+				}
+				baseline = nil
+			}
+		}
+	}
+}
+
+// TestMaskRepPooledEquivalence re-runs a dense-mask product on shared
+// Workspaces (pooled bitmap words) and checks results stay bit-identical to
+// pool-free runs across repetitions.
+func TestMaskRepPooledEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	sr := semiring.Arithmetic()
+	a := randFloatCSR(r, 48, 40, 0.3)
+	b := randFloatCSR(r, 40, 56, 0.3)
+	mask := randFloatCSR(r, 48, 56, 0.7).Pattern()
+	ws := NewWorkspaces()
+	for _, v := range []Variant{{Hash, OnePhase}, {MCA, TwoPhase}, {Heap, OnePhase}} {
+		want, err := MaskedSpGEMM(v, mask, a, b, sr, Options{MaskRep: RepBitmap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 3; rep++ {
+			got, err := MaskedSpGEMM(v, mask, a, b, sr,
+				Options{Threads: 3, MaskRep: RepBitmap, Workspaces: ws})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matrix.Equal(got, want, eqF) {
+				t.Fatalf("%s rep %d: pooled bitmap result differs", v.Name(), rep)
+			}
+		}
+	}
+}
+
+func TestMaskRepNamesAndLookup(t *testing.T) {
+	for _, rep := range []MaskRep{RepAuto, RepCSR, RepBitmap, RepDense} {
+		got, err := MaskRepByName(rep.String())
+		if err != nil || got != rep {
+			t.Fatalf("MaskRepByName(%q) = %v, %v", rep.String(), got, err)
+		}
+	}
+	if _, err := MaskRepByName("nope"); err == nil {
+		t.Fatal("expected error for unknown representation")
+	}
+	if MaskRep(200).String() == "" {
+		t.Fatal("fallback String must be non-empty")
+	}
+}
+
+func TestSupportedMaskRepDemotions(t *testing.T) {
+	if got := SupportedMaskRep(MSA, RepBitmap, false); got != RepCSR {
+		t.Fatalf("MSA+bitmap = %s, want csr (dense state array already direct-indexed)", got)
+	}
+	if got := SupportedMaskRep(MSA, RepDense, false); got != RepDense {
+		t.Fatalf("MSA+dense = %s, want dense", got)
+	}
+	if got := SupportedMaskRep(Inner, RepBitmap, false); got != RepCSR {
+		t.Fatalf("Inner normal+bitmap = %s, want csr (mask drives iteration)", got)
+	}
+	if got := SupportedMaskRep(Inner, RepBitmap, true); got != RepBitmap {
+		t.Fatalf("Inner complement+bitmap = %s, want bitmap", got)
+	}
+	if got := SupportedMaskRep(Hash, RepBitmap, false); got != RepBitmap {
+		t.Fatalf("Hash+bitmap = %s, want bitmap", got)
+	}
+}
+
+func TestAutoMaskRepRules(t *testing.T) {
+	// Dense flat mask rows with multi-entry A rows: MCA takes the bitmap.
+	if got := AutoMaskRep(MCA, false, 100, 100*64, 100*8, 0, 0); got != RepBitmap {
+		t.Fatalf("MCA dense = %s, want bitmap", got)
+	}
+	// Small mask rows: everyone stays on CSR.
+	if got := AutoMaskRep(MCA, false, 100, 100*4, 100*8, 0, 0); got != RepCSR {
+		t.Fatalf("MCA sparse = %s, want csr", got)
+	}
+	// Heap never auto-selects the bitmap (measured regression).
+	if got := AutoMaskRep(Heap, false, 100, 100*512, 100*8, 0, 0); got != RepCSR {
+		t.Fatalf("Heap dense = %s, want csr", got)
+	}
+	// Hash needs longer rows than MCA.
+	if got := AutoMaskRep(Hash, false, 100, 100*64, 100*2, 0, 0); got != RepBitmap {
+		t.Fatalf("Hash dense = %s, want bitmap", got)
+	}
+	// Contiguous-run masks select the dense direct index.
+	if got := AutoMaskRep(MSA, false, 100, 100*16, 100*2, 96, 100); got != RepDense {
+		t.Fatalf("MSA runs = %s, want dense", got)
+	}
+	// Empty masks are trivially CSR.
+	if got := AutoMaskRep(Hash, false, 100, 0, 100, 0, 0); got != RepCSR {
+		t.Fatalf("empty mask = %s, want csr", got)
+	}
+}
+
+func TestAdoptMaskRepHint(t *testing.T) {
+	if got := AdoptMaskRepHint(Hash, RepBitmap, false); got != RepBitmap {
+		t.Fatalf("Hash hint = %s, want bitmap", got)
+	}
+	if got := AdoptMaskRepHint(Heap, RepBitmap, false); got != RepAuto {
+		t.Fatalf("Heap hint = %s, want auto", got)
+	}
+	if got := AdoptMaskRepHint(Inner, RepBitmap, true); got != RepBitmap {
+		t.Fatalf("Inner complement hint = %s, want bitmap", got)
+	}
+	if got := AdoptMaskRepHint(MCA, RepAuto, false); got != RepAuto {
+		t.Fatalf("pass-through = %s, want auto", got)
+	}
+}
+
+// TestDensePinOnUnsortedMask: MSA and Hash legally accept unsorted mask
+// rows, so a pinned RepDense must be demoted there (its O(1) contiguity
+// check and sorted-row fallback probe would silently corrupt output) and
+// results must match the CSR probe exactly.
+func TestDensePinOnUnsortedMask(t *testing.T) {
+	// Hand-built mask with an unsorted row [5,2,9] that RowRun would treat
+	// as a non-run and the sorted fallback would probe incorrectly.
+	mask := &matrix.Pattern{
+		NRows: 2, NCols: 12,
+		RowPtr: []Index{0, 3, 5},
+		Col:    []Index{5, 2, 9, 1, 3},
+	}
+	r := rand.New(rand.NewSource(3))
+	a := randCSR(r, 2, 4, 0.9)
+	b := randCSR(r, 4, 12, 0.9)
+	sr := semiring.Arithmetic()
+	for _, alg := range []Algorithm{MSA, Hash} {
+		v := Variant{alg, OnePhase}
+		want, err := MaskedSpGEMM(v, mask, a, b, sr, Options{MaskRep: RepCSR})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// RepBitmap matters for Hash: its sort-based gather would reorder
+		// rows relative to the CSR path's mask-order gather.
+		for _, pin := range []MaskRep{RepDense, RepBitmap} {
+			got, err := MaskedSpGEMM(v, mask, a, b, sr, Options{MaskRep: pin})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !matrix.Equal(got, want, eqF) {
+				t.Fatalf("%s: %s pin on unsorted mask differs from CSR probe", v.Name(), pin)
+			}
+		}
+	}
+}
+
+// TestBlockedMixedReps runs a blocked plan whose blocks pin different
+// representations and checks bit-identity with a uniform run.
+func TestBlockedMixedReps(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	sr := semiring.Arithmetic()
+	a := randFloatCSR(r, 60, 40, 0.3)
+	b := randFloatCSR(r, 40, 50, 0.3)
+	mask := randFloatCSR(r, 60, 50, 0.5).Pattern()
+	want, err := MaskedSpGEMM(Variant{Hash, OnePhase}, mask, a, b, sr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := []ExecBlock{
+		{Lo: 0, Hi: 20, Alg: Hash, Rep: RepCSR},
+		{Lo: 20, Hi: 40, Alg: Hash, Rep: RepBitmap},
+		{Lo: 40, Hi: 60, Alg: Hash, Rep: RepDense},
+	}
+	got, err := MaskedSpGEMMBlocked(OnePhase, blocks, mask, a, b, sr, Options{Threads: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(got, want, eqF) {
+		t.Fatal("mixed-representation blocked run differs from uniform run")
+	}
+}

@@ -8,27 +8,42 @@ import (
 
 // mcaKernel implements Algorithm 3, the Mask Compressed Accumulator masked
 // SpGEVM (§5.4): the accumulator is indexed by mask *position* rather than
-// column id, so its arrays are only nnz(mask row) long. For each nonzero
-// A_ik the sorted B row B_k* is merged against the sorted mask row; matches
-// insert at the mask position, which the merge yields for free.
+// column id, so its arrays are only nnz(mask row) long.
+//
+// The mask representation decides how B entries find their mask position.
+// Under the CSR representation each nonzero A_ik merges the sorted B row
+// B_k* against the sorted mask row — O(nnz(m_i) + nnz(B_k*)) per A entry,
+// which for dense mask rows re-walks the whole mask once per A entry. Under
+// the bitmap representation membership is a single O(1) probe per flop and
+// only the *hits* pay a binary search for their position; under the
+// dense-run representation the position is j-lo with no scatter at all.
 //
 // Requires sorted mask and B rows; does not support complemented masks.
 type mcaKernel[T any] struct {
-	m    *matrix.Pattern
-	a, b *matrix.CSR[T]
-	sr   semiring.Semiring[T]
-	acc  *accum.MCA[T]
+	m     *matrix.Pattern
+	a, b  *matrix.CSR[T]
+	sr    semiring.Semiring[T]
+	acc   *accum.MCA[T]
+	probe *maskProbe // nil for the CSR merge path
 }
 
-func newMCAKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], ws *Workspaces) func() kernel[T] {
+func newMCAKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], rep MaskRep, ws *Workspaces) func() kernel[T] {
 	return func() kernel[T] {
-		return &mcaKernel[T]{m: m, a: a, b: b, sr: sr, acc: wsGetMCA[T](ws, 64)}
+		k := &mcaKernel[T]{m: m, a: a, b: b, sr: sr, acc: wsGetMCA[T](ws, 64)}
+		if rep == RepBitmap || rep == RepDense {
+			k.probe = newMaskProbe(m, rep, ws)
+		}
+		return k
 	}
 }
 
 func (k *mcaKernel[T]) recycle(ws *Workspaces) {
 	wsPutMCA(ws, k.acc)
 	k.acc = nil
+	if k.probe != nil {
+		k.probe.recycle(ws)
+		k.probe = nil
+	}
 }
 
 func (k *mcaKernel[T]) numericRow(i Index, col []Index, val []T) Index {
@@ -39,25 +54,46 @@ func (k *mcaKernel[T]) numericRow(i Index, col []Index, val []T) Index {
 	acc, a, b := k.acc, k.a, k.b
 	mul, add := k.sr.Mul, k.sr.Add
 	acc.Prepare(len(mrow))
-	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
-		kcol := a.Col[kk]
-		av := a.Val[kk]
-		bLo, bHi := b.RowPtr[kcol], b.RowPtr[kcol+1]
-		bi := bLo
-		// Enumerate the mask row; advance the B row iterator past smaller
-		// columns (Algorithm 3 lines 4-8).
-		for idx, j := range mrow {
-			for bi < bHi && b.Col[bi] < j {
-				bi++
-			}
-			if bi >= bHi {
-				break
-			}
-			if b.Col[bi] == j {
-				if acc.State(Index(idx)) == accum.Set {
-					acc.Add(Index(idx), mul(av, b.Val[bi]), add)
+	if p := k.probe; p != nil {
+		p.begin(i)
+		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+			kcol := a.Col[kk]
+			av := a.Val[kk]
+			for bi := b.RowPtr[kcol]; bi < b.RowPtr[kcol+1]; bi++ {
+				j := b.Col[bi]
+				if !p.contains(j) {
+					continue
+				}
+				idx := p.pos(j)
+				if acc.State(idx) == accum.Set {
+					acc.Add(idx, mul(av, b.Val[bi]), add)
 				} else {
-					acc.Store(Index(idx), mul(av, b.Val[bi]))
+					acc.Store(idx, mul(av, b.Val[bi]))
+				}
+			}
+		}
+		p.end()
+	} else {
+		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+			kcol := a.Col[kk]
+			av := a.Val[kk]
+			bLo, bHi := b.RowPtr[kcol], b.RowPtr[kcol+1]
+			bi := bLo
+			// Enumerate the mask row; advance the B row iterator past smaller
+			// columns (Algorithm 3 lines 4-8).
+			for idx, j := range mrow {
+				for bi < bHi && b.Col[bi] < j {
+					bi++
+				}
+				if bi >= bHi {
+					break
+				}
+				if b.Col[bi] == j {
+					if acc.State(Index(idx)) == accum.Set {
+						acc.Add(Index(idx), mul(av, b.Val[bi]), add)
+					} else {
+						acc.Store(Index(idx), mul(av, b.Val[bi]))
+					}
 				}
 			}
 		}
@@ -80,19 +116,33 @@ func (k *mcaKernel[T]) symbolicRow(i Index) Index {
 	}
 	acc, a, b := k.acc, k.a, k.b
 	acc.Prepare(len(mrow))
-	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
-		kcol := a.Col[kk]
-		bLo, bHi := b.RowPtr[kcol], b.RowPtr[kcol+1]
-		bi := bLo
-		for idx, j := range mrow {
-			for bi < bHi && b.Col[bi] < j {
-				bi++
+	if p := k.probe; p != nil {
+		p.begin(i)
+		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+			kcol := a.Col[kk]
+			for bi := b.RowPtr[kcol]; bi < b.RowPtr[kcol+1]; bi++ {
+				j := b.Col[bi]
+				if p.contains(j) {
+					acc.Mark(p.pos(j))
+				}
 			}
-			if bi >= bHi {
-				break
-			}
-			if b.Col[bi] == j {
-				acc.Mark(Index(idx))
+		}
+		p.end()
+	} else {
+		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+			kcol := a.Col[kk]
+			bLo, bHi := b.RowPtr[kcol], b.RowPtr[kcol+1]
+			bi := bLo
+			for idx, j := range mrow {
+				for bi < bHi && b.Col[bi] < j {
+					bi++
+				}
+				if bi >= bHi {
+					break
+				}
+				if b.Col[bi] == j {
+					acc.Mark(Index(idx))
+				}
 			}
 		}
 	}

@@ -12,17 +12,25 @@ import (
 // mark the mask entries allowed, scatter the scaled B rows through the MSA
 // state machine, then gather in mask order (which keeps output rows sorted
 // because mask rows are sorted).
+//
+// The MSA's dense state array is itself a direct-index mask representation,
+// so the bitmap adds nothing here; only the dense-run representation changes
+// execution. A mask row that is a contiguous run [lo,hi) skips the
+// SetAllowed/SetNotAllowed scatter (and the complement path's mask-row
+// reset): membership is the range check, with the state array used purely
+// for accumulation. Non-run rows fall back to the scatter row by row.
 type msaKernel[T any] struct {
-	m    *matrix.Pattern
-	a, b *matrix.CSR[T]
-	sr   semiring.Semiring[T]
-	comp bool
-	acc  *accum.MSA[T]
+	m     *matrix.Pattern
+	a, b  *matrix.CSR[T]
+	sr    semiring.Semiring[T]
+	comp  bool
+	dense bool // RepDense: direct-index contiguous mask rows
+	acc   *accum.MSA[T]
 }
 
-func newMSAKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], comp bool, ws *Workspaces) func() kernel[T] {
+func newMSAKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], comp bool, rep MaskRep, ws *Workspaces) func() kernel[T] {
 	return func() kernel[T] {
-		return &msaKernel[T]{m: m, a: a, b: b, sr: sr, comp: comp,
+		return &msaKernel[T]{m: m, a: a, b: b, sr: sr, comp: comp, dense: rep == RepDense,
 			acc: wsGetMSA[T](ws, int(b.NCols))}
 	}
 }
@@ -32,7 +40,62 @@ func (k *msaKernel[T]) recycle(ws *Workspaces) {
 	k.acc = nil
 }
 
+// numericRowRun is the dense-run numeric row: no mask scatter, membership by
+// range check. In normal mode the in-run default state NotAllowed plays the
+// role of Allowed; in complement mode in-run columns are skipped outright
+// and the insertion log drives the gather as usual.
+func (k *msaKernel[T]) numericRowRun(i Index, lo, hi Index, col []Index, val []T) Index {
+	mrow := k.m.Row(i)
+	acc, a, b := k.acc, k.a, k.b
+	mul, add := k.sr.Mul, k.sr.Add
+	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+		kcol := a.Col[kk]
+		av := a.Val[kk]
+		for p := b.RowPtr[kcol]; p < b.RowPtr[kcol+1]; p++ {
+			j := b.Col[p]
+			if (j >= lo && j < hi) == k.comp { // masked out
+				continue
+			}
+			switch acc.State(j) {
+			case accum.NotAllowed:
+				if k.comp {
+					acc.StoreC(j, mul(av, b.Val[p]))
+				} else {
+					acc.Store(j, mul(av, b.Val[p]))
+				}
+			case accum.Set:
+				acc.Add(j, mul(av, b.Val[p]), add)
+			}
+		}
+	}
+	var cnt Index
+	if k.comp {
+		ins := acc.Inserted()
+		sortIndices(ins)
+		for _, j := range ins {
+			col[cnt] = j
+			val[cnt] = acc.Value(j)
+			cnt++
+		}
+		acc.ResetC(nil) // no Excluded marks were scattered
+		return cnt
+	}
+	for _, j := range mrow {
+		if v, ok := acc.Remove(j); ok {
+			col[cnt] = j
+			val[cnt] = v
+			cnt++
+		}
+	}
+	return cnt
+}
+
 func (k *msaKernel[T]) numericRow(i Index, col []Index, val []T) Index {
+	if k.dense {
+		if lo, hi, ok := matrix.RowRun(k.m.Row(i)); ok {
+			return k.numericRowRun(i, lo, hi, col, val)
+		}
+	}
 	if k.comp {
 		return k.numericRowC(i, col, val)
 	}
@@ -104,7 +167,47 @@ func (k *msaKernel[T]) numericRowC(i Index, col []Index, val []T) Index {
 	return cnt
 }
 
+// symbolicRowRun is the dense-run symbolic row: range-check membership, no
+// mask scatter.
+func (k *msaKernel[T]) symbolicRowRun(i Index, lo, hi Index) Index {
+	mrow := k.m.Row(i)
+	acc, a, b := k.acc, k.a, k.b
+	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+		kcol := a.Col[kk]
+		for p := b.RowPtr[kcol]; p < b.RowPtr[kcol+1]; p++ {
+			j := b.Col[p]
+			if (j >= lo && j < hi) == k.comp {
+				continue
+			}
+			if acc.State(j) == accum.NotAllowed {
+				if k.comp {
+					acc.MarkC(j)
+				} else {
+					acc.Mark(j)
+				}
+			}
+		}
+	}
+	if k.comp {
+		cnt := Index(len(acc.Inserted()))
+		acc.ResetC(nil)
+		return cnt
+	}
+	var cnt Index
+	for _, j := range mrow {
+		if _, ok := acc.Remove(j); ok {
+			cnt++
+		}
+	}
+	return cnt
+}
+
 func (k *msaKernel[T]) symbolicRow(i Index) Index {
+	if k.dense {
+		if lo, hi, ok := matrix.RowRun(k.m.Row(i)); ok {
+			return k.symbolicRowRun(i, lo, hi)
+		}
+	}
 	acc, a, b := k.acc, k.a, k.b
 	mrow := k.m.Row(i)
 	if k.comp {

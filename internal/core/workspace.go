@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/accum"
+	"repro/internal/matrix"
 )
 
 // Workspaces is a session-scoped arena of reusable accumulator scratch.
@@ -25,10 +26,11 @@ import (
 // is discarded and replaced by a fresh allocation (sessions are in practice
 // monomorphic in T, so this never happens on the hot path).
 type Workspaces struct {
-	msa  sync.Pool // *accum.MSA[T]
-	hash sync.Pool // *accum.Hash[T]
-	mca  sync.Pool // *accum.MCA[T]
-	heap sync.Pool // *accum.IterHeap
+	msa    sync.Pool // *accum.MSA[T]
+	hash   sync.Pool // *accum.Hash[T]
+	mca    sync.Pool // *accum.MCA[T]
+	heap   sync.Pool // *accum.IterHeap
+	bitmap sync.Pool // *matrix.Bitmap (mask-probe words, element-type free)
 }
 
 // NewWorkspaces returns an empty arena.
@@ -94,5 +96,21 @@ func wsGetHeap(ws *Workspaces) *accum.IterHeap {
 func wsPutHeap(ws *Workspaces, h *accum.IterHeap) {
 	if ws != nil && h != nil {
 		ws.heap.Put(h)
+	}
+}
+
+func wsGetBitmap(ws *Workspaces, nbits int) *matrix.Bitmap {
+	if ws != nil {
+		if v, ok := ws.bitmap.Get().(*matrix.Bitmap); ok {
+			v.Resize(nbits)
+			return v
+		}
+	}
+	return matrix.NewBitmap(nbits)
+}
+
+func wsPutBitmap(ws *Workspaces, b *matrix.Bitmap) {
+	if ws != nil && b != nil {
+		ws.bitmap.Put(b)
 	}
 }

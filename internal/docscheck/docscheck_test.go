@@ -1,0 +1,89 @@
+// Package docscheck is the docs gate run by the CI docs job: it scans the
+// repository's markdown files for relative links and fails when a link
+// target does not exist, so README/ARCHITECTURE/CHANGES cannot drift into
+// pointing at renamed or deleted files.
+package docscheck
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docs are the files the link gate covers, relative to the repo root.
+var docs = []string{
+	"README.md",
+	"ARCHITECTURE.md",
+	"CHANGES.md",
+	"ROADMAP.md",
+}
+
+// mdLink matches [text](target) markdown links; images and reference-style
+// links are out of scope for this repository's docs.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// repoRoot walks up from the working directory to the directory holding
+// go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+func TestRelativeLinksResolve(t *testing.T) {
+	root := repoRoot(t)
+	for _, doc := range docs {
+		path := filepath.Join(root, doc)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: %v (listed in the docs gate but missing)", doc, err)
+			continue
+		}
+		for _, match := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := match[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue // external or intra-document; not this gate's job
+			}
+			// Strip a trailing fragment: FILE.md#section checks FILE.md.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (%v)", doc, match[1], err)
+			}
+		}
+	}
+}
+
+// TestDocsGateCoversExistingFiles keeps the gate's file list honest: every
+// listed doc must exist so a rename cannot silently drop it from coverage.
+func TestDocsGateCoversExistingFiles(t *testing.T) {
+	root := repoRoot(t)
+	for _, doc := range docs {
+		if _, err := os.Stat(filepath.Join(root, doc)); err != nil {
+			t.Errorf("docs gate lists %s but it does not exist: %v", doc, err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitmapSetContainsClear(t *testing.T) {
+	b := NewBitmap(1000)
+	cols := []Index{0, 1, 63, 64, 65, 511, 999}
+	b.SetAll(cols)
+	for _, j := range cols {
+		if !b.Contains(j) {
+			t.Errorf("Contains(%d) = false after SetAll", j)
+		}
+	}
+	for _, j := range []Index{2, 62, 66, 512, 998} {
+		if b.Contains(j) {
+			t.Errorf("Contains(%d) = true, never set", j)
+		}
+	}
+	b.ClearAll(cols)
+	for _, j := range cols {
+		if b.Contains(j) {
+			t.Errorf("Contains(%d) = true after ClearAll", j)
+		}
+	}
+	for _, w := range b.words {
+		if w != 0 {
+			t.Fatalf("ClearAll left non-zero word %x", w)
+		}
+	}
+}
+
+func TestBitmapRandomAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 4096
+	b := NewBitmap(n)
+	ref := make(map[Index]bool)
+	for iter := 0; iter < 2000; iter++ {
+		j := Index(rng.Intn(n))
+		switch rng.Intn(3) {
+		case 0:
+			b.Set(j)
+			ref[j] = true
+		case 1:
+			b.Clear(j)
+			delete(ref, j)
+		default:
+			if b.Contains(j) != ref[j] {
+				t.Fatalf("Contains(%d) = %v, want %v", j, b.Contains(j), ref[j])
+			}
+		}
+	}
+}
+
+func TestBitmapResizePreservesNothingNeeded(t *testing.T) {
+	b := NewBitmap(64)
+	if got := b.Bits(); got != 64 {
+		t.Fatalf("Bits() = %d, want 64", got)
+	}
+	b.Resize(32) // shrink request keeps capacity
+	if got := b.Bits(); got != 64 {
+		t.Fatalf("Bits() after shrink request = %d, want 64", got)
+	}
+	b.Resize(1 << 12)
+	if b.Bits() < 1<<12 {
+		t.Fatalf("Bits() after grow = %d, want >= %d", b.Bits(), 1<<12)
+	}
+	b.Set(4000)
+	if !b.Contains(4000) {
+		t.Fatal("Contains(4000) = false after grow+Set")
+	}
+}
+
+func TestRowRun(t *testing.T) {
+	cases := []struct {
+		cols   []Index
+		lo, hi Index
+		ok     bool
+	}{
+		{nil, 0, 0, false},
+		{[]Index{5}, 5, 6, true},
+		{[]Index{3, 4, 5, 6}, 3, 7, true},
+		{[]Index{0, 1, 2}, 0, 3, true},
+		{[]Index{3, 5, 6}, 0, 0, false},
+		{[]Index{0, 2}, 0, 0, false},
+	}
+	for _, c := range cases {
+		lo, hi, ok := RowRun(c.cols)
+		if ok != c.ok || (ok && (lo != c.lo || hi != c.hi)) {
+			t.Errorf("RowRun(%v) = (%d,%d,%v), want (%d,%d,%v)", c.cols, lo, hi, ok, c.lo, c.hi, c.ok)
+		}
+	}
+}

@@ -199,7 +199,18 @@ func (a *CSR[T]) IsSortedRows() bool {
 
 // IsSortedRows reports whether every mask row is strictly increasing.
 func (p *Pattern) IsSortedRows() bool {
-	for i := Index(0); i < p.NRows; i++ {
+	return p.RowsSortedIn(0, p.NRows)
+}
+
+// RowsSortedIn reports whether every row in [lo, hi) is strictly increasing
+// (sorted and duplicate-free) — the range form kernels use to validate the
+// preconditions of sorted-row mask representations. Degenerate zero-value
+// patterns (no RowPtr) report true: they have no row data to violate it.
+func (p *Pattern) RowsSortedIn(lo, hi Index) bool {
+	if int(hi) >= len(p.RowPtr) {
+		return true
+	}
+	for i := lo; i < hi; i++ {
 		cols := p.Col[p.RowPtr[i]:p.RowPtr[i+1]]
 		for k := 1; k < len(cols); k++ {
 			if cols[k-1] >= cols[k] {

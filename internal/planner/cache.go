@@ -47,8 +47,9 @@ type cacheKey struct {
 	b            fingerprint
 	mRows, mCols Index
 	complement   bool
-	mBucket      int8 // log2 bucket of nnz(M)
-	aBucket      int8 // log2 bucket of nnz(A)
+	rep          core.MaskRep // caller-pinned mask representation (RepAuto when unpinned)
+	mBucket      int8         // log2 bucket of nnz(M)
+	aBucket      int8         // log2 bucket of nnz(A)
 	aRows        Index
 }
 
@@ -82,6 +83,7 @@ func (c *Cache) Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 		mRows:      m.NRows,
 		mCols:      m.NCols,
 		complement: opt.Complement,
+		rep:        opt.MaskRep,
 		mBucket:    bucket(m.NNZ()),
 		aBucket:    bucket(a.NNZ()),
 		aRows:      a.NRows,

@@ -50,6 +50,15 @@ type Stats struct {
 	Bound1P int64
 	// AvgDegB is nnz(B)/nrows(B); AvgColDegB is nnz(B)/ncols(B).
 	AvgDegB, AvgColDegB float64
+	// MaskRunRows counts mask rows that are contiguous runs [lo,hi) — the
+	// shape the dense-run direct-index representation exploits — and is 0
+	// when the operands are unsorted (the O(1) run check needs sorted
+	// rows). MaskNonEmptyRows counts the rows with any entry at all,
+	// regardless of sortedness.
+	MaskRunRows, MaskNonEmptyRows int64
+	// MaskRepPin is the caller-pinned mask representation (RepAuto when the
+	// planner selects per block).
+	MaskRepPin core.MaskRep
 	// Sorted reports whether all operand rows are sorted, the precondition
 	// of the MCA/Heap/HeapDot/Inner kernels.
 	Sorted bool
@@ -64,9 +73,15 @@ type Block struct {
 	Lo, Hi Index
 	// Alg is the algorithm family assigned to the range.
 	Alg core.Algorithm
+	// Rep is the mask representation the range's kernels probe with, chosen
+	// from the block's local mask-density statistics (or the caller's pin).
+	Rep core.MaskRep
 	// MaskNNZ, ANNZ and Flops are the range's mask entries, A entries and
 	// flop bound.
 	MaskNNZ, ANNZ, Flops int64
+	// RunRows and NonEmptyRows are the range's contiguous-run and non-empty
+	// mask row counts (the dense-representation signal).
+	RunRows, NonEmptyRows int64
 	// Reason is a one-line human explanation of the choice.
 	Reason string
 }
@@ -112,7 +127,7 @@ func (p *Plan) Variant() core.Variant {
 func (p *Plan) ExecBlocks() []core.ExecBlock {
 	out := make([]core.ExecBlock, len(p.Blocks))
 	for i, b := range p.Blocks {
-		out[i] = core.ExecBlock{Lo: b.Lo, Hi: b.Hi, Alg: b.Alg}
+		out[i] = core.ExecBlock{Lo: b.Lo, Hi: b.Hi, Alg: b.Alg, Rep: b.Rep}
 	}
 	return out
 }
@@ -138,9 +153,16 @@ func (p *Plan) Explain() string {
 	}
 	fmt.Fprintf(&sb, "stats: %dx%d %s mask nnz=%d, nnz(A)=%d, nnz(B)=%d, flops(A·B)=%d, 1P bound=%d\n",
 		s.NRows, s.NCols, mode, s.NNZM, s.NNZA, s.NNZB, s.Flops, s.Bound1P)
+	if s.MaskNonEmptyRows > 0 {
+		fmt.Fprintf(&sb, "mask: %d non-empty rows, %d contiguous runs", s.MaskNonEmptyRows, s.MaskRunRows)
+		if s.MaskRepPin != core.RepAuto {
+			fmt.Fprintf(&sb, ", representation pinned to %s", s.MaskRepPin)
+		}
+		sb.WriteString("\n")
+	}
 	for _, b := range p.Blocks {
-		fmt.Fprintf(&sb, "  rows [%d,%d) → %s: %s (mask nnz=%d, flops=%d)\n",
-			b.Lo, b.Hi, b.Alg, b.Reason, b.MaskNNZ, b.Flops)
+		fmt.Fprintf(&sb, "  rows [%d,%d) → %s mask=%s: %s (mask nnz=%d, flops=%d)\n",
+			b.Lo, b.Hi, b.Alg, b.Rep, b.Reason, b.MaskNNZ, b.Flops)
 	}
 	return sb.String()
 }
@@ -178,10 +200,15 @@ const (
 )
 
 // NeedsSortedRows reports whether any block of the plan runs a kernel with
-// the sorted-rows precondition (MCA, Heap, HeapDot, Inner).
+// the sorted-rows precondition: MCA, Heap, HeapDot and Inner always, plus
+// any block using the dense-run representation (its O(1) contiguity check is
+// only exact on sorted mask rows).
 func (p *Plan) NeedsSortedRows() bool {
 	for _, b := range p.Blocks {
 		if b.Alg != core.MSA && b.Alg != core.Hash {
+			return true
+		}
+		if b.Rep == core.RepDense {
 			return true
 		}
 	}
@@ -197,15 +224,16 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 		// Degenerate (possibly zero-value) operands: nothing to analyze, and
 		// the scans below must not index empty row pointers.
 		return &Plan{
-			Stats:  Stats{NRows: nrows, NCols: ncols, Complement: opt.Complement, Sorted: true},
+			Stats:  Stats{NRows: nrows, NCols: ncols, Complement: opt.Complement, MaskRepPin: opt.MaskRep, Sorted: true},
 			Phase:  core.OnePhase,
-			Blocks: []Block{{Lo: 0, Hi: nrows, Alg: core.MSA, Reason: "empty operands"}},
+			Blocks: []Block{{Lo: 0, Hi: nrows, Alg: core.MSA, Rep: core.RepCSR, Reason: "empty operands"}},
 		}
 	}
 	st := Stats{
 		NRows: nrows, NCols: ncols,
 		NNZM: int64(m.NNZ()), NNZA: int64(a.NNZ()), NNZB: int64(b.NNZ()),
 		Complement: opt.Complement,
+		MaskRepPin: opt.MaskRep,
 		Sorted:     sortedRows(m, opt.Threads) && sortedRows(a, opt.Threads) && sortedRows(b, opt.Threads),
 	}
 	if b.NRows > 0 {
@@ -216,8 +244,9 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 	}
 
 	// Partition the rows into analysis blocks and gather per-block mask
-	// sizes and flop bounds in one parallel O(nnz(A)) sweep. The 1P
-	// complement bound rides along.
+	// sizes, flop bounds and mask-shape counts (contiguous runs, non-empty
+	// rows — the dense-representation signal) in one parallel O(nnz(A))
+	// sweep. The 1P complement bound rides along.
 	blockRows := int64(minBlockRows)
 	if want := (int64(nrows) + analysisBlocks - 1) / analysisBlocks; want > blockRows {
 		blockRows = want
@@ -228,6 +257,8 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 	}
 	flopsPerBlock := make([]int64, nblocks)
 	boundPerBlock := make([]int64, nblocks)
+	runPerBlock := make([]int64, nblocks)
+	nonEmptyPerBlock := make([]int64, nblocks)
 	parallel.ForChunks(nblocks, opt.Threads, 1, func(blo, bhi int) {
 		for bi := blo; bi < bhi; bi++ {
 			lo := Index(int64(bi) * blockRows)
@@ -235,7 +266,7 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 			if hi > nrows {
 				hi = nrows
 			}
-			var flops, bnd int64
+			var flops, bnd, runs, nonEmpty int64
 			for i := lo; i < hi; i++ {
 				var rowFlops int64
 				for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
@@ -249,13 +280,30 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 					}
 					bnd += rowFlops
 				}
+				if mn := m.RowPtr[i+1] - m.RowPtr[i]; mn > 0 {
+					nonEmpty++
+					// O(1) contiguity check; exact only on sorted rows, and
+					// only consumed when st.Sorted holds.
+					if m.Col[m.RowPtr[i+1]-1]-m.Col[m.RowPtr[i]]+1 == mn {
+						runs++
+					}
+				}
 			}
 			flopsPerBlock[bi] = flops
 			boundPerBlock[bi] = bnd
+			runPerBlock[bi] = runs
+			nonEmptyPerBlock[bi] = nonEmpty
 		}
 	})
 	for _, f := range flopsPerBlock {
 		st.Flops += f
+	}
+	for bi := range runPerBlock {
+		if !st.Sorted {
+			runPerBlock[bi] = 0 // run check unreliable on unsorted rows
+		}
+		st.MaskRunRows += runPerBlock[bi]
+		st.MaskNonEmptyRows += nonEmptyPerBlock[bi]
 	}
 	if opt.Complement {
 		for _, bnd := range boundPerBlock {
@@ -282,20 +330,52 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 		mn := int64(m.RowPtr[hi] - m.RowPtr[lo])
 		an := int64(a.RowPtr[hi] - a.RowPtr[lo])
 		alg, reason := decide(st, push, int64(hi-lo), mn, an, flopsPerBlock[bi])
-		blocks = append(blocks, Block{Lo: lo, Hi: hi, Alg: alg, MaskNNZ: mn, ANNZ: an, Flops: flopsPerBlock[bi], Reason: reason})
+		blk := Block{Lo: lo, Hi: hi, Alg: alg, MaskNNZ: mn, ANNZ: an, Flops: flopsPerBlock[bi],
+			RunRows: runPerBlock[bi], NonEmptyRows: nonEmptyPerBlock[bi], Reason: reason}
+		blk.Rep = blockRep(st, blk)
+		blocks = append(blocks, blk)
 	}
 	blocks = demoteUnpaidInner(st, push, blocks)
 	blocks = coalesce(blocks)
 	if len(blocks) > maxPlanBlocks {
 		// Too fragmented to pay for per-block dispatch: one global decision.
 		alg, reason := decide(st, push, int64(nrows), st.NNZM, st.NNZA, st.Flops)
-		blocks = []Block{{Lo: 0, Hi: nrows, Alg: alg, MaskNNZ: st.NNZM, Flops: st.Flops,
-			Reason: "collapsed fragmented profile: " + reason}}
+		blk := Block{Lo: 0, Hi: nrows, Alg: alg, MaskNNZ: st.NNZM, ANNZ: st.NNZA, Flops: st.Flops,
+			RunRows: st.MaskRunRows, NonEmptyRows: st.MaskNonEmptyRows,
+			Reason: "collapsed fragmented profile: " + reason}
+		blk.Rep = blockRep(st, blk)
+		blocks = []Block{blk}
 	}
 	if len(blocks) == 0 { // nrows == 0
-		blocks = []Block{{Lo: 0, Hi: 0, Alg: push, Reason: "empty row space"}}
+		blocks = []Block{{Lo: 0, Hi: 0, Alg: push, Rep: core.RepCSR, Reason: "empty row space"}}
 	}
 	return &Plan{Stats: st, Phase: phase, Blocks: blocks}
+}
+
+// blockRep selects the mask representation for one decided block: the
+// caller's pin when given, otherwise the §5 density rules (dense direct
+// indexing for contiguous-run masks, the bitmap for dense mask rows probed
+// repeatedly, CSR elsewhere), demoted to what the block's algorithm can
+// exploit.
+func blockRep(st Stats, b Block) core.MaskRep {
+	if st.MaskRepPin != core.RepAuto {
+		rep := core.SupportedMaskRep(b.Alg, st.MaskRepPin, st.Complement)
+		if !st.Sorted && (rep == core.RepDense || (b.Alg == core.Hash && rep == core.RepBitmap)) {
+			// The dense-run contiguity check (and its sorted-row fallback
+			// probe) and the Hash bitmap's sort-based gather are only
+			// correct on sorted mask rows; core's execution-side guard
+			// would demote anyway, so keep the plan truthful.
+			rep = core.RepCSR
+		}
+		return rep
+	}
+	if !st.Sorted {
+		// Core trusts planner-emitted reps without re-verifying, and both
+		// the dense-run check and the Hash bitmap's sort-based gather
+		// require sorted mask rows — unsorted operands stay on CSR.
+		return core.RepCSR
+	}
+	return core.AutoMaskRep(b.Alg, st.Complement, int64(b.Hi-b.Lo), b.MaskNNZ, b.ANNZ, b.RunRows, b.NonEmptyRows)
 }
 
 // sortedRows is a parallel matrix.Pattern.IsSortedRows: the check is the
@@ -385,21 +465,26 @@ func demoteUnpaidInner(st Stats, push core.Algorithm, blocks []Block) []Block {
 	for i := range blocks {
 		if blocks[i].Alg == core.Inner {
 			blocks[i].Alg = push
+			blocks[i].Rep = blockRep(st, blocks[i]) // re-pick for the new family
 			blocks[i].Reason = "pull saving does not repay the B transpose: " + blocks[i].Reason
 		}
 	}
 	return blocks
 }
 
-// coalesce merges adjacent blocks that chose the same algorithm.
+// coalesce merges adjacent blocks that chose the same algorithm and mask
+// representation (blocks differing only in representation stay separate —
+// the representation is per-block execution state).
 func coalesce(blocks []Block) []Block {
 	out := blocks[:0]
 	for _, b := range blocks {
-		if n := len(out); n > 0 && out[n-1].Alg == b.Alg {
+		if n := len(out); n > 0 && out[n-1].Alg == b.Alg && out[n-1].Rep == b.Rep {
 			out[n-1].Hi = b.Hi
 			out[n-1].MaskNNZ += b.MaskNNZ
 			out[n-1].ANNZ += b.ANNZ
 			out[n-1].Flops += b.Flops
+			out[n-1].RunRows += b.RunRows
+			out[n-1].NonEmptyRows += b.NonEmptyRows
 			continue
 		}
 		out = append(out, b)
@@ -414,6 +499,10 @@ func Execute[T any](p *Plan, m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring
 	if opt.Complement != p.Stats.Complement {
 		return nil, fmt.Errorf("planner: plan analyzed with Complement=%v, executed with Complement=%v",
 			p.Stats.Complement, opt.Complement)
+	}
+	if opt.MaskRep != p.Stats.MaskRepPin {
+		return nil, fmt.Errorf("planner: plan analyzed with MaskRep=%v, executed with MaskRep=%v",
+			p.Stats.MaskRepPin, opt.MaskRep)
 	}
 	return core.MaskedSpGEMMBlocked(p.Phase, p.ExecBlocks(), m, a, b, sr, opt, stats)
 }

@@ -40,6 +40,14 @@
 // Session.MultiplyAuto returns the executed Plan and Session.Explain
 // previews it.
 //
+// Orthogonally to the variant, the planner also selects a per-block *mask
+// representation* — how kernels answer "is column j in the mask row": the
+// sorted-CSR probe, a pooled per-worker bitmap (O(1) probes for dense mask
+// rows, the k-truss and multi-source-BFS regime), or direct indexing of
+// contiguous mask rows. WithMaskRep pins one globally; Explain reports the
+// choice per block. Complement is native to every representation, so
+// complemented masks never materialize an explicit complement pattern.
+//
 // The applications of the paper's evaluation are Session.TriangleCount,
 // Session.KTruss and Session.BC; the extensions add Session.BFS,
 // Session.MultiSourceBFS, Session.MCL and Session.CosineSimilarity, and
@@ -100,6 +108,25 @@ type Options = core.Options
 // Variant names one of the paper's 12 algorithm variants.
 type Variant = core.Variant
 
+// MaskRep selects the mask representation kernels probe membership with;
+// see WithMaskRep.
+type MaskRep = core.MaskRep
+
+// Mask representations, re-exported from the core package: RepAuto (the
+// planner picks per row block), RepCSR (sorted-row search), RepBitmap
+// (per-worker bitmap, O(1) probes) and RepDense (direct indexing of
+// contiguous mask rows).
+const (
+	RepAuto   = core.RepAuto
+	RepCSR    = core.RepCSR
+	RepBitmap = core.RepBitmap
+	RepDense  = core.RepDense
+)
+
+// MaskRepByName resolves a representation name ("auto", "csr", "bitmap",
+// "dense").
+func MaskRepByName(name string) (MaskRep, error) { return core.MaskRepByName(name) }
+
 // Algorithm families, re-exported from the core package.
 const (
 	MSA     = core.MSA
@@ -148,7 +175,7 @@ func legacyCtx(opt Options) context.Context {
 // legacyOps translates the positional Options style into descriptor
 // options.
 func legacyOps(opt Options, extra ...Op) []Op {
-	ops := []Op{WithThreads(opt.Threads), WithGrain(opt.Grain)}
+	ops := []Op{WithThreads(opt.Threads), WithGrain(opt.Grain), WithMaskRep(opt.MaskRep)}
 	if opt.Complement {
 		ops = append(ops, WithComplement())
 	}

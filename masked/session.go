@@ -27,7 +27,8 @@ import (
 // Operations are configured by descriptor options (Op): WithVariant pins
 // one of the paper's 12 variants, WithAuto (the default) routes through the
 // adaptive planner, WithComplement flips the mask, WithThreads/WithGrain
-// bound parallelism, WithAccumulate selects the semiring of Multiply.
+// bound parallelism, WithMaskRep pins the mask representation (auto by
+// default), WithAccumulate selects the semiring of Multiply.
 // Options passed to NewSession become the session's defaults; options
 // passed to an operation override them for that call. The same descriptor
 // vocabulary drives Multiply, the application methods (TriangleCount,
@@ -55,6 +56,7 @@ type opSpec struct {
 	complement bool
 	threads    int
 	grain      int
+	maskRep    MaskRep
 	sr         Semiring
 	hasSR      bool
 }
@@ -105,6 +107,16 @@ func WithGrain(n int) Op {
 	return func(d *opSpec) { d.grain = n }
 }
 
+// WithMaskRep pins the mask representation kernels probe membership with:
+// RepCSR (sorted-row search), RepBitmap (per-worker bitmap, O(1) probes for
+// dense masks) or RepDense (direct indexing of contiguous mask rows). The
+// default RepAuto lets the planner pick per row block from its density
+// statistics; kernels that cannot exploit a pinned representation demote it.
+// Results are bit-identical under every representation.
+func WithMaskRep(r MaskRep) Op {
+	return func(d *opSpec) { d.maskRep = r }
+}
+
 // WithAccumulate selects the semiring Multiply accumulates over (default
 // Arithmetic). The application methods fix their own semirings and ignore
 // it.
@@ -144,6 +156,7 @@ func (s *Session) options(ctx context.Context, d opSpec) Options {
 		Threads:    d.threads,
 		Grain:      d.grain,
 		Complement: d.complement,
+		MaskRep:    d.maskRep,
 		Ctx:        ctx,
 		Workspaces: s.ws,
 	}
