@@ -467,6 +467,48 @@ func itoa(n int) string {
 	return string(buf[i:])
 }
 
+// BenchmarkSchedule contrasts equal-row chunking against cost-balanced
+// equal-flops spans (PR 4's scheduler) on the skewed triangle-counting
+// product, at ≥4 workers on a warmed workspace arena. On multi-core hosts
+// the cost schedule wins wall-clock on the R-MAT input by shaving the
+// straggler tail; `mspgemm-bench schedule` additionally reports the
+// deterministic load-imbalance model, which shows the effect on any host.
+// -benchmem allocation counts are flat in the input size: the drivers take
+// all scratch from the pooled arena.
+func BenchmarkSchedule(b *testing.B) {
+	loadInputs()
+	lp := rmatL.Pattern()
+	costs := core.ComputeRowCosts(lp, lp, lp, 0)
+	sr := semiring.PlusPairF()
+	v := core.Variant{Alg: core.MSA, Phase: core.OnePhase}
+	for _, threads := range []int{4, 8} {
+		for _, sched := range []core.Sched{core.SchedEqualRow, core.SchedCost} {
+			b.Run("threads"+itoa(threads)+"/sched-"+sched.String(), func(b *testing.B) {
+				ws := core.NewWorkspaces()
+				opt := core.Options{Threads: threads, Sched: sched, RowCosts: costs, Workspaces: ws}
+				if _, err := core.MaskedSpGEMM(v, lp, rmatL, rmatL, sr, opt); err != nil { // warm the pools
+					b.Fatal(err)
+				}
+				_, missBefore := ws.DriverPoolStats()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.MaskedSpGEMM(v, lp, rmatL, rmatL, sr, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				// Exact miss counts only hold without -race: the race
+				// detector makes sync.Pool drop a fraction of Puts.
+				if _, missAfter := ws.DriverPoolStats(); !raceEnabled && missAfter != missBefore {
+					b.Fatalf("warmed drivers performed %d pool-missing allocations over %d ops; want 0",
+						missAfter-missBefore, b.N)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkMaskRep compares the CSR probe against the bitmap mask
 // representation on the dense-mask shapes the representation subsystem
 // targets: the k-truss support product (mask = the graph itself, flat ER

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|maskrep|all
+//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|maskrep|schedule|all
 //
 // Flags:
 //
@@ -23,6 +23,13 @@
 //	-maskrep R   pin the mask representation for every kernel of the run:
 //	             auto (default; the planner picks per row block), csr,
 //	             bitmap, or dense
+//	-sched S     pin the row-scheduling policy for every kernel of the run:
+//	             auto (default; cost-balanced spans on skewed cost
+//	             profiles), equal (equal-row chunks), or cost
+//	-json FILE   also write machine-readable per-case results (ns/op,
+//	             allocs/op, scheduling metrics) to FILE, e.g.
+//	             -json BENCH_PR4.json. Currently the maskrep and
+//	             schedule studies record; fig7..fig16 emit TSV only
 //	-explain     print the adaptive plan for each corpus input to stderr
 //	-timeout D   abort the whole run after duration D (cooperative
 //	             cancellation of in-flight kernels), e.g. -timeout 90s
@@ -30,6 +37,10 @@
 // The "maskrep" subcommand is the dense-mask representation study: it times
 // the probe-based kernels under the CSR and bitmap representations on
 // k-truss- and multi-source-BFS-shaped products and reports the speedup.
+// The "schedule" subcommand is the scheduling study: it contrasts equal-row
+// chunking against cost-balanced equal-flops spans on skewed (R-MAT) and
+// flat (ER) inputs, reporting wall time, a deterministic load-imbalance
+// model at ≥4 workers, and the warmed-session driver allocation counts.
 package main
 
 import (
@@ -57,6 +68,8 @@ func main() {
 	plot := flag.Bool("plot", false, "also render each table as an ASCII line chart")
 	alg := flag.String("alg", "", "run application figures with this single scheme (e.g. auto, MSA-1P, SS:SAXPY)")
 	maskRep := flag.String("maskrep", "auto", "pin the mask representation: auto | csr | bitmap | dense")
+	sched := flag.String("sched", "auto", "pin the row-scheduling policy: auto | equal | cost")
+	jsonPath := flag.String("json", "", "write machine-readable per-case results of the maskrep/schedule studies to this file (e.g. BENCH_PR4.json)")
 	explain := flag.Bool("explain", false, "print the adaptive plan for each corpus input to stderr")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration, e.g. 90s (0 = no limit)")
 	flag.Parse()
@@ -77,13 +90,21 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("-maskrep: %w", err))
 	}
+	schedPolicy, err := core.SchedByName(*sched)
+	if err != nil {
+		fatal(fmt.Errorf("-sched: %w", err))
+	}
 	// One engine session for the whole run: every figure shares this plan
 	// cache and thread/context budget.
-	session := apps.NewSession(core.Options{Threads: *threads, MaskRep: rep, Ctx: ctx})
+	session := apps.NewSession(core.Options{Threads: *threads, MaskRep: rep, Sched: schedPolicy, Ctx: ctx})
 	if *alg != "" {
 		if _, err := session.EngineByName(*alg); err != nil {
 			fatal(fmt.Errorf("-alg: %w", err))
 		}
+	}
+	var recorder *bench.Recorder
+	if *jsonPath != "" {
+		recorder = &bench.Recorder{}
 	}
 	cfg := bench.Config{
 		Threads:   *threads,
@@ -94,9 +115,11 @@ func main() {
 		Quick:     *quick,
 		Engine:    *alg,
 		MaskRep:   rep,
+		Sched:     schedPolicy,
 		Explain:   *explain,
 		Ctx:       ctx,
 		Engines:   session,
+		Recorder:  recorder,
 	}
 	dimList, err := parseDims(*dims)
 	if err != nil {
@@ -130,18 +153,26 @@ func main() {
 			emit(bench.Fig16(cfg))
 		case "maskrep":
 			emit(bench.MaskRepStudy(cfg))
+		case "schedule":
+			emit(bench.ScheduleStudy(cfg))
 		default:
 			fatal(fmt.Errorf("unknown figure %q", name))
 		}
 	}
 	if which == "all" {
 		for _, name := range []string{"fig7", "fig8", "fig9", "fig10", "fig11",
-			"fig12", "fig13", "fig14", "fig15", "fig16", "maskrep"} {
+			"fig12", "fig13", "fig14", "fig15", "fig16", "maskrep", "schedule"} {
 			run(name)
 		}
-		return
+	} else {
+		run(which)
 	}
-	run(which)
+	if recorder != nil {
+		if err := recorder.WriteJSON(*jsonPath); err != nil {
+			fatal(fmt.Errorf("-json: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "mspgemm-bench: wrote %s (%d records)\n", *jsonPath, len(recorder.Records()))
+	}
 }
 
 func emit(t *bench.Table, err error) {

@@ -6,16 +6,18 @@
 // Usage:
 //
 //	mspgemm -a A.mtx -b B.mtx -mask M.mtx [-alg auto|MSA-1P|hybrid]
-//	        [-maskrep auto|csr|bitmap|dense] [-explain] [-complement]
-//	        [-semiring arithmetic|plus-pair] [-threads N] [-timeout 30s]
-//	        [-out C.mtx]
+//	        [-maskrep auto|csr|bitmap|dense] [-sched auto|equal|cost]
+//	        [-explain] [-complement] [-semiring arithmetic|plus-pair]
+//	        [-threads N] [-timeout 30s] [-out C.mtx]
 //
 // Omitting -b squares A (B = A); omitting -mask uses A's pattern as the
 // mask (the triangle-counting shape). -alg auto selects the variant (or a
 // per-row-block mix) from the operands' density profile; -maskrep pins the
 // mask representation kernels probe membership with (default: chosen per
-// row block); -explain prints the plan the planner chooses for these
-// operands, including the representation per block.
+// row block); -sched pins the row-scheduling policy (default: cost-balanced
+// equal-flops spans when the per-row cost profile is skewed, equal-row
+// chunks otherwise); -explain prints the plan the planner chooses for these
+// operands, including the representation and schedule per block.
 package main
 
 import (
@@ -39,6 +41,7 @@ func main() {
 	mPath := flag.String("mask", "", "Matrix Market file for the mask (default: pattern of A)")
 	algName := flag.String("alg", "auto", "algorithm: 'auto' (planner), a variant (MSA-1P..Inner-2P), or 'hybrid'")
 	maskRep := flag.String("maskrep", "auto", "mask representation: auto | csr | bitmap | dense")
+	schedName := flag.String("sched", "auto", "row-scheduling policy: auto | equal | cost")
 	explain := flag.Bool("explain", false, "print the adaptive plan for these operands to stderr")
 	complement := flag.Bool("complement", false, "use the complement of the mask")
 	srName := flag.String("semiring", "arithmetic", "semiring: arithmetic | plus-pair | min-plus")
@@ -88,10 +91,22 @@ func main() {
 	}
 	rep, err := core.MaskRepByName(*maskRep)
 	check(err)
-	opt := core.Options{Threads: *threads, Complement: *complement, MaskRep: rep, Ctx: ctx}
+	sched, err := core.SchedByName(*schedName)
+	check(err)
+	opt := core.Options{Threads: *threads, Complement: *complement, MaskRep: rep, Sched: sched, Ctx: ctx}
 	var plan *planner.Plan
 	if *algName == "auto" || *explain {
 		plan = planner.Analyze(mask, a.Pattern(), b.Pattern(), opt)
+	}
+	if sched == core.SchedCost && *algName != "auto" {
+		// Pinned variants bypass the planner, so the cost profile the
+		// scheduler consumes comes from the explain plan when one was
+		// analyzed, or an explicit sweep otherwise.
+		if plan != nil {
+			opt.RowCosts = plan.Costs
+		} else {
+			opt.RowCosts = core.ComputeRowCosts(mask, a.Pattern(), b.Pattern(), *threads)
+		}
 	}
 	if *explain {
 		fmt.Fprint(os.Stderr, plan.Explain())

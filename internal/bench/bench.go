@@ -49,6 +49,12 @@ type Config struct {
 	// MaskRep pins the mask representation for every kernel of the run
 	// (RepAuto lets the planner pick per block).
 	MaskRep core.MaskRep
+	// Sched pins the row-scheduling policy for every kernel of the run
+	// (SchedAuto engages cost-balanced spans on skewed cost profiles).
+	Sched core.Sched
+	// Recorder, if non-nil, collects machine-readable per-case results for
+	// the -json output (BENCH_PR4.json).
+	Recorder *Recorder
 	// Explain prints the adaptive plan of each corpus input's masked
 	// product to stderr before timing it.
 	Explain bool
@@ -64,7 +70,7 @@ type Config struct {
 // Options returns the core execution options every kernel of the run uses
 // (one thread budget and context for variants and baselines alike).
 func (c Config) Options() core.Options {
-	return core.Options{Threads: c.Threads, MaskRep: c.MaskRep, Ctx: c.Ctx}
+	return core.Options{Threads: c.Threads, MaskRep: c.MaskRep, Sched: c.Sched, Ctx: c.Ctx}
 }
 
 // Session returns the run's engine session (cfg.Engines), or a fresh one

@@ -80,6 +80,15 @@ func MaskRepStudy(cfg Config) (*Table, error) {
 					return time.Since(t0), err
 				})
 				times[rep] = sec
+				nsPerOp := int64(-1)
+				if sec >= 0 {
+					nsPerOp = int64(sec * 1e9)
+				}
+				cfg.Recorder.Add(Record{
+					Study:   "maskrep",
+					Case:    sc.input + "/" + sc.shape + "/" + v.Name() + "/" + rep.String(),
+					NsPerOp: nsPerOp,
+				})
 			}
 			row := []string{sc.input, sc.shape, v.Name()}
 			csr, bm := times[core.RepCSR], times[core.RepBitmap]

@@ -1,0 +1,83 @@
+package bench
+
+// Machine-readable benchmark output. Each study appends Records to the
+// run's Recorder; cmd/mspgemm-bench serializes them (BENCH_PR4.json under
+// -json) so the perf trajectory can be tracked across PRs by tooling
+// instead of by eyeballing TSV tables.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Record is one measured case of one study.
+type Record struct {
+	// Study is the subcommand that produced the record ("schedule",
+	// "maskrep", ...).
+	Study string `json:"study"`
+	// Case identifies the input × scheme combination within the study.
+	Case string `json:"case"`
+	// NsPerOp is the best-of-reps wall time per operation in nanoseconds
+	// (negative when every rep errored).
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp is the average heap allocations per operation, when the
+	// study measures them.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics carries study-specific scalars (load imbalance factors,
+	// driver pool misses, worker counts, speedups).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Recorder accumulates records across the studies of one run. Safe for
+// concurrent use; a nil *Recorder discards everything, so studies record
+// unconditionally.
+type Recorder struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// Add appends one record. No-op on a nil receiver.
+func (r *Recorder) Add(rec Record) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.recs = append(r.recs, rec)
+	r.mu.Unlock()
+}
+
+// Records returns a copy of everything recorded so far.
+func (r *Recorder) Records() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Record(nil), r.recs...)
+}
+
+// benchFile is the serialized form: run metadata plus the records.
+type benchFile struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Records     []Record `json:"records"`
+}
+
+// WriteJSON serializes the recorder's records to path.
+func (r *Recorder) WriteJSON(path string) error {
+	out := benchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Records:     r.Records(),
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -122,6 +122,17 @@ type Options struct {
 	// aggregate mask shape. Kernels that cannot exploit the pinned
 	// representation demote it (see MaskRep).
 	MaskRep MaskRep
+	// Sched selects how the drivers distribute rows across workers:
+	// SchedAuto (cost-balanced spans when a skewed RowCosts profile is
+	// available, equal-row chunks otherwise), SchedEqualRow, or SchedCost.
+	// Scheduling never changes results — only who computes which rows when.
+	Sched Sched
+	// RowCosts, if non-nil, supplies the per-row cost prefix cost-balanced
+	// scheduling claims equal-flops spans over. The planner attaches the
+	// profile its analysis sweep gathers; callers pinning a variant can
+	// build one with ComputeRowCosts. Nil (or a stale profile whose length
+	// does not match the row count) falls back to equal-row chunking.
+	RowCosts *RowCosts
 	// Ctx, if non-nil, carries a cancellation signal honored cooperatively
 	// by the parallel drivers: workers observe it between scheduling chunks
 	// and the call returns ctx.Err() without completing the product. Nil

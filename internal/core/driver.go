@@ -71,6 +71,30 @@ func (w *workerKernels[T]) recycle(ws *Workspaces) {
 	}
 }
 
+// sweepGrain is the chunk size of the drivers' cheap per-row sweeps (bound
+// gathering, stitch copies), whose bodies are far lighter than a kernel row.
+// opt.Grain overrides it like everywhere else.
+const sweepGrain = 512
+
+func (o Options) sweepGrain() int {
+	if o.Grain > 0 {
+		return o.Grain
+	}
+	return sweepGrain
+}
+
+// forRows runs one kernel pass over all rows under the options' scheduling
+// policy: equal-cost spans over the row-cost prefix when one is available
+// and engaged (see schedPrefix), equal-row dynamic chunks otherwise. Both
+// forms are cancellation-aware and deliver rows to workers in disjoint
+// ascending spans, so kernel results never depend on the policy.
+func forRows(opt Options, nrows Index, worker func(id int, claim func() (lo, hi int, ok bool))) error {
+	if prefix := schedPrefix(opt, nrows); prefix != nil {
+		return parallel.ForCostWorkersCtx(opt.Ctx, int(nrows), opt.Threads, prefix, worker)
+	}
+	return parallel.ForWorkersCtx(opt.Ctx, int(nrows), opt.Threads, opt.Grain, worker)
+}
+
 // runDriver executes the selected phase strategy with one kernel for the
 // whole row space. It returns opt.Ctx's error (and no matrix) when the
 // context is cancelled before the product completes.
@@ -90,12 +114,26 @@ func runDriverBlocked[T any](phase Phase, nrows, ncols Index, bound func(Index) 
 	return driver1P(nrows, ncols, bound, segs, opt)
 }
 
+// fillRowPtr writes the Index row pointers from the scanned int64 offsets.
+func fillRowPtr(opt Options, rowPtr []Index, offs []int64, total int64) {
+	nrows := len(offs)
+	parallel.ForChunks(nrows, opt.Threads, opt.sweepGrain(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rowPtr[i] = Index(offs[i])
+		}
+	})
+	rowPtr[nrows] = Index(total)
+}
+
 // driver2P is the two-phase strategy (§6): a symbolic pass computes each
-// row's output size, a scan turns sizes into row pointers, and the numeric
-// pass writes directly into exactly-sized output arrays.
+// row's output size, a parallel scan turns sizes into row pointers, and the
+// numeric pass writes directly into exactly-sized output arrays. The per-row
+// count array is pooled on opt.Workspaces; the only allocations of a warmed
+// call are the returned output's.
 func driver2P[T any](nrows, ncols Index, segs []execSeg[T], opt Options) (*matrix.CSR[T], error) {
-	counts := make([]int64, nrows)
-	err := parallel.ForWorkersCtx(opt.Ctx, int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
+	cb := wsGetI64(opt.Workspaces, int(nrows))
+	counts := cb.s
+	err := forRows(opt, nrows, func(_ int, claim func() (int, int, bool)) {
 		k := newWorkerKernels(segs)
 		defer k.recycle(opt.Workspaces)
 		for {
@@ -109,9 +147,10 @@ func driver2P[T any](nrows, ncols Index, segs []execSeg[T], opt Options) (*matri
 		}
 	})
 	if err != nil {
+		wsPutI64(opt.Workspaces, cb)
 		return nil, err
 	}
-	total := parallel.ExclusiveScan(counts) // counts[i] is now the row offset
+	total := parallel.ExclusiveScanParallel(counts, opt.Threads) // counts[i] is now the row offset
 	out := &matrix.CSR[T]{
 		NRows:  nrows,
 		NCols:  ncols,
@@ -119,11 +158,9 @@ func driver2P[T any](nrows, ncols Index, segs []execSeg[T], opt Options) (*matri
 		Col:    make([]Index, total),
 		Val:    make([]T, total),
 	}
-	for i := Index(0); i < nrows; i++ {
-		out.RowPtr[i] = Index(counts[i])
-	}
-	out.RowPtr[nrows] = Index(total)
-	err = parallel.ForWorkersCtx(opt.Ctx, int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
+	fillRowPtr(opt, out.RowPtr, counts, total)
+	wsPutI64(opt.Workspaces, cb)
+	err = forRows(opt, nrows, func(_ int, claim func() (int, int, bool)) {
 		k := newWorkerKernels(segs)
 		defer k.recycle(opt.Workspaces)
 		for {
@@ -143,27 +180,46 @@ func driver2P[T any](nrows, ncols Index, segs []execSeg[T], opt Options) (*matri
 	return out, nil
 }
 
-// driver1P is the one-phase strategy (§6): allocate temporary storage from
-// the per-row upper bound (for normal masks, the mask row size — the mask is
-// the "good initial approximation" §6 describes), run the numeric pass once
-// into the bounded slots, then compact into the final exactly-sized matrix.
+// driver1P is the one-phase strategy (§6): size a bound-binned buffer from
+// the per-row upper bound (for normal masks, the mask row size — the "good
+// initial approximation" §6 describes), run the numeric pass once with each
+// row writing into its own bin, then assemble the exactly-sized output.
+//
+// Assembly is zero-copy when every row fills its bin: the pooled bin buffers
+// are handed to the caller as the output arrays and not a byte moves (the
+// pool re-arms on the next call). Only when rows under-fill their bound does
+// a single parallel gather stitch the bins into fresh exact arrays — the
+// work the old unconditional compaction pass paid on every call. All bin and
+// bookkeeping buffers are pooled on opt.Workspaces, so a warmed under-filled
+// call allocates nothing beyond the returned output either.
 func driver1P[T any](nrows, ncols Index, bound func(Index) int64, segs []execSeg[T], opt Options) (*matrix.CSR[T], error) {
-	offs := make([]int64, nrows)
-	err := parallel.ForChunksCtx(opt.Ctx, int(nrows), opt.Threads, 512, func(lo, hi int) {
+	ws := opt.Workspaces
+	ob := wsGetI64(ws, int(nrows))
+	offs := ob.s
+	err := parallel.ForChunksCtx(opt.Ctx, int(nrows), opt.Threads, opt.sweepGrain(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			offs[i] = bound(Index(i))
 		}
 	})
 	if err != nil {
+		wsPutI64(ws, ob)
 		return nil, err
 	}
-	totalBound := parallel.ExclusiveScan(offs) // offs[i] = temp offset of row i
-	tmpCol := make([]Index, totalBound)
-	tmpVal := make([]T, totalBound)
-	counts := make([]int64, nrows)
-	err = parallel.ForWorkersCtx(opt.Ctx, int(nrows), opt.Threads, opt.Grain, func(_ int, claim func() (int, int, bool)) {
+	totalBound := parallel.ExclusiveScanParallel(offs, opt.Threads) // offs[i] = bin offset of row i
+	binCol := wsGetIdx(ws, int(totalBound))
+	binVal := wsGetVal[T](ws, int(totalBound))
+	cb := wsGetI64(ws, int(nrows))
+	counts := cb.s
+	tmpCol, tmpVal := binCol.s, binVal.s
+	recycle := func() {
+		wsPutI64(ws, ob)
+		wsPutI64(ws, cb)
+		wsPutIdx(ws, binCol)
+		wsPutVal(ws, binVal)
+	}
+	err = forRows(opt, nrows, func(_ int, claim func() (int, int, bool)) {
 		k := newWorkerKernels(segs)
-		defer k.recycle(opt.Workspaces)
+		defer k.recycle(ws)
 		for {
 			lo, hi, ok := claim()
 			if !ok {
@@ -181,30 +237,37 @@ func driver1P[T any](nrows, ncols Index, bound func(Index) int64, segs []execSeg
 		}
 	})
 	if err != nil {
+		recycle()
 		return nil, err
 	}
-	// Compact: scan actual counts into final row pointers, parallel copy.
-	finalPtr := make([]int64, nrows)
+	fb := wsGetI64(ws, int(nrows))
+	finalPtr := fb.s
 	copy(finalPtr, counts)
-	total := parallel.ExclusiveScan(finalPtr)
-	out := &matrix.CSR[T]{
-		NRows:  nrows,
-		NCols:  ncols,
-		RowPtr: make([]Index, nrows+1),
-		Col:    make([]Index, total),
-		Val:    make([]T, total),
+	total := parallel.ExclusiveScanParallel(finalPtr, opt.Threads)
+	out := &matrix.CSR[T]{NRows: nrows, NCols: ncols, RowPtr: make([]Index, nrows+1)}
+	fillRowPtr(opt, out.RowPtr, finalPtr, total)
+	if total == totalBound {
+		// Every row filled its bound exactly (finalPtr == offs), so the bin
+		// buffers already are the output: hand them over and move zero
+		// bytes. The pool entries they came from re-arm on the next call.
+		out.Col = tmpCol[:total]
+		out.Val = tmpVal[:total]
+		wsPutI64(ws, ob)
+		wsPutI64(ws, cb)
+		wsPutI64(ws, fb)
+		return out, nil
 	}
-	for i := Index(0); i < nrows; i++ {
-		out.RowPtr[i] = Index(finalPtr[i])
-	}
-	out.RowPtr[nrows] = Index(total)
-	err = parallel.ForChunksCtx(opt.Ctx, int(nrows), opt.Threads, 512, func(lo, hi int) {
+	out.Col = make([]Index, total)
+	out.Val = make([]T, total)
+	err = parallel.ForChunksCtx(opt.Ctx, int(nrows), opt.Threads, opt.sweepGrain(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			n := counts[i]
 			copy(out.Col[finalPtr[i]:finalPtr[i]+n], tmpCol[offs[i]:offs[i]+n])
 			copy(out.Val[finalPtr[i]:finalPtr[i]+n], tmpVal[offs[i]:offs[i]+n])
 		}
 	})
+	recycle()
+	wsPutI64(ws, fb)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is on. Under -race,
+// sync.Pool intentionally drops a fraction of Puts, so tests asserting
+// exact pool-miss counts must skip.
+const raceEnabled = false

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// Sched selects how the phase drivers distribute rows across workers.
+type Sched uint8
+
+const (
+	// SchedAuto (the zero value) schedules cost-balanced spans when a row
+	// cost profile is available and marked skewed, and equal-row dynamic
+	// chunks otherwise — the planner's analysis sweep supplies the profile
+	// and the skew verdict for free.
+	SchedAuto Sched = iota
+	// SchedEqualRow always uses equal-row dynamic chunks (the pre-cost
+	// scheduler), even when a cost profile exists. The baseline of the
+	// schedule bench study.
+	SchedEqualRow
+	// SchedCost uses cost-balanced spans whenever a cost profile is
+	// available, regardless of the skew verdict.
+	SchedCost
+)
+
+// String returns the CLI name of the policy.
+func (s Sched) String() string {
+	switch s {
+	case SchedEqualRow:
+		return "equal"
+	case SchedCost:
+		return "cost"
+	}
+	return "auto"
+}
+
+// SchedByName resolves a scheduling policy name ("auto", "equal", "cost").
+func SchedByName(name string) (Sched, error) {
+	switch name {
+	case "auto", "":
+		return SchedAuto, nil
+	case "equal", "equal-row":
+		return SchedEqualRow, nil
+	case "cost":
+		return SchedCost, nil
+	}
+	return SchedAuto, fmt.Errorf("core: unknown schedule %q (want auto, equal or cost)", name)
+}
+
+// Skew heuristic: a profile is worth cost-balancing when one row can hold a
+// whole equal-row chunk hostage — its cost exceeds schedSkewFactor× the mean
+// row cost — and the row space is large enough for scheduling to matter.
+const (
+	schedSkewFactor = 8
+	schedMinRows    = 256
+)
+
+// RowCosts is the per-row cost profile cost-balanced scheduling consumes.
+// The planner fills one during its analysis sweep (the flops it already
+// gathers per row, which used to be discarded after aggregation); callers
+// pinning a variant can build one with ComputeRowCosts.
+type RowCosts struct {
+	// Prefix is the monotone prefix sum of per-row costs, length nrows+1:
+	// Prefix[i+1]-Prefix[i] is the estimated cost of row i (flops plus mask
+	// entries plus one, so empty rows still advance the schedule).
+	Prefix []int64
+	// MaxRow is the largest single-row cost, the skew diagnostic.
+	MaxRow int64
+	// Skewed reports the skew verdict: SchedAuto only engages cost-balanced
+	// spans when set (SchedCost ignores it).
+	Skewed bool
+}
+
+// NewRowCosts wraps a filled prefix array, computing the skew verdict.
+func NewRowCosts(prefix []int64, maxRow int64) *RowCosts {
+	rc := &RowCosts{Prefix: prefix, MaxRow: maxRow}
+	if n := len(prefix) - 1; n >= schedMinRows {
+		total := prefix[n] - prefix[0]
+		rc.Skewed = maxRow*int64(n) > schedSkewFactor*total
+	}
+	return rc
+}
+
+// Total returns the summed cost of all rows.
+func (rc *RowCosts) Total() int64 {
+	if rc == nil || len(rc.Prefix) == 0 {
+		return 0
+	}
+	return rc.Prefix[len(rc.Prefix)-1] - rc.Prefix[0]
+}
+
+// schedPrefix resolves the options' scheduling policy for an nrows-row pass:
+// the cost prefix to claim equal-cost spans over, or nil for equal-row
+// chunks. A profile of the wrong length (operands changed under a cached
+// plan) falls back to equal-row — scheduling is a hint, never a correctness
+// input.
+func schedPrefix(opt Options, nrows Index) []int64 {
+	rc := opt.RowCosts
+	if rc == nil || len(rc.Prefix) != int(nrows)+1 || opt.Sched == SchedEqualRow {
+		return nil
+	}
+	if opt.Sched == SchedCost || rc.Skewed {
+		return rc.Prefix
+	}
+	return nil
+}
+
+// ComputeRowCosts gathers the per-row cost profile of C = M .* (A·B) in one
+// parallel O(nnz(A)) sweep: cost_i = Σ_{A_ik≠0} nnz(B_k*) + nnz(M_i*) + 1.
+// The planner computes the same profile as a by-product of its analysis;
+// this entry point serves callers that pin a variant (bypassing the planner)
+// but still want cost-balanced scheduling. Returns nil for degenerate
+// operands.
+func ComputeRowCosts(m, a, b *matrix.Pattern, threads int) *RowCosts {
+	nrows := m.NRows
+	if nrows == 0 || len(m.RowPtr) == 0 || len(a.RowPtr) == 0 || len(b.RowPtr) == 0 {
+		return nil
+	}
+	prefix := make([]int64, nrows+1)
+	p := parallel.Threads(threads)
+	maxPer := make([]int64, p)
+	parallel.ForWorkers(int(nrows), threads, 1024, func(id int, claim func() (lo, hi int, ok bool)) {
+		maxRow := int64(0)
+		for {
+			lo, hi, ok := claim()
+			if !ok {
+				break
+			}
+			for i := lo; i < hi; i++ {
+				var fl int64
+				for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+					k := a.Col[kk]
+					fl += int64(b.RowPtr[k+1] - b.RowPtr[k])
+				}
+				c := fl + int64(m.RowPtr[i+1]-m.RowPtr[i]) + 1
+				prefix[i] = c
+				if c > maxRow {
+					maxRow = c
+				}
+			}
+		}
+		if maxRow > maxPer[id] {
+			maxPer[id] = maxRow
+		}
+	})
+	var maxRow int64
+	for _, v := range maxPer {
+		if v > maxRow {
+			maxRow = v
+		}
+	}
+	prefix[nrows] = 0
+	parallel.ExclusiveScanParallel(prefix, threads)
+	return NewRowCosts(prefix, maxRow)
+}

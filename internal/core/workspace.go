@@ -1,7 +1,9 @@
 package core
 
 import (
+	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/accum"
 	"repro/internal/matrix"
@@ -31,6 +33,123 @@ type Workspaces struct {
 	mca    sync.Pool // *accum.MCA[T]
 	heap   sync.Pool // *accum.IterHeap
 	bitmap sync.Pool // *matrix.Bitmap (mask-probe words, element-type free)
+
+	// Size-classed driver buffer pools. The phase drivers take their whole
+	// scratch — per-row counts and offsets (int64), the one-phase
+	// bound-binned column buffer (Index) and value buffer (T) — from these
+	// pools, so a warmed session's multiplies allocate nothing at the driver
+	// layer beyond the returned output. Class c holds buffers with capacity
+	// in [2^c, 2^(c+1)); buffers are allocated with capacity rounded up to
+	// the class boundary, so a stable working size always lands back in the
+	// class it is fetched from.
+	i64 [poolClasses]sync.Pool // *bufI64
+	idx [poolClasses]sync.Pool // *bufIdx
+	val [poolClasses]sync.Pool // *bufVal[T]
+
+	// drvGets/drvMisses instrument the driver pools: a "miss" is a Get that
+	// had to allocate. Warmed steady state shows zero new misses; the alloc
+	// tests and the schedule bench study assert exactly that.
+	drvGets, drvMisses atomic.Int64
+}
+
+// poolClasses bounds the size-class ladder (2^47 elements ≫ any host).
+const poolClasses = 48
+
+// bufI64/bufIdx/bufVal box a pooled slice so the box itself is reused
+// through the pool: Get and Put move the same pointer, allocating nothing in
+// steady state (Put of a bare slice would box it on every call).
+type bufI64 struct{ s []int64 }
+type bufIdx struct{ s []Index }
+type bufVal[T any] struct{ s []T }
+
+// sizeClass returns the class whose buffers can hold n elements: the
+// smallest c with 2^c ≥ n.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	c := bits.Len(uint(n - 1))
+	if c >= poolClasses {
+		c = poolClasses - 1
+	}
+	return c
+}
+
+// classCap returns the allocation capacity of class c buffers, clamped so
+// oversized requests fall back to exact-size allocations.
+func classCap(c, n int) int {
+	if cc := 1 << c; cc >= n {
+		return cc
+	}
+	return n
+}
+
+// DriverPoolStats reports the driver buffer pools' Get calls and the subset
+// that had to allocate. Misses stop growing once a session is warm; the
+// difference across a warmed call is the "driver-layer allocations" the
+// alloc tests pin to zero.
+func (ws *Workspaces) DriverPoolStats() (gets, misses int64) {
+	return ws.drvGets.Load(), ws.drvMisses.Load()
+}
+
+func wsGetI64(ws *Workspaces, n int) *bufI64 {
+	if ws != nil {
+		ws.drvGets.Add(1)
+		c := sizeClass(n)
+		if v, ok := ws.i64[c].Get().(*bufI64); ok && cap(v.s) >= n {
+			v.s = v.s[:n]
+			return v
+		}
+		ws.drvMisses.Add(1)
+		return &bufI64{s: make([]int64, n, classCap(c, n))}
+	}
+	return &bufI64{s: make([]int64, n)}
+}
+
+func wsPutI64(ws *Workspaces, b *bufI64) {
+	if ws != nil && b != nil && cap(b.s) > 0 {
+		ws.i64[sizeClass(cap(b.s))].Put(b)
+	}
+}
+
+func wsGetIdx(ws *Workspaces, n int) *bufIdx {
+	if ws != nil {
+		ws.drvGets.Add(1)
+		c := sizeClass(n)
+		if v, ok := ws.idx[c].Get().(*bufIdx); ok && cap(v.s) >= n {
+			v.s = v.s[:n]
+			return v
+		}
+		ws.drvMisses.Add(1)
+		return &bufIdx{s: make([]Index, n, classCap(c, n))}
+	}
+	return &bufIdx{s: make([]Index, n)}
+}
+
+func wsPutIdx(ws *Workspaces, b *bufIdx) {
+	if ws != nil && b != nil && cap(b.s) > 0 {
+		ws.idx[sizeClass(cap(b.s))].Put(b)
+	}
+}
+
+func wsGetVal[T any](ws *Workspaces, n int) *bufVal[T] {
+	if ws != nil {
+		ws.drvGets.Add(1)
+		c := sizeClass(n)
+		if v, ok := ws.val[c].Get().(*bufVal[T]); ok && cap(v.s) >= n {
+			v.s = v.s[:n]
+			return v
+		}
+		ws.drvMisses.Add(1)
+		return &bufVal[T]{s: make([]T, n, classCap(c, n))}
+	}
+	return &bufVal[T]{s: make([]T, n)}
+}
+
+func wsPutVal[T any](ws *Workspaces, b *bufVal[T]) {
+	if ws != nil && b != nil && cap(b.s) > 0 {
+		ws.val[sizeClass(cap(b.s))].Put(b)
+	}
 }
 
 // NewWorkspaces returns an empty arena.

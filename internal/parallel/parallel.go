@@ -4,9 +4,11 @@
 // All kernels in this repository parallelize across matrix rows, following
 // the paper's observation (§3) that there is plenty of coarse-grained
 // parallelism across rows on multi-core machines. Work is distributed
-// dynamically: workers claim fixed-size chunks of the iteration space from a
-// shared atomic counter, which bounds load imbalance when row costs are
-// skewed (e.g. power-law graphs).
+// dynamically in one of two ways: workers claim fixed-size (equal-row)
+// chunks of the iteration space from a shared atomic counter, or — when a
+// per-row cost profile is available (the ForCost* variants) — equal-cost
+// spans found by binary search over the cost prefix sum, which keeps load
+// balanced even when row costs are heavily skewed (power-law graphs).
 package parallel
 
 import (

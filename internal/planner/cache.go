@@ -48,6 +48,7 @@ type cacheKey struct {
 	mRows, mCols Index
 	complement   bool
 	rep          core.MaskRep // caller-pinned mask representation (RepAuto when unpinned)
+	sched        core.Sched   // caller-pinned scheduling policy (SchedAuto when unpinned)
 	mBucket      int8         // log2 bucket of nnz(M)
 	aBucket      int8         // log2 bucket of nnz(A)
 	aRows        Index
@@ -84,6 +85,7 @@ func (c *Cache) Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 		mCols:      m.NCols,
 		complement: opt.Complement,
 		rep:        opt.MaskRep,
+		sched:      opt.Sched,
 		mBucket:    bucket(m.NNZ()),
 		aBucket:    bucket(a.NNZ()),
 		aRows:      a.NRows,

@@ -56,9 +56,15 @@ type Stats struct {
 	// rows). MaskNonEmptyRows counts the rows with any entry at all,
 	// regardless of sortedness.
 	MaskRunRows, MaskNonEmptyRows int64
+	// MaxRowCost is the largest single-row cost (flops + mask entries + 1)
+	// seen by the analysis sweep — the scheduling skew diagnostic.
+	MaxRowCost int64
 	// MaskRepPin is the caller-pinned mask representation (RepAuto when the
 	// planner selects per block).
 	MaskRepPin core.MaskRep
+	// SchedPin is the caller-pinned row-scheduling policy (SchedAuto when
+	// the skew verdict decides); Schedule() and Explain honor it.
+	SchedPin core.Sched
 	// Sorted reports whether all operand rows are sorted, the precondition
 	// of the MCA/Heap/HeapDot/Inner kernels.
 	Sorted bool
@@ -95,9 +101,36 @@ type Plan struct {
 	Phase core.Phase
 	// Blocks tile [0, NRows) in order.
 	Blocks []Block
+	// Costs is the per-row cost profile the analysis sweep gathered (flops
+	// plus mask entries per row, as a prefix sum), reused by the drivers for
+	// cost-balanced scheduling instead of being discarded after aggregation.
+	// Nil for degenerate operands; Execute attaches it to the options when
+	// the caller did not supply a profile.
+	Costs *core.RowCosts
 	// CacheHit reports that the plan was reused from a Cache rather than
 	// re-analyzed.
 	CacheHit bool
+}
+
+// Schedule names the row schedule the drivers will run this plan with: the
+// caller's pin when one was given (SchedEqualRow / SchedCost), otherwise
+// the SchedAuto verdict — "cost-balanced" when the analysis found the
+// per-row cost profile heavily skewed (one row over ~8x the mean),
+// "equal-row" otherwise. Matches schedPrefix's resolution in core.
+func (p *Plan) Schedule() string {
+	switch p.Stats.SchedPin {
+	case core.SchedEqualRow:
+		return "equal-row"
+	case core.SchedCost:
+		if p.Costs != nil {
+			return "cost-balanced"
+		}
+		return "equal-row"
+	}
+	if p.Costs != nil && p.Costs.Skewed {
+		return "cost-balanced"
+	}
+	return "equal-row"
 }
 
 // Mixed reports whether the plan assigns different algorithms to different
@@ -153,6 +186,13 @@ func (p *Plan) Explain() string {
 	}
 	fmt.Fprintf(&sb, "stats: %dx%d %s mask nnz=%d, nnz(A)=%d, nnz(B)=%d, flops(A·B)=%d, 1P bound=%d\n",
 		s.NRows, s.NCols, mode, s.NNZM, s.NNZA, s.NNZB, s.Flops, s.Bound1P)
+	if p.Costs != nil {
+		mean := int64(1)
+		if s.NRows > 0 {
+			mean = p.Costs.Total() / int64(s.NRows)
+		}
+		fmt.Fprintf(&sb, "sched: %s (max row cost %d, mean %d)\n", p.Schedule(), s.MaxRowCost, mean)
+	}
 	if s.MaskNonEmptyRows > 0 {
 		fmt.Fprintf(&sb, "mask: %d non-empty rows, %d contiguous runs", s.MaskNonEmptyRows, s.MaskRunRows)
 		if s.MaskRepPin != core.RepAuto {
@@ -161,8 +201,8 @@ func (p *Plan) Explain() string {
 		sb.WriteString("\n")
 	}
 	for _, b := range p.Blocks {
-		fmt.Fprintf(&sb, "  rows [%d,%d) → %s mask=%s: %s (mask nnz=%d, flops=%d)\n",
-			b.Lo, b.Hi, b.Alg, b.Rep, b.Reason, b.MaskNNZ, b.Flops)
+		fmt.Fprintf(&sb, "  rows [%d,%d) → %s mask=%s sched=%s: %s (mask nnz=%d, flops=%d)\n",
+			b.Lo, b.Hi, b.Alg, b.Rep, p.Schedule(), b.Reason, b.MaskNNZ, b.Flops)
 	}
 	return sb.String()
 }
@@ -224,7 +264,7 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 		// Degenerate (possibly zero-value) operands: nothing to analyze, and
 		// the scans below must not index empty row pointers.
 		return &Plan{
-			Stats:  Stats{NRows: nrows, NCols: ncols, Complement: opt.Complement, MaskRepPin: opt.MaskRep, Sorted: true},
+			Stats:  Stats{NRows: nrows, NCols: ncols, Complement: opt.Complement, MaskRepPin: opt.MaskRep, SchedPin: opt.Sched, Sorted: true},
 			Phase:  core.OnePhase,
 			Blocks: []Block{{Lo: 0, Hi: nrows, Alg: core.MSA, Rep: core.RepCSR, Reason: "empty operands"}},
 		}
@@ -234,6 +274,7 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 		NNZM: int64(m.NNZ()), NNZA: int64(a.NNZ()), NNZB: int64(b.NNZ()),
 		Complement: opt.Complement,
 		MaskRepPin: opt.MaskRep,
+		SchedPin:   opt.Sched,
 		Sorted:     sortedRows(m, opt.Threads) && sortedRows(a, opt.Threads) && sortedRows(b, opt.Threads),
 	}
 	if b.NRows > 0 {
@@ -259,6 +300,12 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 	boundPerBlock := make([]int64, nblocks)
 	runPerBlock := make([]int64, nblocks)
 	nonEmptyPerBlock := make([]int64, nblocks)
+	maxCostPerBlock := make([]int64, nblocks)
+	// rowCosts[i] holds row i's cost during the sweep and becomes the
+	// scheduling cost prefix after the scan below; the +1 slot carries the
+	// total. This is the per-row flops data the sweep previously discarded
+	// after aggregating it into flopsPerBlock.
+	rowCosts := make([]int64, int64(nrows)+1)
 	parallel.ForChunks(nblocks, opt.Threads, 1, func(blo, bhi int) {
 		for bi := blo; bi < bhi; bi++ {
 			lo := Index(int64(bi) * blockRows)
@@ -266,7 +313,7 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 			if hi > nrows {
 				hi = nrows
 			}
-			var flops, bnd, runs, nonEmpty int64
+			var flops, bnd, runs, nonEmpty, maxCost int64
 			for i := lo; i < hi; i++ {
 				var rowFlops int64
 				for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
@@ -274,13 +321,19 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 					rowFlops += int64(b.RowPtr[k+1] - b.RowPtr[k])
 				}
 				flops += rowFlops
+				mn := m.RowPtr[i+1] - m.RowPtr[i]
+				cost := rowFlops + int64(mn) + 1
+				rowCosts[i] = cost
+				if cost > maxCost {
+					maxCost = cost
+				}
 				if opt.Complement {
 					if rowFlops > int64(ncols) {
 						rowFlops = int64(ncols)
 					}
 					bnd += rowFlops
 				}
-				if mn := m.RowPtr[i+1] - m.RowPtr[i]; mn > 0 {
+				if mn > 0 {
 					nonEmpty++
 					// O(1) contiguity check; exact only on sorted rows, and
 					// only consumed when st.Sorted holds.
@@ -293,11 +346,19 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 			boundPerBlock[bi] = bnd
 			runPerBlock[bi] = runs
 			nonEmptyPerBlock[bi] = nonEmpty
+			maxCostPerBlock[bi] = maxCost
 		}
 	})
 	for _, f := range flopsPerBlock {
 		st.Flops += f
 	}
+	for _, c := range maxCostPerBlock {
+		if c > st.MaxRowCost {
+			st.MaxRowCost = c
+		}
+	}
+	parallel.ExclusiveScanParallel(rowCosts, opt.Threads)
+	costs := core.NewRowCosts(rowCosts, st.MaxRowCost)
 	for bi := range runPerBlock {
 		if !st.Sorted {
 			runPerBlock[bi] = 0 // run check unreliable on unsorted rows
@@ -349,7 +410,7 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 	if len(blocks) == 0 { // nrows == 0
 		blocks = []Block{{Lo: 0, Hi: 0, Alg: push, Rep: core.RepCSR, Reason: "empty row space"}}
 	}
-	return &Plan{Stats: st, Phase: phase, Blocks: blocks}
+	return &Plan{Stats: st, Phase: phase, Blocks: blocks, Costs: costs}
 }
 
 // blockRep selects the mask representation for one decided block: the
@@ -503,6 +564,19 @@ func Execute[T any](p *Plan, m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring
 	if opt.MaskRep != p.Stats.MaskRepPin {
 		return nil, fmt.Errorf("planner: plan analyzed with MaskRep=%v, executed with MaskRep=%v",
 			p.Stats.MaskRepPin, opt.MaskRep)
+	}
+	if opt.Sched != p.Stats.SchedPin {
+		return nil, fmt.Errorf("planner: plan analyzed with Sched=%v, executed with Sched=%v",
+			p.Stats.SchedPin, opt.Sched)
+	}
+	if opt.RowCosts == nil {
+		// Reuse the analysis sweep's per-row cost profile for scheduling.
+		// Cached plans may be paired with operands of slightly different
+		// shape (the cache buckets M and A by size); the drivers fall back
+		// to equal-row chunking when the profile's length no longer matches,
+		// and a stale-but-matching profile only skews span sizes, never
+		// results.
+		opt.RowCosts = p.Costs
 	}
 	return core.MaskedSpGEMMBlocked(p.Phase, p.ExecBlocks(), m, a, b, sr, opt, stats)
 }

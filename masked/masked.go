@@ -127,6 +127,23 @@ const (
 // "dense").
 func MaskRepByName(name string) (MaskRep, error) { return core.MaskRepByName(name) }
 
+// Sched selects how the drivers distribute rows across workers; see
+// WithSched.
+type Sched = core.Sched
+
+// Row-scheduling policies, re-exported from the core package: SchedAuto
+// (cost-balanced spans when the planner's row-cost profile is skewed,
+// equal-row chunks otherwise), SchedEqualRow (always equal-row dynamic
+// chunks) and SchedCost (cost-balanced whenever a profile exists).
+const (
+	SchedAuto     = core.SchedAuto
+	SchedEqualRow = core.SchedEqualRow
+	SchedCost     = core.SchedCost
+)
+
+// SchedByName resolves a scheduling policy name ("auto", "equal", "cost").
+func SchedByName(name string) (Sched, error) { return core.SchedByName(name) }
+
 // Algorithm families, re-exported from the core package.
 const (
 	MSA     = core.MSA

@@ -28,7 +28,9 @@ import (
 // one of the paper's 12 variants, WithAuto (the default) routes through the
 // adaptive planner, WithComplement flips the mask, WithThreads/WithGrain
 // bound parallelism, WithMaskRep pins the mask representation (auto by
-// default), WithAccumulate selects the semiring of Multiply.
+// default), WithSched selects the row-scheduling policy (cost-balanced vs
+// equal-row, auto by default), WithAccumulate selects the semiring of
+// Multiply.
 // Options passed to NewSession become the session's defaults; options
 // passed to an operation override them for that call. The same descriptor
 // vocabulary drives Multiply, the application methods (TriangleCount,
@@ -57,6 +59,7 @@ type opSpec struct {
 	threads    int
 	grain      int
 	maskRep    MaskRep
+	sched      Sched
 	sr         Semiring
 	hasSR      bool
 }
@@ -117,6 +120,17 @@ func WithMaskRep(r MaskRep) Op {
 	return func(d *opSpec) { d.maskRep = r }
 }
 
+// WithSched selects the row-scheduling policy of the drivers: SchedAuto
+// (the default) claims equal-flops spans over the planner's per-row cost
+// profile when the profile is heavily skewed (power-law rows) and equal-row
+// dynamic chunks otherwise; SchedEqualRow pins the equal-row scheduler;
+// SchedCost forces cost-balanced spans whenever a profile exists. On the
+// pinned-variant path (WithVariant), SchedCost gathers the profile with one
+// extra O(nnz(A)) sweep per call. Scheduling never changes results.
+func WithSched(s Sched) Op {
+	return func(d *opSpec) { d.sched = s }
+}
+
 // WithAccumulate selects the semiring Multiply accumulates over (default
 // Arithmetic). The application methods fix their own semirings and ignore
 // it.
@@ -157,6 +171,7 @@ func (s *Session) options(ctx context.Context, d opSpec) Options {
 		Grain:      d.grain,
 		Complement: d.complement,
 		MaskRep:    d.maskRep,
+		Sched:      d.sched,
 		Ctx:        ctx,
 		Workspaces: s.ws,
 	}
@@ -188,6 +203,11 @@ func (s *Session) MultiplyAuto(ctx context.Context, m *Pattern, a, b *Matrix, op
 	d := s.def.apply(opts)
 	o := s.options(ctx, d)
 	if d.pinned {
+		if d.sched == SchedCost && o.RowCosts == nil {
+			// The pinned path bypasses the planner, so the cost profile the
+			// planner would have gathered is computed explicitly.
+			o.RowCosts = core.ComputeRowCosts(m, a.Pattern(), b.Pattern(), o.Threads)
+		}
 		c, err := core.MaskedSpGEMM(d.variant, m, a, b, d.semiring(), o)
 		return c, nil, err
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/matrix"
 	"repro/internal/semiring"
 )
@@ -272,3 +273,100 @@ func benchmarkIterativeApp(b *testing.B, fresh bool) {
 
 func BenchmarkMultiSourceBFSSession(b *testing.B)    { benchmarkIterativeApp(b, false) }
 func BenchmarkMultiSourceBFSFreshState(b *testing.B) { benchmarkIterativeApp(b, true) }
+
+// benchmarkWarmedMultiplyDriverAllocs extends PR 2's session-vs-fresh alloc
+// comparison with PR 4's absolute guarantee: once a session is warm, the
+// phase drivers take every scratch buffer (per-row counts and offsets, the
+// one-phase bound bins) from the pooled arena — zero driver-layer
+// allocations per multiply, measured as workspace pool misses. -benchmem
+// shows the remaining allocs/op, which are the returned output plus O(1)
+// per-call bookkeeping, independent of the matrix size.
+func benchmarkWarmedMultiplyDriverAllocs(b *testing.B, phase core.Phase) {
+	ctx := context.Background()
+	lp, l := tcOperands(10, 8, 15)
+	s := NewSession(WithThreads(2), WithVariant(Variant{Alg: MSA, Phase: phase}), WithAccumulate(PlusPair()))
+	for i := 0; i < 2; i++ { // warm plan cache and pools
+		if _, err := s.Multiply(ctx, lp, l, l); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_, missBefore := s.ws.DriverPoolStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Multiply(ctx, lp, l, l); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Exact miss counts only hold without -race: the race detector makes
+	// sync.Pool drop a fraction of Puts.
+	if _, missAfter := s.ws.DriverPoolStats(); !raceEnabled && missAfter != missBefore {
+		b.Fatalf("warmed Session.Multiply (%s) performed %d driver-layer allocations (pool misses) over %d ops; want 0",
+			phase, missAfter-missBefore, b.N)
+	}
+}
+
+func BenchmarkSessionMultiplyDriverAllocs1P(b *testing.B) {
+	benchmarkWarmedMultiplyDriverAllocs(b, OnePhase)
+}
+func BenchmarkSessionMultiplyDriverAllocs2P(b *testing.B) {
+	benchmarkWarmedMultiplyDriverAllocs(b, TwoPhase)
+}
+
+// TestWarmedSessionZeroDriverAllocs is the deterministic (non-benchmark)
+// form of the guarantee, covering both phases and the planner path.
+func TestWarmedSessionZeroDriverAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops a fraction of Puts under the race detector; exact miss counts only hold without -race")
+	}
+	ctx := context.Background()
+	lp, l := tcOperands(10, 8, 15)
+	cases := map[string][]Op{
+		"1P":   {WithVariant(Variant{Alg: MSA, Phase: OnePhase})},
+		"2P":   {WithVariant(Variant{Alg: MSA, Phase: TwoPhase})},
+		"auto": nil,
+	}
+	for name, ops := range cases {
+		s := NewSession(append([]Op{WithThreads(2), WithAccumulate(PlusPair())}, ops...)...)
+		for i := 0; i < 2; i++ {
+			if _, err := s.Multiply(ctx, lp, l, l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, missBefore := s.ws.DriverPoolStats()
+		for i := 0; i < 3; i++ {
+			if _, err := s.Multiply(ctx, lp, l, l); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, missAfter := s.ws.DriverPoolStats(); missAfter != missBefore {
+			t.Errorf("%s: warmed session made %d driver pool misses; want 0", name, missAfter-missBefore)
+		}
+	}
+}
+
+// TestSessionSchedEquivalence: WithSched never changes results — the auto,
+// pinned-equal and pinned-cost schedules all produce bit-identical output,
+// on both the planner and pinned-variant paths.
+func TestSessionSchedEquivalence(t *testing.T) {
+	ctx := context.Background()
+	lp, l := tcOperands(10, 16, 31)
+	want, err := NewSession().Multiply(ctx, lp, l, l, WithAccumulate(PlusPair()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sched := range []Sched{SchedAuto, SchedEqualRow, SchedCost} {
+		for _, pin := range []bool{false, true} {
+			ops := []Op{WithAccumulate(PlusPair()), WithSched(sched), WithThreads(4)}
+			if pin {
+				ops = append(ops, WithVariant(Variant{Alg: Hash, Phase: OnePhase}))
+			}
+			got, err := NewSession().Multiply(ctx, lp, l, l, ops...)
+			if err != nil {
+				t.Fatalf("sched=%v pinned=%v: %v", sched, pin, err)
+			}
+			sameCSR(t, "sched", got, want)
+		}
+	}
+}

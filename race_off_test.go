@@ -1,0 +1,8 @@
+//go:build !race
+
+package repro_test
+
+// raceEnabled reports whether the race detector is on. Under -race,
+// sync.Pool intentionally drops a fraction of Puts, so benchmarks asserting
+// exact pool-miss counts must not.
+const raceEnabled = false
