@@ -8,6 +8,7 @@
 package repro_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/planner"
 	"repro/internal/semiring"
+	"repro/masked"
 )
 
 // Shared inputs, generated once. Sizes chosen so a full -bench=. run
@@ -541,4 +543,48 @@ func BenchmarkMaskRep(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkServing contrasts serialized one-at-a-time multiplies against
+// the batched serving path on a zipf-shaped query mix (hot requests
+// repeated, cold singletons). The serving win comes from coalescing the
+// hot duplicates plus arbitrated worker shares; `mspgemm-bench serving`
+// reports the full study with verification and arbiter counters.
+func BenchmarkServing(b *testing.B) {
+	ctx := context.Background()
+	hotL := matrix.Tril(grgen.RMAT(8, 8, 51))
+	hotG := grgen.ErdosRenyi(1<<8, 8, 52)
+	coldL := matrix.Tril(grgen.RMAT(6, 4, 53))
+	coldG := grgen.ErdosRenyi(1<<7, 4, 54)
+	var reqs []masked.BatchReq
+	for r := 0; r < 3; r++ { // hot duplicates
+		reqs = append(reqs,
+			masked.BatchReq{M: hotL.Pattern(), A: hotL, B: hotL, Opts: []masked.Op{masked.WithAccumulate(masked.PlusPair())}},
+			masked.BatchReq{M: hotG.Pattern(), A: hotG, B: hotG})
+	}
+	reqs = append(reqs,
+		masked.BatchReq{M: coldL.Pattern(), A: coldL, B: coldL, Opts: []masked.Op{masked.WithAccumulate(masked.PlusPair())}},
+		masked.BatchReq{M: coldG.Pattern(), A: coldG, B: coldG, Opts: []masked.Op{masked.WithComplement()}})
+	b.Run("serialized", func(b *testing.B) {
+		s := masked.NewSession()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range reqs {
+				if _, err := s.Multiply(ctx, r.M, r.A, r.B, r.Opts...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch-inflight8", func(b *testing.B) {
+		s := masked.NewSession(masked.WithInflight(8))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range s.MultiplyBatch(ctx, reqs) {
+				if r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+		}
+	})
 }

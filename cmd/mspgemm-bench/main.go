@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|maskrep|schedule|all
+//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|maskrep|schedule|serving|all
 //
 // Flags:
 //
@@ -26,10 +26,12 @@
 //	-sched S     pin the row-scheduling policy for every kernel of the run:
 //	             auto (default; cost-balanced spans on skewed cost
 //	             profiles), equal (equal-row chunks), or cost
+//	-inflight N  largest in-flight request count the serving study sweeps
+//	             (default 8)
 //	-json FILE   also write machine-readable per-case results (ns/op,
-//	             allocs/op, scheduling metrics) to FILE, e.g.
-//	             -json BENCH_PR4.json. Currently the maskrep and
-//	             schedule studies record; fig7..fig16 emit TSV only
+//	             allocs/op, scheduling/serving metrics) to FILE, e.g.
+//	             -json BENCH_PR5.json. Currently the maskrep, schedule
+//	             and serving studies record; fig7..fig16 emit TSV only
 //	-explain     print the adaptive plan for each corpus input to stderr
 //	-timeout D   abort the whole run after duration D (cooperative
 //	             cancellation of in-flight kernels), e.g. -timeout 90s
@@ -41,6 +43,12 @@
 // chunking against cost-balanced equal-flops spans on skewed (R-MAT) and
 // flat (ER) inputs, reporting wall time, a deterministic load-imbalance
 // model at ≥4 workers, and the warmed-session driver allocation counts.
+// The "serving" subcommand is the concurrency study: a zipf-shaped mixed
+// query stream answered serially (one full-budget multiply at a time)
+// versus through Session.MultiplyBatch at in-flight caps 1..-inflight,
+// reporting throughput, the speedup over serialized execution, how many
+// requests were coalesced onto identical in-flight twins (outputs verified
+// bit-identical), and the thread arbiter's steal/top-up counters.
 package main
 
 import (
@@ -69,14 +77,15 @@ func main() {
 	alg := flag.String("alg", "", "run application figures with this single scheme (e.g. auto, MSA-1P, SS:SAXPY)")
 	maskRep := flag.String("maskrep", "auto", "pin the mask representation: auto | csr | bitmap | dense")
 	sched := flag.String("sched", "auto", "pin the row-scheduling policy: auto | equal | cost")
-	jsonPath := flag.String("json", "", "write machine-readable per-case results of the maskrep/schedule studies to this file (e.g. BENCH_PR4.json)")
+	inflight := flag.Int("inflight", 8, "largest in-flight request count the serving study sweeps")
+	jsonPath := flag.String("json", "", "write machine-readable per-case results of the maskrep/schedule/serving studies to this file (e.g. BENCH_PR5.json)")
 	explain := flag.Bool("explain", false, "print the adaptive plan for each corpus input to stderr")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration, e.g. 90s (0 = no limit)")
 	flag.Parse()
 	plotTables = *plot
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|all")
+		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|maskrep|schedule|serving|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -116,6 +125,7 @@ func main() {
 		Engine:    *alg,
 		MaskRep:   rep,
 		Sched:     schedPolicy,
+		Inflight:  *inflight,
 		Explain:   *explain,
 		Ctx:       ctx,
 		Engines:   session,
@@ -155,13 +165,15 @@ func main() {
 			emit(bench.MaskRepStudy(cfg))
 		case "schedule":
 			emit(bench.ScheduleStudy(cfg))
+		case "serving":
+			emit(bench.ServingStudy(cfg))
 		default:
 			fatal(fmt.Errorf("unknown figure %q", name))
 		}
 	}
 	if which == "all" {
 		for _, name := range []string{"fig7", "fig8", "fig9", "fig10", "fig11",
-			"fig12", "fig13", "fig14", "fig15", "fig16", "maskrep", "schedule"} {
+			"fig12", "fig13", "fig14", "fig15", "fig16", "maskrep", "schedule", "serving"} {
 			run(name)
 		}
 	} else {

@@ -8,7 +8,7 @@
 //	mspgemm -a A.mtx -b B.mtx -mask M.mtx [-alg auto|MSA-1P|hybrid]
 //	        [-maskrep auto|csr|bitmap|dense] [-sched auto|equal|cost]
 //	        [-explain] [-complement] [-semiring arithmetic|plus-pair]
-//	        [-threads N] [-timeout 30s] [-out C.mtx]
+//	        [-threads N] [-batch N] [-inflight K] [-timeout 30s] [-out C.mtx]
 //
 // Omitting -b squares A (B = A); omitting -mask uses A's pattern as the
 // mask (the triangle-counting shape). -alg auto selects the variant (or a
@@ -18,6 +18,13 @@
 // equal-flops spans when the per-row cost profile is skewed, equal-row
 // chunks otherwise); -explain prints the plan the planner chooses for these
 // operands, including the representation and schedule per block.
+//
+// -batch N > 1 exercises the serving layer: the product is submitted N
+// times as one Session.MultiplyBatch call with an -inflight admission cap,
+// and the report shows aggregate throughput plus how many requests were
+// coalesced onto the first (identical requests are computed once — the
+// serving layer's single-flight path). Only the auto and variant
+// algorithms batch; -batch with hybrid is rejected.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"repro/internal/mmio"
 	"repro/internal/planner"
 	"repro/internal/semiring"
+	"repro/masked"
 )
 
 func main() {
@@ -46,6 +54,8 @@ func main() {
 	complement := flag.Bool("complement", false, "use the complement of the mask")
 	srName := flag.String("semiring", "arithmetic", "semiring: arithmetic | plus-pair | min-plus")
 	threads := flag.Int("threads", runtime.GOMAXPROCS(0), "worker goroutines")
+	batch := flag.Int("batch", 1, "submit the product this many times through the serving batch API")
+	inflight := flag.Int("inflight", 0, "serving admission cap for -batch (0 = one request per worker thread)")
 	timeout := flag.Duration("timeout", 0, "abort the multiply after this duration, e.g. 30s (0 = no limit)")
 	outPath := flag.String("out", "", "output Matrix Market path (default: stats only)")
 	flag.Parse()
@@ -111,6 +121,10 @@ func main() {
 	if *explain {
 		fmt.Fprint(os.Stderr, plan.Explain())
 	}
+	if *batch > 1 {
+		runBatch(ctx, mask, a, b, sr, *algName, *threads, *batch, *inflight, rep, sched, *complement, *outPath)
+		return
+	}
 	t0 := time.Now()
 	var c *matrix.CSR[float64]
 	switch *algName {
@@ -146,6 +160,54 @@ func main() {
 	if *outPath != "" {
 		check(mmio.WriteFile(*outPath, c))
 		fmt.Fprintf(os.Stderr, "mspgemm: wrote %s\n", *outPath)
+	}
+}
+
+// runBatch submits the product n times through the serving layer and
+// reports aggregate throughput. Identical requests coalesce onto one
+// computation, so this measures the serving path's admission, arbitration
+// and single-flight machinery end to end on real operands.
+func runBatch(ctx context.Context, mask *matrix.Pattern, a, b *matrix.CSR[float64], sr semiring.Semiring[float64],
+	algName string, threads, n, inflight int, rep core.MaskRep, sched core.Sched, complement bool, outPath string) {
+	ops := []masked.Op{masked.WithAccumulate(sr), masked.WithMaskRep(rep), masked.WithSched(sched)}
+	if complement {
+		ops = append(ops, masked.WithComplement())
+	}
+	switch algName {
+	case "auto":
+	case "hybrid":
+		check(fmt.Errorf("-batch does not support -alg hybrid"))
+	default:
+		v, err := core.VariantByName(algName)
+		check(err)
+		ops = append(ops, masked.WithVariant(v))
+	}
+	s := masked.NewSession(masked.WithThreads(threads), masked.WithInflight(inflight))
+	reqs := make([]masked.BatchReq, n)
+	for i := range reqs {
+		reqs[i] = masked.BatchReq{M: mask, A: a, B: b, Opts: ops, Tag: i}
+	}
+	t0 := time.Now()
+	res := s.MultiplyBatch(ctx, reqs)
+	elapsed := time.Since(t0)
+	coalesced := 0
+	var c *matrix.CSR[float64]
+	for _, r := range res {
+		check(r.Err)
+		c = r.C
+		if r.Coalesced {
+			coalesced++
+		}
+	}
+	st := s.ServingStats()
+	fmt.Printf("batch: %d requests (%d computed, %d coalesced)   inflight cap=%d   budget=%d workers\n",
+		n, n-coalesced, coalesced, st.MaxInflight, st.Budget)
+	fmt.Printf("C: %dx%d nnz=%d   total=%v   %.0f req/s\n",
+		c.NRows, c.NCols, c.NNZ(), elapsed.Round(time.Microsecond),
+		float64(n)/elapsed.Seconds())
+	if outPath != "" {
+		check(mmio.WriteFile(outPath, c))
+		fmt.Fprintf(os.Stderr, "mspgemm: wrote %s\n", outPath)
 	}
 }
 

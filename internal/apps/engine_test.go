@@ -37,9 +37,8 @@ func TestSessionEnginesSharePlanCache(t *testing.T) {
 	if !matrix.Equal(got, want, func(a, b float64) bool { return a == b }) {
 		t.Fatal("engines from one session disagree")
 	}
-	hits, misses := s.Cache.Stats()
-	if misses != 1 || hits != 1 {
-		t.Errorf("plan cache: got %d hits / %d misses, want 1/1 (shared cache)", hits, misses)
+	if st := s.Cache.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("plan cache: got %d hits / %d misses, want 1/1 (shared cache)", st.Hits, st.Misses)
 	}
 
 	// AllEngines-style sweeps under Auto share the cache, too.
@@ -49,8 +48,8 @@ func TestSessionEnginesSharePlanCache(t *testing.T) {
 			t.Fatalf("engine %d: %v", i, err)
 		}
 	}
-	if hits, misses := s2.Cache.Stats(); misses != 1 || hits != 11 {
-		t.Errorf("12-engine Auto sweep: got %d hits / %d misses, want 11/1", hits, misses)
+	if st := s2.Cache.Stats(); st.Misses != 1 || st.Hits != 11 {
+		t.Errorf("12-engine Auto sweep: got %d hits / %d misses, want 11/1", st.Hits, st.Misses)
 	}
 }
 

@@ -52,6 +52,9 @@ type Config struct {
 	// Sched pins the row-scheduling policy for every kernel of the run
 	// (SchedAuto engages cost-balanced spans on skewed cost profiles).
 	Sched core.Sched
+	// Inflight is the largest in-flight request count the serving study
+	// sweeps (0 = 8, the study's reference point).
+	Inflight int
 	// Recorder, if non-nil, collects machine-readable per-case results for
 	// the -json output (BENCH_PR4.json).
 	Recorder *Recorder

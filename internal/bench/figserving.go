@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/grgen"
+	"repro/internal/matrix"
+	"repro/masked"
+)
+
+// servingReq is one catalog entry of the serving workload.
+type servingReq struct {
+	name string
+	req  masked.BatchReq
+}
+
+// servingCatalog builds the mixed serving workload: point queries of
+// different shapes (triangle-counting products, squares, a complemented
+// product, a different semiring) and sizes (tiny through medium). The hot
+// subset models the zipf-shaped traffic a serving system sees — a few
+// queries carry most of the volume.
+func servingCatalog(cfg Config) (hot, cold []servingReq) {
+	scale := 0
+	if cfg.Quick {
+		scale = -1
+	}
+	tc := func(name string, s, d int, seed uint64) servingReq {
+		l := matrix.Tril(grgen.RMAT(s, d, seed))
+		return servingReq{name: name, req: masked.BatchReq{
+			M: l.Pattern(), A: l, B: l,
+			Opts: []masked.Op{masked.WithAccumulate(masked.PlusPair())},
+		}}
+	}
+	sq := func(name string, n matrix.Index, d float64, seed uint64, ops ...masked.Op) servingReq {
+		g := grgen.ErdosRenyiSym(n, d, seed)
+		return servingReq{name: name, req: masked.BatchReq{M: g.Pattern(), A: g, B: g, Opts: ops}}
+	}
+	// Hot queries are the heavier ones — in serving traffic the popular
+	// entities are exactly the ones with large neighborhoods, which is why
+	// coalescing them pays. Cold queries are the long tail of small
+	// singletons.
+	hot = []servingReq{
+		tc("hot-tc-s8", 8+scale, 8, cfg.Seed+1),
+		tc("hot-tc-s9", 9+scale, 8, cfg.Seed+2),
+		sq("hot-sq-s8", 1<<(8+scale), 8, cfg.Seed+3),
+		sq("hot-comp-s7", 1<<(7+scale), 4, cfg.Seed+4, masked.WithComplement()),
+	}
+	cold = []servingReq{
+		tc("cold-tc-s6", 6+scale, 4, cfg.Seed+5),
+		tc("cold-tc-s7", 7+scale, 4, cfg.Seed+6),
+		sq("cold-sq-s7", 1<<(7+scale), 4, cfg.Seed+7),
+		sq("cold-minplus-s7", 1<<(7+scale), 4, cfg.Seed+8, masked.WithAccumulate(masked.MinPlus())),
+		sq("cold-comp-s6", 1<<(6+scale), 4, cfg.Seed+9, masked.WithComplement()),
+		sq("cold-sq-s6", 1<<(6+scale), 8, cfg.Seed+10),
+	}
+	return hot, cold
+}
+
+// servingStream deals the catalog into batch windows the way serving
+// traffic arrives: every window repeats each hot query several times and
+// carries a couple of cold singletons. Windows are what MultiplyBatch sees;
+// the serialized baseline runs the identical request sequence one at a
+// time.
+func servingStream(hot, cold []servingReq, windows, hotRepeat, coldPerWindow int) [][]servingReq {
+	out := make([][]servingReq, windows)
+	ci := 0
+	for w := range out {
+		var win []servingReq
+		for r := 0; r < hotRepeat; r++ {
+			win = append(win, hot...)
+		}
+		for c := 0; c < coldPerWindow; c++ {
+			win = append(win, cold[ci%len(cold)])
+			ci++
+		}
+		out[w] = win
+	}
+	return out
+}
+
+// ServingStudy measures the serving layer end to end: the same mixed query
+// stream is answered once serially — each request a full-budget
+// Session.Multiply, today's only option before the batch API — and once
+// through Session.MultiplyBatch at increasing in-flight caps. Reported per
+// configuration: wall time, throughput, speedup over the serialized
+// baseline, how many requests were actually computed vs coalesced onto an
+// identical in-flight twin, and the arbiter's steal/top-up counters. Every
+// serving response is verified bit-identical to the serialized reference
+// before any timing is trusted; a mismatch fails the study.
+//
+// The speedup has three sources, whose mix depends on the host: coalescing
+// (hot duplicate queries computed once — the dominant term everywhere),
+// arbitration (small queries no longer fan out to the full thread budget),
+// and, on multi-core hosts, genuine overlap of independent requests.
+func ServingStudy(cfg Config) (*Table, error) {
+	maxInflight := cfg.Inflight
+	if maxInflight <= 0 {
+		maxInflight = 8
+	}
+	t := &Table{
+		Title: "Serving study: serialized multiplies vs batched serving (mixed query stream)",
+		Notes: []string{
+			fmt.Sprintf("host GOMAXPROCS=%d, session budget threads=%d", runtime.GOMAXPROCS(0), cfg.Threads),
+			"stream: zipf-shaped windows (hot queries repeated, cold singletons); serialized = one full-budget Multiply at a time",
+			"computed/coalesced: requests executed vs answered from an identical in-flight request (results verified bit-identical)",
+		},
+		Header: []string{"config", "requests", "computed", "coalesced", "time_s", "req_per_s", "speedup", "steals", "topups"},
+	}
+	hot, cold := servingCatalog(cfg)
+	windows := 4
+	hotRepeat := 3
+	if cfg.Quick {
+		windows = 2
+	}
+	stream := servingStream(hot, cold, windows, hotRepeat, 2)
+	total := 0
+	for _, w := range stream {
+		total += len(w)
+	}
+	ctx := context.Background()
+	if cfg.Ctx != nil {
+		ctx = cfg.Ctx
+	}
+
+	// Reference results, computed once on an isolated session.
+	ref := masked.NewSession(masked.WithThreads(1))
+	want := make(map[string]*masked.Matrix)
+	for _, sr := range append(append([]servingReq{}, hot...), cold...) {
+		c, err := ref.Multiply(ctx, sr.req.M, sr.req.A, sr.req.B, sr.req.Opts...)
+		if err != nil {
+			return nil, fmt.Errorf("serving reference %s: %v", sr.name, err)
+		}
+		want[sr.name] = c
+	}
+
+	// Serialized baseline: every request of every window, one at a time,
+	// with the session's full thread budget — the pre-batch-API behavior.
+	serial := masked.NewSession(masked.WithThreads(cfg.Threads))
+	runSerial := func() (time.Duration, error) {
+		t0 := time.Now()
+		for _, win := range stream {
+			for _, sr := range win {
+				c, err := serial.Multiply(ctx, sr.req.M, sr.req.A, sr.req.B, sr.req.Opts...)
+				if err != nil {
+					return 0, err
+				}
+				if !matrix.Equal(c, want[sr.name], func(a, b float64) bool { return a == b }) {
+					return 0, fmt.Errorf("serialized %s diverged from reference", sr.name)
+				}
+			}
+		}
+		return time.Since(t0), nil
+	}
+	if _, err := runSerial(); err != nil { // warm plan cache and pools
+		return nil, err
+	}
+	serialSec := minTime(cfg.reps(), runSerial)
+	if serialSec < 0 {
+		return nil, fmt.Errorf("serving study: serialized baseline failed")
+	}
+	addRow := func(config string, computed, coalesced int, sec float64, steals, topups int64) {
+		speedup := serialSec / sec
+		t.Rows = append(t.Rows, []string{
+			config, fmt.Sprintf("%d", total), fmt.Sprintf("%d", computed), fmt.Sprintf("%d", coalesced),
+			fmt.Sprintf("%.4f", sec), fmt.Sprintf("%.0f", float64(total)/sec),
+			fmt.Sprintf("%.2f", speedup), fmt.Sprintf("%d", steals), fmt.Sprintf("%d", topups),
+		})
+		cfg.Recorder.Add(Record{
+			Study:   "serving",
+			Case:    config,
+			NsPerOp: int64(sec * 1e9 / float64(total)),
+			Metrics: map[string]float64{
+				"requests":       float64(total),
+				"computed":       float64(computed),
+				"coalesced":      float64(coalesced),
+				"total_s":        sec,
+				"req_per_s":      float64(total) / sec,
+				"speedup":        speedup,
+				"arbiter_steals": float64(steals),
+				"arbiter_topups": float64(topups),
+			},
+		})
+	}
+	addRow("serialized", total, 0, serialSec, 0, 0)
+
+	// Sweep powers of two up to the cap, always including the cap itself so
+	// a non-power-of-two -inflight is measured at the requested value.
+	var sweep []int
+	for inflight := 1; inflight < maxInflight; inflight *= 2 {
+		sweep = append(sweep, inflight)
+	}
+	sweep = append(sweep, maxInflight)
+	for _, inflight := range sweep {
+		s := masked.NewSession(masked.WithThreads(cfg.Threads), masked.WithInflight(inflight))
+		var computed, coalesced int
+		runBatch := func() (time.Duration, error) {
+			computed, coalesced = 0, 0
+			t0 := time.Now()
+			for _, win := range stream {
+				reqs := make([]masked.BatchReq, len(win))
+				for i, sr := range win {
+					reqs[i] = sr.req
+					reqs[i].Tag = sr.name
+				}
+				for _, r := range s.MultiplyBatch(ctx, reqs) {
+					if r.Err != nil {
+						return 0, fmt.Errorf("serving %v: %v", r.Tag, r.Err)
+					}
+					if r.Coalesced {
+						coalesced++
+					} else {
+						computed++
+					}
+					if !matrix.Equal(r.C, want[r.Tag.(string)], func(a, b float64) bool { return a == b }) {
+						return 0, fmt.Errorf("serving %v diverged from serialized reference", r.Tag)
+					}
+				}
+			}
+			return time.Since(t0), nil
+		}
+		if _, err := runBatch(); err != nil { // warm
+			return nil, err
+		}
+		stBefore := s.ServingStats()
+		sec := minTime(cfg.reps(), runBatch)
+		if sec < 0 {
+			return nil, fmt.Errorf("serving study: inflight=%d run failed", inflight)
+		}
+		st := s.ServingStats()
+		addRow(fmt.Sprintf("inflight=%d", inflight), computed, coalesced, sec,
+			st.Steals-stBefore.Steals, st.TopUps-stBefore.TopUps)
+	}
+
+	// Honesty row: the same stream with duplicates pre-deduplicated, so the
+	// speedup shown is arbitration+overlap alone, no coalescing.
+	distinct := append(append([]servingReq{}, hot...), cold...)
+	sd := masked.NewSession(masked.WithThreads(cfg.Threads), masked.WithInflight(maxInflight))
+	runDistinct := func() (time.Duration, error) {
+		t0 := time.Now()
+		reqs := make([]masked.BatchReq, len(distinct))
+		for i, sr := range distinct {
+			reqs[i] = sr.req
+			reqs[i].Tag = sr.name
+		}
+		for _, r := range sd.MultiplyBatch(ctx, reqs) {
+			if r.Err != nil {
+				return 0, fmt.Errorf("distinct %v: %v", r.Tag, r.Err)
+			}
+		}
+		return time.Since(t0), nil
+	}
+	if _, err := runDistinct(); err != nil {
+		return nil, err
+	}
+	distinctSec := minTime(cfg.reps(), runDistinct)
+	serialDistinct := masked.NewSession(masked.WithThreads(cfg.Threads))
+	runSerialDistinct := func() (time.Duration, error) {
+		t0 := time.Now()
+		for _, sr := range distinct {
+			if _, err := serialDistinct.Multiply(ctx, sr.req.M, sr.req.A, sr.req.B, sr.req.Opts...); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(t0), nil
+	}
+	if _, err := runSerialDistinct(); err != nil {
+		return nil, err
+	}
+	serialDistinctSec := minTime(cfg.reps(), runSerialDistinct)
+	if distinctSec < 0 || serialDistinctSec < 0 {
+		// The no-dup control row isolates arbitration from coalescing; a
+		// study without it is incomplete, so fail loudly like the main sweep
+		// rather than silently omitting the record.
+		return nil, fmt.Errorf("serving study: no-dup control runs failed")
+	}
+	{
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("no-dup inflight=%d", maxInflight), fmt.Sprintf("%d", len(distinct)),
+			fmt.Sprintf("%d", len(distinct)), "0",
+			fmt.Sprintf("%.4f", distinctSec), fmt.Sprintf("%.0f", float64(len(distinct))/distinctSec),
+			fmt.Sprintf("%.2f", serialDistinctSec/distinctSec), "-", "-",
+		})
+		cfg.Recorder.Add(Record{
+			Study:   "serving",
+			Case:    fmt.Sprintf("no-dup/inflight=%d", maxInflight),
+			NsPerOp: int64(distinctSec * 1e9 / float64(len(distinct))),
+			Metrics: map[string]float64{
+				"requests":  float64(len(distinct)),
+				"computed":  float64(len(distinct)),
+				"coalesced": 0,
+				"total_s":   distinctSec,
+				"speedup":   serialDistinctSec / distinctSec,
+			},
+		})
+	}
+	return t, nil
+}

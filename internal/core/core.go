@@ -103,6 +103,13 @@ func (p Phase) String() string {
 type Options struct {
 	// Threads is the number of worker goroutines; 0 means GOMAXPROCS.
 	Threads int
+	// ThreadsFn, if non-nil, supplies the worker count dynamically and wins
+	// over Threads: the drivers consult it at every parallel stage of a
+	// call, so a serving arbiter (parallel.Arbiter) can grow a running
+	// request's share — released budget rebalanced to stragglers — and have
+	// the growth take effect at the request's next stage. Scheduling never
+	// changes results, so a mid-call change of worker count is safe.
+	ThreadsFn func() int
 	// Grain is the number of rows a worker claims per scheduling step;
 	// 0 means parallel.DefaultGrain.
 	Grain int
@@ -142,6 +149,16 @@ type Options struct {
 	// reused across calls instead of reallocated per worker per call.
 	// Sessions own one arena for their whole lifetime; see Workspaces.
 	Workspaces *Workspaces
+}
+
+// Workers resolves the options' worker count for one parallel stage:
+// ThreadsFn when set (the dynamic serving path), else Threads (0 still
+// means GOMAXPROCS, resolved downstream by parallel.Threads).
+func (o Options) Workers() int {
+	if o.ThreadsFn != nil {
+		return o.ThreadsFn()
+	}
+	return o.Threads
 }
 
 // Err returns the options' context error: non-nil once o.Ctx is cancelled.

@@ -90,9 +90,9 @@ func (o Options) sweepGrain() int {
 // ascending spans, so kernel results never depend on the policy.
 func forRows(opt Options, nrows Index, worker func(id int, claim func() (lo, hi int, ok bool))) error {
 	if prefix := schedPrefix(opt, nrows); prefix != nil {
-		return parallel.ForCostWorkersCtx(opt.Ctx, int(nrows), opt.Threads, prefix, worker)
+		return parallel.ForCostWorkersCtx(opt.Ctx, int(nrows), opt.Workers(), prefix, worker)
 	}
-	return parallel.ForWorkersCtx(opt.Ctx, int(nrows), opt.Threads, opt.Grain, worker)
+	return parallel.ForWorkersCtx(opt.Ctx, int(nrows), opt.Workers(), opt.Grain, worker)
 }
 
 // runDriver executes the selected phase strategy with one kernel for the
@@ -117,7 +117,7 @@ func runDriverBlocked[T any](phase Phase, nrows, ncols Index, bound func(Index) 
 // fillRowPtr writes the Index row pointers from the scanned int64 offsets.
 func fillRowPtr(opt Options, rowPtr []Index, offs []int64, total int64) {
 	nrows := len(offs)
-	parallel.ForChunks(nrows, opt.Threads, opt.sweepGrain(), func(lo, hi int) {
+	parallel.ForChunks(nrows, opt.Workers(), opt.sweepGrain(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			rowPtr[i] = Index(offs[i])
 		}
@@ -150,7 +150,7 @@ func driver2P[T any](nrows, ncols Index, segs []execSeg[T], opt Options) (*matri
 		wsPutI64(opt.Workspaces, cb)
 		return nil, err
 	}
-	total := parallel.ExclusiveScanParallel(counts, opt.Threads) // counts[i] is now the row offset
+	total := parallel.ExclusiveScanParallel(counts, opt.Workers()) // counts[i] is now the row offset
 	out := &matrix.CSR[T]{
 		NRows:  nrows,
 		NCols:  ncols,
@@ -196,7 +196,7 @@ func driver1P[T any](nrows, ncols Index, bound func(Index) int64, segs []execSeg
 	ws := opt.Workspaces
 	ob := wsGetI64(ws, int(nrows))
 	offs := ob.s
-	err := parallel.ForChunksCtx(opt.Ctx, int(nrows), opt.Threads, opt.sweepGrain(), func(lo, hi int) {
+	err := parallel.ForChunksCtx(opt.Ctx, int(nrows), opt.Workers(), opt.sweepGrain(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			offs[i] = bound(Index(i))
 		}
@@ -205,7 +205,7 @@ func driver1P[T any](nrows, ncols Index, bound func(Index) int64, segs []execSeg
 		wsPutI64(ws, ob)
 		return nil, err
 	}
-	totalBound := parallel.ExclusiveScanParallel(offs, opt.Threads) // offs[i] = bin offset of row i
+	totalBound := parallel.ExclusiveScanParallel(offs, opt.Workers()) // offs[i] = bin offset of row i
 	binCol := wsGetIdx(ws, int(totalBound))
 	binVal := wsGetVal[T](ws, int(totalBound))
 	cb := wsGetI64(ws, int(nrows))
@@ -243,7 +243,7 @@ func driver1P[T any](nrows, ncols Index, bound func(Index) int64, segs []execSeg
 	fb := wsGetI64(ws, int(nrows))
 	finalPtr := fb.s
 	copy(finalPtr, counts)
-	total := parallel.ExclusiveScanParallel(finalPtr, opt.Threads)
+	total := parallel.ExclusiveScanParallel(finalPtr, opt.Workers())
 	out := &matrix.CSR[T]{NRows: nrows, NCols: ncols, RowPtr: make([]Index, nrows+1)}
 	fillRowPtr(opt, out.RowPtr, finalPtr, total)
 	if total == totalBound {
@@ -259,7 +259,7 @@ func driver1P[T any](nrows, ncols Index, bound func(Index) int64, segs []execSeg
 	}
 	out.Col = make([]Index, total)
 	out.Val = make([]T, total)
-	err = parallel.ForChunksCtx(opt.Ctx, int(nrows), opt.Threads, opt.sweepGrain(), func(lo, hi int) {
+	err = parallel.ForChunksCtx(opt.Ctx, int(nrows), opt.Workers(), opt.sweepGrain(), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			n := counts[i]
 			copy(out.Col[finalPtr[i]:finalPtr[i]+n], tmpCol[offs[i]:offs[i]+n])

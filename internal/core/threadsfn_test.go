@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/grgen"
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+// TestThreadsFnDynamicBudget: a ThreadsFn whose value changes between
+// stages (the serving arbiter's top-up/steal mechanism) is consulted per
+// stage and never changes results.
+func TestThreadsFnDynamicBudget(t *testing.T) {
+	g := grgen.RMAT(8, 8, 41)
+	mask := matrix.Tril(g).Pattern()
+	sr := semiring.Arithmetic()
+	want, err := MaskedSpGEMM(Variant{Alg: MSA, Phase: TwoPhase}, mask, g, g, sr, Options{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	dyn := func() int {
+		// Grow the budget as the call progresses: stage 1 runs on one
+		// worker, later stages on up to four.
+		n := int(calls.Add(1))
+		if n > 4 {
+			n = 4
+		}
+		return n
+	}
+	for _, v := range []Variant{{MSA, OnePhase}, {MSA, TwoPhase}, {Hash, TwoPhase}} {
+		calls.Store(0)
+		got, err := MaskedSpGEMM(v, mask, g, g, sr, Options{Threads: 8, ThreadsFn: dyn})
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name(), err)
+		}
+		if calls.Load() < 2 {
+			t.Fatalf("%s: ThreadsFn consulted %d times, want one read per parallel stage", v.Name(), calls.Load())
+		}
+		if !matrix.Equal(got, want, func(x, y float64) bool { return x == y }) {
+			t.Fatalf("%s: dynamic thread budget changed results", v.Name())
+		}
+	}
+}
+
+// TestWorkersResolution: ThreadsFn wins over Threads; nil falls back.
+func TestWorkersResolution(t *testing.T) {
+	if w := (Options{Threads: 3}).Workers(); w != 3 {
+		t.Fatalf("static Workers() = %d, want 3", w)
+	}
+	if w := (Options{Threads: 3, ThreadsFn: func() int { return 7 }}).Workers(); w != 7 {
+		t.Fatalf("dynamic Workers() = %d, want 7", w)
+	}
+}

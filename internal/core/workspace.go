@@ -23,6 +23,15 @@ import (
 // per-row reset discipline the kernels already follow), so reuse is
 // bit-identical to fresh scratch.
 //
+// Overlapping calls — the serving layer admits several multiplies on one
+// session at once — are safe by ownership discipline: every pooled object
+// is held by exactly one worker goroutine between its Get and Put (kernels
+// recycle scratch only after their last row; the drivers Put bookkeeping
+// buffers only after the passes using them finish), so two in-flight
+// multiplies can never share a live buffer, only exchange retired ones
+// through the pool. The masked serving stress test runs mixed concurrent
+// workloads under -race to enforce this.
+//
 // The pools store concrete *accum.MSA[T] etc. values for whatever element
 // type the calls use; a stored entry of a different T than the requester's
 // is discarded and replaced by a fresh allocation (sessions are in practice

@@ -1,0 +1,256 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestArbiterCostShares: the worker ask scales with the cost estimate and
+// is clamped to [1, budget].
+func TestArbiterCostShares(t *testing.T) {
+	a := NewArbiter(8, 8)
+	cases := []struct {
+		cost int64
+		want int
+	}{
+		{1, 1},                 // tiny query: one worker
+		{CostPerWorker, 1},     // exactly one worker's worth
+		{CostPerWorker + 1, 2}, // just past: two
+		{4 * CostPerWorker, 4}, // mid
+		{1 << 40, 8},           // huge: whole budget
+		{0, 1},                 // unknown: equal split of 8 across 8 slots
+	}
+	for _, c := range cases {
+		g, err := a.Acquire(context.Background(), c.cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Workers() != c.want {
+			t.Errorf("cost %d: granted %d workers, want %d", c.cost, g.Workers(), c.want)
+		}
+		g.Release()
+	}
+}
+
+// TestArbiterBudgetNeverExceeded: under concurrent acquire/release churn
+// the sum of granted shares plus the free pool always equals the budget
+// (shares move between grants via steals and top-ups, but never multiply).
+func TestArbiterBudgetNeverExceeded(t *testing.T) {
+	const budget = 6
+	a := NewArbiter(budget, 4)
+	stop := make(chan struct{})
+	violations := make(chan ArbiterStats, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := a.Stats()
+			if st.Granted+st.Free != st.Budget {
+				select {
+				case violations <- st:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				cost := int64((id + i) % 5 * CostPerWorker)
+				g, err := a.Acquire(context.Background(), cost)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if g.Workers() < 1 {
+					t.Errorf("grant with %d workers", g.Workers())
+				}
+				g.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	select {
+	case st := <-violations:
+		t.Fatalf("granted %d + free %d != budget %d", st.Granted, st.Free, st.Budget)
+	default:
+	}
+	st := a.Stats()
+	if st.Free != budget || st.Granted != 0 || st.Inflight != 0 || st.Waiting != 0 {
+		t.Fatalf("arbiter did not drain: %+v", st)
+	}
+	if st.Admitted != 16*50 {
+		t.Fatalf("admitted %d, want %d", st.Admitted, 16*50)
+	}
+}
+
+// TestArbiterAdmissionCap: at most maxInflight requests run concurrently.
+func TestArbiterAdmissionCap(t *testing.T) {
+	const cap = 3
+	a := NewArbiter(8, cap)
+	var inflight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 12; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, err := a.Acquire(context.Background(), CostPerWorker)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n := inflight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inflight.Add(-1)
+			g.Release()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > cap {
+		t.Fatalf("inflight peaked at %d, cap %d", p, cap)
+	}
+}
+
+// TestArbiterCancelWhileWaiting: a context cancelled while queued returns
+// the context error and leaks neither budget nor queue slots.
+func TestArbiterCancelWhileWaiting(t *testing.T) {
+	a := NewArbiter(2, 1)
+	g1, err := a.Acquire(context.Background(), 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx, 1)
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the second request queue
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("queued acquire under cancel: %v, want context.Canceled", err)
+	}
+	g1.Release()
+	// The queue slot must be gone: a fresh request is admitted immediately.
+	g2, err := a.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2.Release()
+}
+
+// TestArbiterRebalanceToStraggler: budget released by a finishing request
+// tops up a running grant that asked for more than it got, observable
+// through Grant.Workers.
+func TestArbiterRebalanceToStraggler(t *testing.T) {
+	a := NewArbiter(8, 2)
+	// First request takes the whole budget.
+	big1, err := a.Acquire(context.Background(), 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big1.Workers() != 8 {
+		t.Fatalf("first big request granted %d, want 8", big1.Workers())
+	}
+	// Second big request is admitted on the one-worker floor.
+	done := make(chan *Grant)
+	go func() {
+		g, err := a.Acquire(context.Background(), 1<<40)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- g
+	}()
+	var big2 *Grant
+	select {
+	case big2 = <-done:
+	case <-time.After(time.Second):
+		t.Fatal("second request was not admitted")
+	}
+	if big2.Workers() > 8 {
+		t.Fatalf("second request granted %d with no free budget", big2.Workers())
+	}
+	before := big2.Workers()
+	big1.Release()
+	// big1's workers must flow to the straggler.
+	deadline := time.Now().Add(time.Second)
+	for big2.Workers() <= before {
+		if time.Now().After(deadline) {
+			t.Fatalf("straggler share stayed at %d after release", big2.Workers())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if big2.Workers() != 8 {
+		t.Fatalf("straggler topped up to %d, want the full budget 8", big2.Workers())
+	}
+	big2.Release()
+}
+
+// TestArbiterReleaseIdempotent: double Release must not double-free budget.
+func TestArbiterReleaseIdempotent(t *testing.T) {
+	a := NewArbiter(4, 4)
+	g, err := a.Acquire(context.Background(), 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Release()
+	g.Release()
+	a.mu.Lock()
+	free := a.free
+	a.mu.Unlock()
+	if free != 4 {
+		t.Fatalf("free budget %d after double release, want 4", free)
+	}
+}
+
+// TestArbiterFIFO: waiting requests are admitted in arrival order.
+func TestArbiterFIFO(t *testing.T) {
+	a := NewArbiter(1, 1)
+	g0, err := a.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := a.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			g.Release()
+		}(i)
+		time.Sleep(10 * time.Millisecond) // establish arrival order
+	}
+	g0.Release()
+	wg.Wait()
+	for i := 1; i < len(order); i++ {
+		if order[i-1] > order[i] {
+			t.Fatalf("admission order %v is not FIFO", order)
+		}
+	}
+}

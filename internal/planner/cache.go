@@ -1,8 +1,10 @@
 package planner
 
 import (
+	"container/list"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/matrix"
@@ -19,11 +21,38 @@ import (
 // frontier stays in the same order of magnitude reuse the plan; when the
 // frontier grows past a power of two the bucket changes and the call is
 // re-analyzed, which is exactly when the right variant may change too.
+//
+// The cache is built for concurrent serving: entries are spread across
+// lock-striped shards (a key visits exactly one shard, so concurrent
+// lookups of different products rarely contend), each shard is bounded and
+// evicts in LRU order, and the hit/miss/eviction counters are monotonic
+// atomics — Stats taken at two points in time never runs backwards, so
+// operators can difference snapshots. Eviction only unlinks a plan from the
+// cache; plans are immutable after Analyze, so a caller holding an evicted
+// plan can keep Executing it (see TestEvictedPlanStillExecutes).
 type Cache struct {
-	mu     sync.Mutex
-	plans  map[cacheKey]*Plan
-	hits   int64
-	misses int64
+	shards []cacheShard
+	// perShard is the entry bound of each shard; the cache-wide capacity is
+	// perShard * len(shards).
+	perShard int
+	// hits, misses and evictions are cache-wide and monotonic for the
+	// lifetime of the cache (Reset drops entries, never history).
+	hits, misses, evictions atomic.Int64
+}
+
+// cacheShard is one lock stripe: a bounded map with LRU eviction order.
+// lru.Front() is the most recently used entry.
+type cacheShard struct {
+	mu    sync.Mutex
+	plans map[cacheKey]*list.Element // value: *cacheEntry
+	lru   list.List
+}
+
+// cacheEntry is one cached plan with its key (needed to delete from the map
+// when the LRU tail is evicted).
+type cacheEntry struct {
+	key  cacheKey
+	plan *Plan
 }
 
 // fingerprint identifies a matrix by storage identity, not content: the
@@ -56,30 +85,11 @@ type cacheKey struct {
 
 func bucket(nnz int) int8 { return int8(bits.Len64(uint64(nnz))) }
 
-// NewCache returns an empty plan cache safe for concurrent use. Caches are
-// session-scoped: masked.Session and apps.Session each own one, so
-// concurrent workloads do not contend on (or evict) each other's plans.
-// (A process-wide Shared cache existed before sessions; it was removed
-// because a mutable global is exactly the wrong ownership for a serving
-// system.)
-func NewCache() *Cache { return &Cache{plans: make(map[cacheKey]*Plan)} }
-
-// maxCacheEntries bounds the cache: each entry pins its B operand's RowPtr
-// array through the fingerprint pointer, so growth must not be unbounded in
-// long-lived processes. Eviction is arbitrary (any map entry); a re-analysis
-// costs only one O(nnz(A)) sweep.
-const maxCacheEntries = 256
-
-// Analyze returns a cached plan for the operands if one exists, else runs
-// the full analysis and stores the result. Cached plans are returned as
-// shallow copies with CacheHit set.
-//
-// A cached plan whose kernels require sorted rows (the key buckets M and A
-// only by size, and the sweep may present different matrices) is revalidated
-// against the current M and A before reuse; B is part of the key's identity,
-// so its sortedness cannot have changed.
-func (c *Cache) Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
-	key := cacheKey{
+// makeKey derives the cache key of one call — the single definition both
+// Analyze and Peek use, so the two can never diverge on what plan identity
+// means.
+func makeKey(m, a, b *matrix.Pattern, opt core.Options) cacheKey {
+	return cacheKey{
 		b:          fp(b),
 		mRows:      m.NRows,
 		mCols:      m.NCols,
@@ -90,42 +100,181 @@ func (c *Cache) Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 		aBucket:    bucket(a.NNZ()),
 		aRows:      a.NRows,
 	}
-	c.mu.Lock()
-	p, ok := c.plans[key]
-	c.mu.Unlock()
-	if ok && (!p.NeedsSortedRows() || (sortedRows(m, opt.Threads) && sortedRows(a, opt.Threads))) {
-		c.mu.Lock()
-		c.hits++
-		c.mu.Unlock()
+}
+
+// Sharding and capacity defaults. 16 stripes keep lock hold times invisible
+// up to far more concurrent requests than a session admits; the default
+// capacity matches the pre-sharding bound (each entry pins its B operand's
+// RowPtr array through the fingerprint pointer, so growth must be bounded
+// in long-lived serving processes).
+const (
+	cacheShards     = 16
+	defaultCacheCap = 256
+)
+
+// NewCache returns an empty plan cache with the default capacity
+// (DefaultCacheCapacity entries), safe for concurrent use. Caches are
+// session-scoped: masked.Session and apps.Session each own one, so
+// concurrent workloads do not contend on (or evict) each other's plans.
+// (A process-wide Shared cache existed before sessions; it was removed
+// because a mutable global is exactly the wrong ownership for a serving
+// system.)
+func NewCache() *Cache { return NewCacheCapacity(0) }
+
+// DefaultCacheCapacity is the entry bound NewCache uses.
+const DefaultCacheCapacity = defaultCacheCap
+
+// NewCacheCapacity returns an empty plan cache bounded to roughly the given
+// number of entries (rounded up to a multiple of the shard count; <= 0
+// means DefaultCacheCapacity). The bound is enforced per shard — capacity/
+// shards entries each, LRU-evicted — so one hot product family cannot push
+// every other tenant's plans out in one sweep.
+func NewCacheCapacity(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = defaultCacheCap
+	}
+	per := (capacity + cacheShards - 1) / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{shards: make([]cacheShard, cacheShards), perShard: per}
+	for i := range c.shards {
+		c.shards[i].plans = make(map[cacheKey]*list.Element)
+	}
+	return c
+}
+
+// shard maps a key to its lock stripe by mixing the value fields that vary
+// across workloads (shape, nnz and the size buckets — the fingerprint
+// pointer participates only in key equality, so the hash needs no unsafe
+// pointer arithmetic; distinct operands almost always differ in shape or
+// nnz anyway, and a stripe collision only shares a mutex, never an entry).
+func (c *Cache) shard(k cacheKey) *cacheShard {
+	h := uint64(k.b.nnz)
+	h ^= uint64(k.b.nrows)<<32 | uint64(uint32(k.b.ncols))
+	h ^= uint64(k.mRows) * 0x9e3779b97f4a7c15
+	h ^= uint64(k.aRows) << 17
+	h ^= uint64(k.mBucket)<<8 | uint64(k.aBucket)
+	if k.complement {
+		h ^= 0xabcd
+	}
+	h ^= uint64(k.rep)<<4 | uint64(k.sched)<<2
+	// Fibonacci fold so low-entropy inputs still spread across stripes.
+	h *= 0x9e3779b97f4a7c15
+	return &c.shards[h>>(64-4)] // top 4 bits: 16 shards
+}
+
+// CacheStats is a point-in-time snapshot of a plan cache's counters.
+// Hits, Misses and Evictions are monotonic over the cache's lifetime (Reset
+// drops entries, not history), so two snapshots can be differenced to rate
+// a time window. Entries is the current resident plan count.
+type CacheStats struct {
+	// Hits counts Analyze calls answered from the cache.
+	Hits int64
+	// Misses counts Analyze calls that ran the full analysis.
+	Misses int64
+	// Evictions counts plans dropped to keep a shard under its bound.
+	Evictions int64
+	// Entries is the resident plan count at snapshot time.
+	Entries int
+	// Capacity is the cache-wide entry bound (perShard × Shards).
+	Capacity int
+	// Shards is the number of lock stripes.
+	Shards int
+}
+
+// Analyze returns a cached plan for the operands if one exists, else runs
+// the full analysis and stores the result. Cached plans are returned as
+// shallow copies with CacheHit set.
+//
+// A cached plan whose kernels require sorted rows (the key buckets M and A
+// only by size, and the sweep may present different matrices) is revalidated
+// against the current M and A before reuse; B is part of the key's identity,
+// so its sortedness cannot have changed.
+func (c *Cache) Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
+	key := makeKey(m, a, b, opt)
+	sh := c.shard(key)
+	sh.mu.Lock()
+	var p *Plan
+	if el, ok := sh.plans[key]; ok {
+		p = el.Value.(*cacheEntry).plan
+		sh.lru.MoveToFront(el)
+	}
+	sh.mu.Unlock()
+	if p != nil && (!p.NeedsSortedRows() || (sortedRows(m, opt.Workers()) && sortedRows(a, opt.Workers()))) {
+		c.hits.Add(1)
 		hit := *p
 		hit.CacheHit = true
 		return &hit
 	}
 	p = Analyze(m, a, b, opt)
-	c.mu.Lock()
-	c.misses++
-	if len(c.plans) >= maxCacheEntries {
-		for k := range c.plans {
-			delete(c.plans, k)
-			break
+	c.misses.Add(1)
+	sh.mu.Lock()
+	if el, ok := sh.plans[key]; ok {
+		// Another request analyzed the same product while we did: the plans
+		// are equivalent, so install ours in the resident entry (no pointer
+		// identity is promised between Analyze results) and refresh its
+		// recency.
+		el.Value.(*cacheEntry).plan = p
+		sh.lru.MoveToFront(el)
+	} else {
+		if sh.lru.Len() >= c.perShard {
+			tail := sh.lru.Back()
+			sh.lru.Remove(tail)
+			delete(sh.plans, tail.Value.(*cacheEntry).key)
+			c.evictions.Add(1)
 		}
+		sh.plans[key] = sh.lru.PushFront(&cacheEntry{key: key, plan: p})
 	}
-	c.plans[key] = p
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	return p
 }
 
-// Stats reports cache hits and misses since creation.
-func (c *Cache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+// Peek returns the cached plan for the operands without analyzing on a miss
+// and without touching the hit/miss counters or the LRU order. The serving
+// layer uses it to price a request (Plan.Stats.Flops feeds the worker-share
+// arbitration) before deciding how many workers the real Analyze+Execute
+// runs with.
+func (c *Cache) Peek(m, a, b *matrix.Pattern, opt core.Options) (*Plan, bool) {
+	key := makeKey(m, a, b, opt)
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.plans[key]; ok {
+		return el.Value.(*cacheEntry).plan, true
+	}
+	return nil, false
 }
 
-// Reset drops all cached plans and counters.
+// Stats returns a snapshot of the cache counters. Hits, Misses and
+// Evictions never decrease over the cache's lifetime.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Capacity:  c.perShard * len(c.shards),
+		Shards:    len(c.shards),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Entries += len(sh.plans)
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// Reset drops all cached plans. The hit/miss/eviction counters are *not*
+// reset: they are monotonic for the cache's lifetime so that stats
+// snapshots can always be differenced (a serving dashboard must never see a
+// counter run backwards).
 func (c *Cache) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.plans = make(map[cacheKey]*Plan)
-	c.hits, c.misses = 0, 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.plans = make(map[cacheKey]*list.Element)
+		sh.lru.Init()
+		sh.mu.Unlock()
+	}
 }

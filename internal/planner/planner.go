@@ -275,7 +275,7 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 		Complement: opt.Complement,
 		MaskRepPin: opt.MaskRep,
 		SchedPin:   opt.Sched,
-		Sorted:     sortedRows(m, opt.Threads) && sortedRows(a, opt.Threads) && sortedRows(b, opt.Threads),
+		Sorted:     sortedRows(m, opt.Workers()) && sortedRows(a, opt.Workers()) && sortedRows(b, opt.Workers()),
 	}
 	if b.NRows > 0 {
 		st.AvgDegB = float64(st.NNZB) / float64(b.NRows)
@@ -306,7 +306,7 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 	// total. This is the per-row flops data the sweep previously discarded
 	// after aggregating it into flopsPerBlock.
 	rowCosts := make([]int64, int64(nrows)+1)
-	parallel.ForChunks(nblocks, opt.Threads, 1, func(blo, bhi int) {
+	parallel.ForChunks(nblocks, opt.Workers(), 1, func(blo, bhi int) {
 		for bi := blo; bi < bhi; bi++ {
 			lo := Index(int64(bi) * blockRows)
 			hi := Index(int64(bi+1) * blockRows)
@@ -357,7 +357,7 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 			st.MaxRowCost = c
 		}
 	}
-	parallel.ExclusiveScanParallel(rowCosts, opt.Threads)
+	parallel.ExclusiveScanParallel(rowCosts, opt.Workers())
 	costs := core.NewRowCosts(rowCosts, st.MaxRowCost)
 	for bi := range runPerBlock {
 		if !st.Sorted {

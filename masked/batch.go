@@ -1,0 +1,346 @@
+package masked
+
+// The serving layer: batch and streaming entry points that admit several
+// masked multiplies on one Session concurrently. Three mechanisms keep K
+// in-flight requests from destroying each other's efficiency:
+//
+//   - admission: at most WithInflight (default: one per budgeted worker)
+//     requests run at once, arbitrated session-wide so overlapping
+//     MultiplyBatch and Serve calls share one thread budget;
+//   - arbitration: each admitted request gets a worker share proportional
+//     to its planner cost estimate (small queries one goroutine, big
+//     products the spare budget), and budget released by finishing
+//     requests flows to running stragglers between their parallel stages
+//     (parallel.Arbiter via core.Options.ThreadsFn);
+//   - coalescing: identical concurrent requests — same operand identities,
+//     mask mode and semiring — are computed once and share the one result
+//     (single-flight). Sound because every execution path in this
+//     repository is bit-identical: variant, phase, mask representation,
+//     schedule and worker count never change the output, so two requests
+//     that agree on operands, mask mode and semiring have exactly one
+//     answer. Results are immutable; treat a shared *Matrix as read-only,
+//     as everywhere else in the API.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+
+	"repro/internal/parallel"
+)
+
+// BatchReq is one masked multiply of a batch or serving stream:
+// C = M .* (A·B) (or the complement form) under the session defaults
+// overridden by Opts.
+type BatchReq struct {
+	// M is the mask; A and B the operands. All three must be non-nil.
+	M *Pattern
+	// A and B are the product operands.
+	A, B *Matrix
+	// Opts are per-request descriptor overrides (WithComplement,
+	// WithAccumulate, WithVariant, ...), applied after the call-level and
+	// session-level options.
+	Opts []Op
+	// Tag is an opaque correlation value echoed on the response — the way
+	// to match streaming responses to requests, since Serve does not
+	// preserve order.
+	Tag any
+}
+
+// BatchRes is the outcome of one BatchReq.
+type BatchRes struct {
+	// C is the product, nil on error.
+	C *Matrix
+	// Plan is the executed plan (nil when the variant was pinned or the
+	// request failed before planning).
+	Plan *Plan
+	// Err is the request error: an operand/validation error, a context
+	// cancellation, or a kernel error. Coalesced requests share the
+	// leader's outcome, error included.
+	Err error
+	// Tag echoes the request's Tag.
+	Tag any
+	// Workers is the arbitrated worker share the computation started with
+	// (it may have grown mid-request as other requests finished). 0 for
+	// requests that failed before admission.
+	Workers int
+	// Coalesced reports that this response shares the computation of an
+	// identical concurrent request instead of having run its own.
+	Coalesced bool
+}
+
+// flightKey identifies a coalescable computation. Operands count by
+// identity (pointer), not content: serving traffic re-submits the same
+// cached operand objects. Everything that can change the outcome — mask
+// mode, semiring, and a pinned variant's support errors — is part of the
+// key; pure performance knobs (threads, grain, representation, schedule)
+// are not, because results are bit-identical across them.
+//
+// The semiring contributes its Name, its Zero, and the code identity of
+// its Add/Mul functions, so two different custom semirings never coalesce
+// just because both left Name empty. The one residual caveat: two
+// semirings built from the *same closure code* capturing different values,
+// with equal Name and Zero, are indistinguishable — give custom semirings
+// distinct Names (the field exists exactly to identify them).
+type flightKey struct {
+	m          *Pattern
+	a, b       *Matrix
+	complement bool
+	pinned     bool
+	variant    Variant
+	sr         string
+	srZero     float64
+	srAdd      uintptr
+	srMul      uintptr
+}
+
+// flightCall is one in-flight computation awaited by its coalesced
+// followers.
+type flightCall struct {
+	done    chan struct{}
+	c       *Matrix
+	plan    *Plan
+	err     error
+	workers int
+}
+
+// reqKey derives the coalescing key of a resolved request.
+func reqKey(d opSpec, m *Pattern, a, b *Matrix) flightKey {
+	sr := d.semiring()
+	k := flightKey{
+		m: m, a: a, b: b, complement: d.complement,
+		sr: sr.Name, srZero: sr.Zero,
+		srAdd: reflect.ValueOf(sr.Add).Pointer(),
+		srMul: reflect.ValueOf(sr.Mul).Pointer(),
+	}
+	if d.pinned {
+		k.pinned, k.variant = true, d.variant
+	}
+	return k
+}
+
+// reqCost estimates a request's cost for worker-share arbitration: the
+// cached plan's scheduling cost total (flops + mask entries, the unit
+// parallel.CostPerWorker is calibrated in) when the plan cache already
+// holds a plan for the operands — the steady serving state — and a cheap
+// structural proxy (total operand entries) on a cold cache or a pinned
+// variant. Cost only shapes worker shares, never results.
+func (s *Session) reqCost(d opSpec, o Options, m *Pattern, a, b *Matrix) int64 {
+	if !d.pinned {
+		if p, ok := s.cache.Peek(m, a.Pattern(), b.Pattern(), o); ok {
+			if p.Costs != nil {
+				return p.Costs.Total()
+			}
+			return p.Stats.Flops + p.Stats.NNZM
+		}
+	}
+	return int64(m.NNZ() + a.NNZ() + b.NNZ())
+}
+
+// doOne runs one admitted, arbitrated, coalesced multiply. It returns the
+// response sans Tag. ctx cancellation while waiting for admission or for a
+// coalesced leader returns ctx.Err(); cancellation mid-multiply is honored
+// by the drivers as everywhere else.
+func (s *Session) doOne(ctx context.Context, d opSpec, m *Pattern, a, b *Matrix) BatchRes {
+	if m == nil || a == nil || b == nil {
+		return BatchRes{Err: fmt.Errorf("masked: batch request with nil operand (M=%v A=%v B=%v non-nil wanted)", m != nil, a != nil, b != nil)}
+	}
+	key := reqKey(d, m, a, b)
+	for {
+		s.flightMu.Lock()
+		if fc, ok := s.flight[key]; ok {
+			s.flightMu.Unlock()
+			select {
+			case <-fc.done:
+			case <-ctx.Done():
+				return BatchRes{Err: ctx.Err()}
+			}
+			if fc.err != nil && (errors.Is(fc.err, context.Canceled) || errors.Is(fc.err, context.DeadlineExceeded)) {
+				// The leader was cancelled by its *own* context — a transient,
+				// caller-specific outcome that must not be shared with a
+				// follower whose context is healthy. The finished flight has
+				// already left the map, so retry: become the new leader (or
+				// join one).
+				continue
+			}
+			return BatchRes{C: fc.c, Plan: fc.plan, Err: fc.err, Workers: fc.workers, Coalesced: true}
+		}
+		fc := &flightCall{done: make(chan struct{})}
+		s.flight[key] = fc
+		s.flightMu.Unlock()
+		return s.lead(ctx, d, m, a, b, key, fc)
+	}
+}
+
+// lead computes one flight as its leader and publishes the outcome to any
+// coalesced followers.
+func (s *Session) lead(ctx context.Context, d opSpec, m *Pattern, a, b *Matrix, key flightKey, fc *flightCall) BatchRes {
+	defer func() {
+		// Unlink before waking followers: a follower that rejects this
+		// outcome (context error) must find the map slot free to retry.
+		s.flightMu.Lock()
+		delete(s.flight, key)
+		s.flightMu.Unlock()
+		close(fc.done)
+	}()
+
+	o := s.options(ctx, d)
+	grant, err := s.arb.Acquire(ctx, s.reqCost(d, o, m, a, b))
+	if err != nil {
+		fc.err = err
+		return BatchRes{Err: err}
+	}
+	defer grant.Release()
+	// The grant's share can grow mid-request (budget rebalanced from
+	// finished requests); the drivers observe growth at each parallel stage
+	// through ThreadsFn. An explicit WithThreads on the call or request
+	// stays a hard per-request ceiling on top of the arbitrated share, as
+	// it is everywhere else in the API.
+	workers := func() int {
+		w := grant.Workers()
+		if d.threads > 0 && w > d.threads {
+			return d.threads
+		}
+		return w
+	}
+	fc.workers = workers()
+	o.Threads = workers()
+	o.ThreadsFn = workers
+
+	fc.c, fc.plan, fc.err = s.execute(d, o, m, a, b)
+	return BatchRes{C: fc.c, Plan: fc.plan, Err: fc.err, Workers: fc.workers}
+}
+
+// MultiplyBatch computes every request of the batch and returns the
+// responses in request order. Up to WithInflight requests (from opts or
+// the session default; 0 = one per budgeted worker — per-request Opts
+// cannot change the cap, since it governs the whole call) run
+// concurrently, each on an arbitrated share of the session thread budget;
+// duplicate requests inside the batch — and concurrent with other batch or
+// Serve traffic — are computed once and share the result (Coalesced
+// reports it). Responses are bit-identical to running the requests
+// sequentially one at a time.
+//
+// ctx cancellation applies to the whole batch: requests not yet admitted
+// return ctx.Err(), in-flight ones are cancelled mid-multiply.
+func (s *Session) MultiplyBatch(ctx context.Context, reqs []BatchReq, opts ...Op) []BatchRes {
+	res := make([]BatchRes, len(reqs))
+	call := s.def.apply(opts)
+	k := s.inflightCap(call)
+	// Batch-level dedup: group the requests by coalescing key so a hot
+	// query repeated across the batch is computed exactly once, whether or
+	// not its duplicates overlap in time (the in-flight single-flight in
+	// doOne additionally coalesces against concurrent batches and streams).
+	specs := make([]opSpec, len(reqs))
+	groups := make(map[flightKey][]int, len(reqs))
+	order := make([]flightKey, 0, len(reqs))
+	for i := range reqs {
+		specs[i] = call.apply(reqs[i].Opts)
+		key := reqKey(specs[i], reqs[i].M, reqs[i].A, reqs[i].B)
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	sem := make(chan struct{}, k)
+	var wg sync.WaitGroup
+	for _, key := range order {
+		members := groups[key]
+		wg.Add(1)
+		go func(members []int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			lead := members[0]
+			r := s.doOne(ctx, specs[lead], reqs[lead].M, reqs[lead].A, reqs[lead].B)
+			r.Tag = reqs[lead].Tag
+			res[lead] = r
+			for _, i := range members[1:] {
+				rr := r
+				rr.Tag = reqs[i].Tag
+				rr.Coalesced = true
+				res[i] = rr
+			}
+		}(members)
+	}
+	wg.Wait()
+	return res
+}
+
+// Serve consumes requests from reqs and emits one response per request on
+// the returned channel, in completion order (use Tag to correlate). A pool
+// of WithInflight workers (0 = one per budgeted worker) serves the stream,
+// each request admitted and arbitrated exactly like MultiplyBatch — the
+// streaming form of the same serving layer, for callers whose requests
+// arrive over time rather than as a slice.
+//
+// The response channel closes after the request channel is closed and
+// every accepted request has been answered, or after ctx is cancelled.
+// Cancellation ends the stream early: requests not yet read from reqs are
+// never consumed, and responses to requests already in flight are
+// delivered best-effort (a worker finding the channel's buffer full once
+// ctx is done stops sending rather than block on a consumer that may be
+// gone) — treat a closed channel after cancellation as the end of the
+// stream and correlate what did arrive by Tag.
+func (s *Session) Serve(ctx context.Context, reqs <-chan BatchReq, opts ...Op) <-chan BatchRes {
+	call := s.def.apply(opts)
+	k := s.inflightCap(call)
+	out := make(chan BatchRes, k)
+	var wg sync.WaitGroup
+	for w := 0; w < k; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case req, ok := <-reqs:
+					if !ok {
+						return
+					}
+					d := call.apply(req.Opts)
+					r := s.doOne(ctx, d, req.M, req.A, req.B)
+					r.Tag = req.Tag
+					// Prefer delivering the response even when ctx is already
+					// done (an accepted request owes its caller an answer);
+					// give up only when the buffer is full at that moment —
+					// the consumer may be gone, and blocking would leak the
+					// worker. See the best-effort note in the Serve doc.
+					select {
+					case out <- r:
+					default:
+						select {
+						case out <- r:
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// inflightCap resolves one batch/serve call's concurrency bound: the
+// call's WithInflight when set, clamped to the arbiter's session-wide
+// admission cap (more local concurrency than the session admits is
+// unreachable anyway).
+func (s *Session) inflightCap(call opSpec) int {
+	if k := call.inflight; k > 0 && k <= s.arb.MaxInflight() {
+		return k
+	}
+	return s.arb.MaxInflight()
+}
+
+// ServingStats reports the session's serving-layer counters: the thread
+// arbiter's accounting (budget, in-flight, steals, top-ups) for dashboards
+// and the serving bench study. Plan-cache counters live on PlanCacheStats.
+func (s *Session) ServingStats() parallel.ArbiterStats { return s.arb.Stats() }

@@ -92,6 +92,41 @@ func ExampleSession_Explain() {
 	// representation resolved: true
 }
 
+// ExampleSession_MultiplyBatch serves a batch of masked products
+// concurrently on one session: requests are admitted up to the WithInflight
+// cap, each runs on a worker share arbitrated from its planner cost
+// estimate, and identical requests — here the repeated hot triangle query —
+// are computed once and share the result (Coalesced reports it). Responses
+// arrive in request order, bit-identical to sequential execution.
+func ExampleSession_MultiplyBatch() {
+	s := masked.NewSession(masked.WithThreads(2), masked.WithInflight(2))
+	g := diamond()
+	l := masked.Tril(g)
+	hot := masked.BatchReq{ // the popular query, submitted three times
+		M: l.Pattern(), A: l, B: l,
+		Opts: []masked.Op{masked.WithAccumulate(masked.PlusPair())},
+	}
+	cold := masked.BatchReq{M: g.Pattern(), A: g, B: g} // a singleton
+
+	res := s.MultiplyBatch(context.Background(), []masked.BatchReq{hot, hot, hot, cold})
+	computed := 0
+	for _, r := range res {
+		if r.Err != nil {
+			fmt.Println("batch:", r.Err)
+			return
+		}
+		if !r.Coalesced {
+			computed++
+		}
+	}
+	fmt.Printf("triangles: %.0f (hot query computed %d time(s) for 3 requests)\n",
+		masked.Sum(res[0].C), computed-1)
+	fmt.Printf("cold result nnz: %d\n", res[3].C.NNZ())
+	// Output:
+	// triangles: 2 (hot query computed 1 time(s) for 3 requests)
+	// cold result nnz: 10
+}
+
 // ExampleWithMaskRep pins the bitmap mask representation for one call;
 // results are bit-identical to every other representation, only the probe
 // strategy changes.

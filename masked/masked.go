@@ -54,6 +54,21 @@
 // the SS:GB-style baselines run under the same descriptors via
 // Session.SSDot and Session.SSSaxpy.
 //
+// # Serving concurrent requests
+//
+// Sessions are multi-tenant serving objects: Session.MultiplyBatch
+// answers a batch of products concurrently (responses in request order)
+// and Session.Serve runs a worker pool over a request channel. At most
+// WithInflight requests run at once; each gets a worker share of the
+// session thread budget proportional to its planner cost estimate (small
+// queries one goroutine, heavy products the spare budget, released budget
+// rebalanced to stragglers mid-request); and identical concurrent requests
+// — same operands, mask mode and semiring — are computed once, sharing
+// the immutable result (single-flight). The plan cache behind this is
+// lock-striped and LRU-bounded (WithPlanCacheCapacity); PlanCacheStats
+// and ServingStats expose monotonic counters for dashboards. See
+// PERFORMANCE.md for the tuning guide.
+//
 // # Migrating from the free functions
 //
 // The pre-session API — free functions taking a positional (Variant,
@@ -179,6 +194,10 @@ type Plan = planner.Plan
 
 // BlockStat reports what one row block of a plan's execution actually did.
 type BlockStat = core.BlockStat
+
+// CacheStats is a snapshot of a session plan cache's hit/miss/eviction
+// counters and occupancy; see Session.PlanCacheStats.
+type CacheStats = planner.CacheStats
 
 // legacyCtx extracts the context a deprecated free-function call runs
 // under: opt.Ctx when set, Background otherwise.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/planner"
 )
 
@@ -39,11 +40,23 @@ import (
 //
 // A Session is safe for concurrent use by multiple goroutines and needs no
 // Close: its workspaces are reclaimed by the garbage collector when the
-// session becomes unreachable.
+// session becomes unreachable. Beyond plain concurrent method calls, the
+// serving layer (MultiplyBatch, Serve) admits several multiplies at once
+// and splits the session's thread budget across them: each request's worker
+// share is arbitrated from the planner's cost estimate (WithInflight bounds
+// concurrency, WithPlanCacheCapacity bounds the plan cache), and identical
+// concurrent requests are coalesced into one computation.
 type Session struct {
 	def   opSpec
 	ws    *core.Workspaces
 	cache *planner.Cache
+	// arb splits the session thread budget across concurrent batch/serve
+	// requests; one arbiter per session, so overlapping MultiplyBatch and
+	// Serve calls share one budget instead of multiplying it.
+	arb *parallel.Arbiter
+	// flight coalesces identical in-flight requests (single-flight).
+	flight   map[flightKey]*flightCall
+	flightMu sync.Mutex
 }
 
 // Op configures a session or one operation. Ops are created by the With*
@@ -58,6 +71,8 @@ type opSpec struct {
 	complement bool
 	threads    int
 	grain      int
+	inflight   int // WithInflight: serving admission cap
+	cacheCap   int // WithPlanCacheCapacity: plan cache bound (NewSession only)
 	maskRep    MaskRep
 	sched      Sched
 	sr         Semiring
@@ -138,13 +153,37 @@ func WithAccumulate(sr Semiring) Op {
 	return func(d *opSpec) { d.hasSR, d.sr = true, sr }
 }
 
-// NewSession returns a session with its own plan cache and workspace arena.
-// The given options become the session's defaults for every operation.
+// WithInflight bounds how many requests MultiplyBatch and Serve run
+// concurrently. On NewSession it sets the session-wide admission cap (the
+// arbiter refuses to start more multiplies than this at once, whatever mix
+// of batch and streaming calls is active); on a MultiplyBatch or Serve call
+// it additionally bounds that call's own concurrency. 0 (the default)
+// admits one request per budgeted worker thread — more in-flight CPU-bound
+// requests than workers cannot raise throughput. Single multiplies ignore
+// it.
+func WithInflight(k int) Op {
+	return func(d *opSpec) { d.inflight = k }
+}
+
+// WithPlanCacheCapacity bounds the session plan cache to roughly n entries
+// (LRU-evicted per shard; 0 = planner.DefaultCacheCapacity). It only takes
+// effect on NewSession — the cache is constructed once per session — and is
+// ignored on individual operations.
+func WithPlanCacheCapacity(n int) Op {
+	return func(d *opSpec) { d.cacheCap = n }
+}
+
+// NewSession returns a session with its own plan cache, workspace arena and
+// serving arbiter. The given options become the session's defaults for
+// every operation.
 func NewSession(opts ...Op) *Session {
+	def := opSpec{}.apply(opts)
 	return &Session{
-		def:   opSpec{}.apply(opts),
-		ws:    core.NewWorkspaces(),
-		cache: planner.NewCache(),
+		def:    def,
+		ws:     core.NewWorkspaces(),
+		cache:  planner.NewCacheCapacity(def.cacheCap),
+		arb:    parallel.NewArbiter(def.threads, def.inflight),
+		flight: make(map[flightKey]*flightCall),
 	}
 }
 
@@ -201,12 +240,18 @@ func (s *Session) Multiply(ctx context.Context, m *Pattern, a, b *Matrix, opts .
 // variant was pinned with WithVariant).
 func (s *Session) MultiplyAuto(ctx context.Context, m *Pattern, a, b *Matrix, opts ...Op) (*Matrix, *Plan, error) {
 	d := s.def.apply(opts)
-	o := s.options(ctx, d)
+	return s.execute(d, s.options(ctx, d), m, a, b)
+}
+
+// execute runs one resolved multiply under the given options: the pinned
+// variant (gathering a cost profile explicitly when SchedCost asks for one,
+// since the pinned path bypasses the planner), or the planner path through
+// the session cache. The single-call entry points and the serving layer
+// both run through it, so the two paths cannot drift apart.
+func (s *Session) execute(d opSpec, o Options, m *Pattern, a, b *Matrix) (*Matrix, *Plan, error) {
 	if d.pinned {
 		if d.sched == SchedCost && o.RowCosts == nil {
-			// The pinned path bypasses the planner, so the cost profile the
-			// planner would have gathered is computed explicitly.
-			o.RowCosts = core.ComputeRowCosts(m, a.Pattern(), b.Pattern(), o.Threads)
+			o.RowCosts = core.ComputeRowCosts(m, a.Pattern(), b.Pattern(), o.Workers())
 		}
 		c, err := core.MaskedSpGEMM(d.variant, m, a, b, d.semiring(), o)
 		return c, nil, err
@@ -224,8 +269,11 @@ func (s *Session) Explain(m *Pattern, a, b *Matrix, opts ...Op) *Plan {
 	return s.cache.Analyze(m, a.Pattern(), b.Pattern(), s.options(context.Background(), d))
 }
 
-// PlanCacheStats reports the session plan cache's hits and misses.
-func (s *Session) PlanCacheStats() (hits, misses int64) { return s.cache.Stats() }
+// PlanCacheStats returns a snapshot of the session plan cache's counters:
+// hits, misses, evictions (all monotonic over the session's lifetime, so two
+// snapshots can be differenced to rate a serving window), the resident entry
+// count, and the configured capacity and shard count.
+func (s *Session) PlanCacheStats() CacheStats { return s.cache.Stats() }
 
 // --- Applications ---
 

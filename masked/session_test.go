@@ -72,7 +72,7 @@ func TestSessionPooledResultsBitIdentical(t *testing.T) {
 		}
 		sameCSR(t, "auto", got, fresh)
 	}
-	if hits, _ := s.PlanCacheStats(); hits == 0 {
+	if s.PlanCacheStats().Hits == 0 {
 		t.Errorf("expected plan-cache hits on repeated session multiplies")
 	}
 }
