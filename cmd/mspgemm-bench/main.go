@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|maskrep|schedule|serving|all
+//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|maskrep|schedule|serving|kernels|all
 //
 // Flags:
 //
@@ -30,8 +30,9 @@
 //	             (default 8)
 //	-json FILE   also write machine-readable per-case results (ns/op,
 //	             allocs/op, scheduling/serving metrics) to FILE, e.g.
-//	             -json BENCH_PR5.json. Currently the maskrep, schedule
-//	             and serving studies record; fig7..fig16 emit TSV only
+//	             -json BENCH_PR5.json. Currently the maskrep, schedule,
+//	             serving and kernels studies record; fig7..fig16 emit
+//	             TSV only
 //	-explain     print the adaptive plan for each corpus input to stderr
 //	-timeout D   abort the whole run after duration D (cooperative
 //	             cancellation of in-flight kernels), e.g. -timeout 90s
@@ -49,6 +50,10 @@
 // reporting throughput, the speedup over serialized execution, how many
 // requests were coalesced onto identical in-flight twins (outputs verified
 // bit-identical), and the thread arbiter's steal/top-up counters.
+// The "kernels" subcommand is the operator-monomorphization study: it times
+// each named semiring's specialized (inlined-operator) loops against the
+// func-field fallback on the triangle-dense TC product, asserts both paths
+// produce bit-identical output, and reports per-case and geomean speedups.
 package main
 
 import (
@@ -78,14 +83,14 @@ func main() {
 	maskRep := flag.String("maskrep", "auto", "pin the mask representation: auto | csr | bitmap | dense")
 	sched := flag.String("sched", "auto", "pin the row-scheduling policy: auto | equal | cost")
 	inflight := flag.Int("inflight", 8, "largest in-flight request count the serving study sweeps")
-	jsonPath := flag.String("json", "", "write machine-readable per-case results of the maskrep/schedule/serving studies to this file (e.g. BENCH_PR5.json)")
+	jsonPath := flag.String("json", "", "write machine-readable per-case results of the maskrep/schedule/serving/kernels studies to this file (e.g. BENCH_PR6.json)")
 	explain := flag.Bool("explain", false, "print the adaptive plan for each corpus input to stderr")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration, e.g. 90s (0 = no limit)")
 	flag.Parse()
 	plotTables = *plot
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|maskrep|schedule|serving|all")
+		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|maskrep|schedule|serving|kernels|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -167,13 +172,15 @@ func main() {
 			emit(bench.ScheduleStudy(cfg))
 		case "serving":
 			emit(bench.ServingStudy(cfg))
+		case "kernels":
+			emit(bench.KernelsStudy(cfg))
 		default:
 			fatal(fmt.Errorf("unknown figure %q", name))
 		}
 	}
 	if which == "all" {
 		for _, name := range []string{"fig7", "fig8", "fig9", "fig10", "fig11",
-			"fig12", "fig13", "fig14", "fig15", "fig16", "maskrep", "schedule", "serving"} {
+			"fig12", "fig13", "fig14", "fig15", "fig16", "maskrep", "schedule", "serving", "kernels"} {
 			run(name)
 		}
 	} else {

@@ -119,6 +119,9 @@ func main() {
 		}
 	}
 	if *explain {
+		// Analyze returns a fresh plan (not a shared cache entry), so the
+		// operator-path label can be stamped in place.
+		plan.Ops = core.OpsMode(sr)
 		fmt.Fprint(os.Stderr, plan.Explain())
 	}
 	if *batch > 1 {

@@ -131,6 +131,10 @@ func (h *Hash[T]) AddAt(s uint32, v T, add func(T, T) T) {
 // ValueAt returns the value stored in slot s.
 func (h *Hash[T]) ValueAt(s uint32) T { return h.value[s] }
 
+// SetValueAt overwrites the value in slot s (state Set) without touching
+// its state; the inlined-operator counterpart of AddAt.
+func (h *Hash[T]) SetValueAt(s uint32, v T) { h.value[s] = v }
+
 // MarkAt sets slot s to Set without writing a value (symbolic phases).
 func (h *Hash[T]) MarkAt(s uint32) { h.state[s] = Set }
 

@@ -64,6 +64,14 @@ func (c *MCA[T]) Add(idx Index, v T, add func(T, T) T) {
 	c.value[idx] = add(c.value[idx], v)
 }
 
+// Value returns the accumulated value at mask position idx (meaningful only
+// when Set).
+func (c *MCA[T]) Value(idx Index) T { return c.value[idx] }
+
+// SetValue overwrites the value at an already-Set mask position without
+// touching its state; the inlined-operator counterpart of Add.
+func (c *MCA[T]) SetValue(idx Index, v T) { c.value[idx] = v }
+
 // Mark sets mask position idx to Set without a value write (symbolic
 // phases).
 func (c *MCA[T]) Mark(idx Index) { c.state[idx] = Set }

@@ -80,6 +80,12 @@ func (s *MSA[T]) Add(key Index, v T, add func(T, T) T) {
 // Value returns the accumulated value at key (meaningful only when Set).
 func (s *MSA[T]) Value(key Index) T { return s.value[key] }
 
+// SetValue overwrites the value at an already-Set key without touching its
+// state. Kernels instantiated over an inlined operator accumulate with
+// s.SetValue(key, ops.Add(s.Value(key), v)) so the add call is direct
+// rather than through a func value.
+func (s *MSA[T]) SetValue(key Index, v T) { s.value[key] = v }
+
 // Mark sets key to Set without writing a value; symbolic phases use it so
 // that structure discovery does not touch the values array.
 func (s *MSA[T]) Mark(key Index) { s.state[key] = Set }

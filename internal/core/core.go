@@ -232,26 +232,16 @@ func MaskedSpGEMM[T any](v Variant, m *matrix.Pattern, a, b *matrix.CSR[T], sr s
 // RepAuto; kernels that cannot exploit it demote it). bcsc may be nil; it is
 // only consulted for Inner, where a non-nil value avoids re-transposing B
 // (blocked plans share one CSC across blocks). ws may be nil (no pooling).
+//
+// Dispatch happens here: a semiring carrying a recognized named operator
+// gets the monomorphized kernel instantiation (Add/Mul inlined); any other
+// semiring runs the same kernels through the FuncOps fallback. See OpsMode.
 func algKernelFactory[T any](alg Algorithm, rep MaskRep, m *matrix.Pattern, a, b *matrix.CSR[T], bcsc *matrix.CSC[T], sr semiring.Semiring[T], complement bool, ws *Workspaces) (func() kernel[T], error) {
 	rep = SupportedMaskRep(alg, rep, complement)
-	switch alg {
-	case MSA:
-		return newMSAKernelFactory(m, a, b, sr, complement, rep, ws), nil
-	case Hash:
-		return newHashKernelFactory(m, a, b, sr, complement, rep, ws), nil
-	case MCA:
-		return newMCAKernelFactory(m, a, b, sr, rep, ws), nil
-	case Heap:
-		return newHeapKernelFactory(m, a, b, sr, complement, 1, rep, ws), nil
-	case HeapDot:
-		return newHeapKernelFactory(m, a, b, sr, complement, nInspectAll, rep, ws), nil
-	case Inner:
-		if bcsc == nil {
-			bcsc = matrix.ToCSC(b)
-		}
-		return newInnerKernelFactory(m, a, bcsc, sr, complement, rep, ws), nil
+	if f := specializedFactory(alg, rep, m, a, b, bcsc, sr, complement, ws); f != nil {
+		return f, nil
 	}
-	return nil, fmt.Errorf("core: unknown algorithm %d", alg)
+	return opsKernelFactory(alg, rep, m, a, b, bcsc, funcOps(sr), opLoops[T]{}, complement, ws)
 }
 
 // ExecBlock assigns an algorithm variant and mask representation to the
@@ -374,7 +364,10 @@ func MaskedDotCSC[T any](phase Phase, m *matrix.Pattern, a *matrix.CSR[T], bcsc 
 	if rep == RepAuto {
 		rep = RepCSR // no planner here; the merge walk is the safe default
 	}
-	factory := newInnerKernelFactory(m, a, bcsc, sr, opt.Complement, rep, opt.Workspaces)
+	factory, err := algKernelFactory(Inner, rep, m, a, nil, bcsc, sr, opt.Complement, opt.Workspaces)
+	if err != nil {
+		return nil, err
+	}
 	bound := innerBound(m, bcsc.NCols, opt.Complement)
 	return runDriver(phase, m, bcsc.NCols, bound, factory, opt)
 }
@@ -430,7 +423,9 @@ func MaskedSpGEMMHeapNInspect[T any](phase Phase, m *matrix.Pattern, a, b *matri
 	if rep == RepAuto {
 		rep = RepCSR
 	}
-	factory := newHeapKernelFactory(m, a, b, sr, opt.Complement, nInspect, rep, opt.Workspaces)
+	// Ablation entry point: always the FuncOps instantiation, so NInspect
+	// comparisons are not confounded by operator dispatch differences.
+	factory := newHeapKernelFactory(m, a, b, funcOps(sr), opt.Complement, nInspect, rep, opt.Workspaces)
 	bound := allocBound(m, a, b, opt.Complement)
 	return runDriver(phase, m, b.NCols, bound, factory, opt)
 }
@@ -443,9 +438,9 @@ func MaskedSpGEMMHashLoad[T any](phase Phase, m *matrix.Pattern, a, b *matrix.CS
 	}
 	// The load-factor ablation studies the mask-preinserted table, so it
 	// always runs the CSR representation.
-	inner := newHashKernelFactory(m, a, b, sr, opt.Complement, RepCSR, nil)
+	inner := newHashKernelFactory(m, a, b, funcOps(sr), opLoops[T]{}, opt.Complement, RepCSR, nil)
 	factory := func() kernel[T] {
-		k := inner().(*hashKernel[T])
+		k := inner().(*hashKernel[T, semiring.FuncOps[T]])
 		k.acc.SetLoadFactor(num, den)
 		return k
 	}

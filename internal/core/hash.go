@@ -19,10 +19,15 @@ import (
 // contiguous rows, nothing at all). Normal and complemented masks share the
 // probe path: complement just flips the membership test, so no explicit
 // complement is ever materialized.
-type hashKernel[T any] struct {
+//
+// Generic over the operator type O: named operators inline ops.Mul/ops.Add
+// into the probe loops; semiring.FuncOps runs the identical loops through
+// the func fields (see msaKernel).
+type hashKernel[T any, O semiring.Ops[T]] struct {
 	m     *matrix.Pattern
 	a, b  *matrix.CSR[T]
-	sr    semiring.Semiring[T]
+	ops   O
+	lp    opLoops[T] // monomorphized scatter loops; zero → generic ops loops
 	comp  bool
 	acc   *accum.Hash[T]
 	probe *maskProbe // nil for the CSR (mask-preinserted) path
@@ -30,9 +35,9 @@ type hashKernel[T any] struct {
 	vals  []T
 }
 
-func newHashKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], comp bool, rep MaskRep, ws *Workspaces) func() kernel[T] {
+func newHashKernelFactory[T any, O semiring.Ops[T]](m *matrix.Pattern, a, b *matrix.CSR[T], ops O, lp opLoops[T], comp bool, rep MaskRep, ws *Workspaces) func() kernel[T] {
 	return func() kernel[T] {
-		k := &hashKernel[T]{m: m, a: a, b: b, sr: sr, comp: comp,
+		k := &hashKernel[T, O]{m: m, a: a, b: b, ops: ops, lp: lp, comp: comp,
 			acc: wsGetHash[T](ws, 16)}
 		if rep == RepBitmap || rep == RepDense {
 			k.probe = newMaskProbe(m, rep, ws)
@@ -41,7 +46,7 @@ func newHashKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semi
 	}
 }
 
-func (k *hashKernel[T]) recycle(ws *Workspaces) {
+func (k *hashKernel[T, O]) recycle(ws *Workspaces) {
 	wsPutHash(ws, k.acc)
 	k.acc = nil
 	if k.probe != nil {
@@ -52,28 +57,34 @@ func (k *hashKernel[T]) recycle(ws *Workspaces) {
 
 // numericRowProbe serves both mask modes under a probe-based representation:
 // only entries that pass the membership test enter the table.
-func (k *hashKernel[T]) numericRowProbe(i Index, col []Index, val []T) Index {
+func (k *hashKernel[T, O]) numericRowProbe(i Index, col []Index, val []T) Index {
 	if !k.comp && len(k.m.Row(i)) == 0 {
 		return 0
 	}
-	acc, a, b := k.acc, k.a, k.b
-	mul, add := k.sr.Mul, k.sr.Add
+	acc, a, b, ops := k.acc, k.a, k.b, k.ops
 	p := k.probe
 	p.begin(i)
 	acc.PrepareC(16)
-	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
-		kcol := a.Col[kk]
-		av := a.Val[kk]
-		for bi := b.RowPtr[kcol]; bi < b.RowPtr[kcol+1]; bi++ {
-			j := b.Col[bi]
-			if p.contains(j) == k.comp { // masked out
-				continue
-			}
-			slot, st := acc.ProbeC(j)
-			if st == accum.NotAllowed {
-				acc.InsertNewAtC(slot, j, mul(av, b.Val[bi]))
-			} else {
-				acc.AddAt(slot, mul(av, b.Val[bi]), add)
+	if k.lp.hashProbe != nil {
+		k.lp.hashProbe(acc, p, a, b, i, k.comp)
+	} else {
+		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+			kcol := a.Col[kk]
+			av := a.Val[kk]
+			bLo, bHi := b.RowPtr[kcol], b.RowPtr[kcol+1]
+			bCol := b.Col[bLo:bHi]
+			bVal := b.Val[bLo:bHi]
+			bVal = bVal[:len(bCol)]
+			for bi, j := range bCol {
+				if p.contains(j) == k.comp { // masked out
+					continue
+				}
+				slot, st := acc.ProbeC(j)
+				if st == accum.NotAllowed {
+					acc.InsertNewAtC(slot, j, ops.Mul(av, bVal[bi]))
+				} else {
+					acc.SetValueAt(slot, ops.Add(acc.ValueAt(slot), ops.Mul(av, bVal[bi])))
+				}
 			}
 		}
 	}
@@ -87,7 +98,7 @@ func (k *hashKernel[T]) numericRowProbe(i Index, col []Index, val []T) Index {
 }
 
 // symbolicRowProbe is the symbolic twin of numericRowProbe.
-func (k *hashKernel[T]) symbolicRowProbe(i Index) Index {
+func (k *hashKernel[T, O]) symbolicRowProbe(i Index) Index {
 	if !k.comp && len(k.m.Row(i)) == 0 {
 		return 0
 	}
@@ -114,7 +125,7 @@ func (k *hashKernel[T]) symbolicRowProbe(i Index) Index {
 	return cnt
 }
 
-func (k *hashKernel[T]) numericRow(i Index, col []Index, val []T) Index {
+func (k *hashKernel[T, O]) numericRow(i Index, col []Index, val []T) Index {
 	if k.probe != nil {
 		return k.numericRowProbe(i, col, val)
 	}
@@ -125,23 +136,29 @@ func (k *hashKernel[T]) numericRow(i Index, col []Index, val []T) Index {
 	if len(mrow) == 0 {
 		return 0
 	}
-	acc, a, b := k.acc, k.a, k.b
-	mul, add := k.sr.Mul, k.sr.Add
+	acc, a, b, ops := k.acc, k.a, k.b, k.ops
 	acc.Prepare(len(mrow))
 	for _, j := range mrow {
 		acc.SetAllowed(j)
 	}
-	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
-		kcol := a.Col[kk]
-		av := a.Val[kk]
-		for p := b.RowPtr[kcol]; p < b.RowPtr[kcol+1]; p++ {
-			j := b.Col[p]
-			slot, st := acc.Probe(j)
-			switch st {
-			case accum.Allowed:
-				acc.StoreAt(slot, mul(av, b.Val[p]))
-			case accum.Set:
-				acc.AddAt(slot, mul(av, b.Val[p]), add)
+	if k.lp.hash != nil {
+		k.lp.hash(acc, a, b, i)
+	} else {
+		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+			kcol := a.Col[kk]
+			av := a.Val[kk]
+			bLo, bHi := b.RowPtr[kcol], b.RowPtr[kcol+1]
+			bCol := b.Col[bLo:bHi]
+			bVal := b.Val[bLo:bHi]
+			bVal = bVal[:len(bCol)]
+			for p, j := range bCol {
+				slot, st := acc.Probe(j)
+				switch st {
+				case accum.Allowed:
+					acc.StoreAt(slot, ops.Mul(av, bVal[p]))
+				case accum.Set:
+					acc.SetValueAt(slot, ops.Add(acc.ValueAt(slot), ops.Mul(av, bVal[p])))
+				}
 			}
 		}
 	}
@@ -156,25 +173,31 @@ func (k *hashKernel[T]) numericRow(i Index, col []Index, val []T) Index {
 	return cnt
 }
 
-func (k *hashKernel[T]) numericRowC(i Index, col []Index, val []T) Index {
+func (k *hashKernel[T, O]) numericRowC(i Index, col []Index, val []T) Index {
 	mrow := k.m.Row(i)
-	acc, a, b := k.acc, k.a, k.b
-	mul, add := k.sr.Mul, k.sr.Add
+	acc, a, b, ops := k.acc, k.a, k.b, k.ops
 	acc.PrepareC(len(mrow) + 8)
 	for _, j := range mrow {
 		acc.SetNotAllowed(j)
 	}
-	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
-		kcol := a.Col[kk]
-		av := a.Val[kk]
-		for p := b.RowPtr[kcol]; p < b.RowPtr[kcol+1]; p++ {
-			j := b.Col[p]
-			slot, st := acc.ProbeC(j)
-			switch st {
-			case accum.NotAllowed: // absent: allowed under complement
-				acc.InsertNewAtC(slot, j, mul(av, b.Val[p]))
-			case accum.Set:
-				acc.AddAt(slot, mul(av, b.Val[p]), add)
+	if k.lp.hashC != nil {
+		k.lp.hashC(acc, a, b, i)
+	} else {
+		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+			kcol := a.Col[kk]
+			av := a.Val[kk]
+			bLo, bHi := b.RowPtr[kcol], b.RowPtr[kcol+1]
+			bCol := b.Col[bLo:bHi]
+			bVal := b.Val[bLo:bHi]
+			bVal = bVal[:len(bCol)]
+			for p, j := range bCol {
+				slot, st := acc.ProbeC(j)
+				switch st {
+				case accum.NotAllowed: // absent: allowed under complement
+					acc.InsertNewAtC(slot, j, ops.Mul(av, bVal[p]))
+				case accum.Set:
+					acc.SetValueAt(slot, ops.Add(acc.ValueAt(slot), ops.Mul(av, bVal[p])))
+				}
 			}
 		}
 	}
@@ -186,7 +209,7 @@ func (k *hashKernel[T]) numericRowC(i Index, col []Index, val []T) Index {
 	return Index(len(k.keys))
 }
 
-func (k *hashKernel[T]) symbolicRow(i Index) Index {
+func (k *hashKernel[T, O]) symbolicRow(i Index) Index {
 	if k.probe != nil {
 		return k.symbolicRowProbe(i)
 	}

@@ -32,22 +32,24 @@ const nInspectAll = math.MaxInt32
 // blindly (NInspect is moot — there is no merge frontier to inspect) and
 // answers membership at each pop with an O(1) probe, which avoids the
 // repeated mask-row walks Insert performs on dense masks.
-type heapKernel[T any] struct {
+//
+// Generic over the operator type O (see msaKernel).
+type heapKernel[T any, O semiring.Ops[T]] struct {
 	m        *matrix.Pattern
 	a, b     *matrix.CSR[T]
-	sr       semiring.Semiring[T]
+	ops      O
 	comp     bool
 	nInspect int32
 	pq       *accum.IterHeap
 	probe    *maskProbe // nil for the CSR merge path
 }
 
-func newHeapKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], comp bool, nInspect int32, rep MaskRep, ws *Workspaces) func() kernel[T] {
+func newHeapKernelFactory[T any, O semiring.Ops[T]](m *matrix.Pattern, a, b *matrix.CSR[T], ops O, comp bool, nInspect int32, rep MaskRep, ws *Workspaces) func() kernel[T] {
 	if comp {
 		nInspect = 0
 	}
 	return func() kernel[T] {
-		k := &heapKernel[T]{m: m, a: a, b: b, sr: sr, comp: comp, nInspect: nInspect,
+		k := &heapKernel[T, O]{m: m, a: a, b: b, ops: ops, comp: comp, nInspect: nInspect,
 			pq: wsGetHeap(ws)}
 		if rep == RepBitmap || rep == RepDense {
 			k.probe = newMaskProbe(m, rep, ws)
@@ -56,7 +58,7 @@ func newHeapKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semi
 	}
 }
 
-func (k *heapKernel[T]) recycle(ws *Workspaces) {
+func (k *heapKernel[T, O]) recycle(ws *Workspaces) {
 	wsPutHeap(ws, k.pq)
 	k.pq = nil
 	if k.probe != nil {
@@ -67,7 +69,7 @@ func (k *heapKernel[T]) recycle(ws *Workspaces) {
 
 // insert is the Insert procedure of Algorithm 5. it must be valid.
 // mrow[mPos:] is the unconsumed portion of the mask row.
-func (k *heapKernel[T]) insert(it accum.RowIterator, mrow []Index, mPos int) {
+func (k *heapKernel[T, O]) insert(it accum.RowIterator, mrow []Index, mPos int) {
 	b := k.b
 	if k.nInspect == 0 {
 		it.Col = b.Col[it.Pos]
@@ -101,12 +103,11 @@ func (k *heapKernel[T]) insert(it accum.RowIterator, mrow []Index, mPos int) {
 
 // numericRowProbe is numericRow under a probe-based mask representation:
 // blind pushes, O(1) membership at pop.
-func (k *heapKernel[T]) numericRowProbe(i Index, col []Index, val []T) Index {
+func (k *heapKernel[T, O]) numericRowProbe(i Index, col []Index, val []T) Index {
 	if !k.comp && len(k.m.Row(i)) == 0 {
 		return 0
 	}
-	a, b := k.a, k.b
-	mul, add := k.sr.Mul, k.sr.Add
+	a, b, ops := k.a, k.b, k.ops
 	p := k.probe
 	p.begin(i)
 	k.pq.Reset()
@@ -124,9 +125,9 @@ func (k *heapKernel[T]) numericRowProbe(i Index, col []Index, val []T) Index {
 		min := k.pq.PopMin()
 		if p.contains(min.Col) != k.comp { // keep: mask hit (normal) or miss (complement)
 			j := min.Col
-			v := mul(a.Val[min.APos], b.Val[min.Pos])
+			v := ops.Mul(a.Val[min.APos], b.Val[min.Pos])
 			if prevKey == j {
-				val[cnt-1] = add(val[cnt-1], v)
+				val[cnt-1] = ops.Add(val[cnt-1], v)
 			} else {
 				col[cnt] = j
 				val[cnt] = v
@@ -144,7 +145,7 @@ func (k *heapKernel[T]) numericRowProbe(i Index, col []Index, val []T) Index {
 	return cnt
 }
 
-func (k *heapKernel[T]) numericRow(i Index, col []Index, val []T) Index {
+func (k *heapKernel[T, O]) numericRow(i Index, col []Index, val []T) Index {
 	if k.probe != nil {
 		return k.numericRowProbe(i, col, val)
 	}
@@ -152,8 +153,7 @@ func (k *heapKernel[T]) numericRow(i Index, col []Index, val []T) Index {
 	if !k.comp && len(mrow) == 0 {
 		return 0
 	}
-	a, b := k.a, k.b
-	mul, add := k.sr.Mul, k.sr.Add
+	a, b, ops := k.a, k.b, k.ops
 	k.pq.Reset()
 	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
 		kcol := a.Col[kk]
@@ -173,9 +173,9 @@ func (k *heapKernel[T]) numericRow(i Index, col []Index, val []T) Index {
 		inMask := mPos < len(mrow) && mrow[mPos] == min.Col
 		if inMask != k.comp { // keep: mask hit (normal) or mask miss (complement)
 			j := min.Col
-			v := mul(a.Val[min.APos], b.Val[min.Pos])
+			v := ops.Mul(a.Val[min.APos], b.Val[min.Pos])
 			if prevKey == j {
-				val[cnt-1] = add(val[cnt-1], v)
+				val[cnt-1] = ops.Add(val[cnt-1], v)
 			} else {
 				col[cnt] = j
 				val[cnt] = v
@@ -195,7 +195,7 @@ func (k *heapKernel[T]) numericRow(i Index, col []Index, val []T) Index {
 }
 
 // symbolicRowProbe is symbolicRow under a probe-based mask representation.
-func (k *heapKernel[T]) symbolicRowProbe(i Index) Index {
+func (k *heapKernel[T, O]) symbolicRowProbe(i Index) Index {
 	if !k.comp && len(k.m.Row(i)) == 0 {
 		return 0
 	}
@@ -229,7 +229,7 @@ func (k *heapKernel[T]) symbolicRowProbe(i Index) Index {
 	return cnt
 }
 
-func (k *heapKernel[T]) symbolicRow(i Index) Index {
+func (k *heapKernel[T, O]) symbolicRow(i Index) Index {
 	if k.probe != nil {
 		return k.symbolicRowProbe(i)
 	}

@@ -20,15 +20,14 @@ import (
 // §4.3 asymptotic comparison: pull wins when nnz(m_i)·d ≪ flops_i, push
 // wins otherwise, and the heap's log factor only pays off when flops_i ≪
 // nnz(m_i).
-type hybridKernel[T any] struct {
+type hybridKernel[T any, O semiring.Ops[T]] struct {
 	m    *matrix.Pattern
 	a    *matrix.CSR[T]
 	b    *matrix.CSR[T]
 	bcsc *matrix.CSC[T]
-	sr   semiring.Semiring[T]
-	msa  *msaKernel[T]
-	heap *heapKernel[T]
-	dot  *innerKernel[T]
+	msa  *msaKernel[T, O]
+	heap *heapKernel[T, O]
+	dot  *innerKernel[T, O]
 	// stats counts rows routed to each sub-kernel (diagnostics).
 	stats *HybridStats
 }
@@ -47,25 +46,27 @@ const hybridPullFactor = 8
 // hybridHeapFactor: heap when nnz(m_i) > hybridHeapFactor · flops_i.
 const hybridHeapFactor = 8
 
-func newHybridKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], bcsc *matrix.CSC[T], sr semiring.Semiring[T], stats *HybridStats, ws *Workspaces) func() kernel[T] {
+func newHybridKernelFactory[T any, O semiring.Ops[T]](m *matrix.Pattern, a, b *matrix.CSR[T], bcsc *matrix.CSC[T], ops O, stats *HybridStats, ws *Workspaces) func() kernel[T] {
 	return func() kernel[T] {
-		return &hybridKernel[T]{
-			m: m, a: a, b: b, bcsc: bcsc, sr: sr,
-			msa:   &msaKernel[T]{m: m, a: a, b: b, sr: sr, acc: wsGetMSA[T](ws, int(b.NCols))},
-			heap:  &heapKernel[T]{m: m, a: a, b: b, sr: sr, nInspect: 1, pq: wsGetHeap(ws)},
-			dot:   &innerKernel[T]{m: m, a: a, bcsc: bcsc, sr: sr},
+		dot := &innerKernel[T, O]{m: m, a: a, bcsc: bcsc, ops: ops}
+		dot.lp.dot = dot.dot // funcptr path: generic merge (see newInnerKernelFactory)
+		return &hybridKernel[T, O]{
+			m: m, a: a, b: b, bcsc: bcsc,
+			msa:   &msaKernel[T, O]{m: m, a: a, b: b, ops: ops, acc: wsGetMSA[T](ws, int(b.NCols))},
+			heap:  &heapKernel[T, O]{m: m, a: a, b: b, ops: ops, nInspect: 1, pq: wsGetHeap(ws)},
+			dot:   dot,
 			stats: stats,
 		}
 	}
 }
 
-func (k *hybridKernel[T]) recycle(ws *Workspaces) {
+func (k *hybridKernel[T, O]) recycle(ws *Workspaces) {
 	k.msa.recycle(ws)
 	k.heap.recycle(ws)
 }
 
 // route picks the sub-kernel for row i.
-func (k *hybridKernel[T]) route(i Index) kernel[T] {
+func (k *hybridKernel[T, O]) route(i Index) kernel[T] {
 	mnnz := int64(k.m.RowNNZ(i))
 	if mnnz == 0 {
 		return k.msa // empty row; any kernel returns 0 immediately
@@ -98,11 +99,11 @@ func (k *hybridKernel[T]) route(i Index) kernel[T] {
 	}
 }
 
-func (k *hybridKernel[T]) numericRow(i Index, col []Index, val []T) Index {
+func (k *hybridKernel[T, O]) numericRow(i Index, col []Index, val []T) Index {
 	return k.route(i).numericRow(i, col, val)
 }
 
-func (k *hybridKernel[T]) symbolicRow(i Index) Index {
+func (k *hybridKernel[T, O]) symbolicRow(i Index) Index {
 	return k.route(i).symbolicRow(i)
 }
 
@@ -123,7 +124,7 @@ func MaskedSpGEMMHybrid[T any](phase Phase, m *matrix.Pattern, a, b *matrix.CSR[
 		return nil, err
 	}
 	bcsc := matrix.ToCSC(b)
-	factory := newHybridKernelFactory(m, a, b, bcsc, sr, stats, opt.Workspaces)
+	factory := newHybridKernelFactory(m, a, b, bcsc, funcOps(sr), stats, opt.Workspaces)
 	bound := allocBound(m, a, b, false)
 	return runDriver(phase, m, b.NCols, bound, factory, opt)
 }

@@ -22,18 +22,25 @@ import (
 // the mask *drives* the iteration; there is nothing to probe): the bitmap
 // replaces the merge walk with O(1) probes, and a dense-run row skips its
 // whole excluded range [lo,hi) in one jump.
-type innerKernel[T any] struct {
+//
+// Generic over the operator type O (see msaKernel): the merge in dot calls
+// ops.Mul/ops.Add directly, so named operators inline into the sweep.
+type innerKernel[T any, O semiring.Ops[T]] struct {
 	m     *matrix.Pattern
 	a     *matrix.CSR[T]
 	bcsc  *matrix.CSC[T]
-	sr    semiring.Semiring[T]
+	ops   O
+	lp    opLoops[T] // lp.dot is the monomorphized dot; defaults to k.dot
 	comp  bool
 	probe *maskProbe // non-nil only for complemented probe representations
 }
 
-func newInnerKernelFactory[T any](m *matrix.Pattern, a *matrix.CSR[T], bcsc *matrix.CSC[T], sr semiring.Semiring[T], comp bool, rep MaskRep, ws *Workspaces) func() kernel[T] {
+func newInnerKernelFactory[T any, O semiring.Ops[T]](m *matrix.Pattern, a *matrix.CSR[T], bcsc *matrix.CSC[T], ops O, lp opLoops[T], comp bool, rep MaskRep, ws *Workspaces) func() kernel[T] {
 	return func() kernel[T] {
-		k := &innerKernel[T]{m: m, a: a, bcsc: bcsc, sr: sr, comp: comp}
+		k := &innerKernel[T, O]{m: m, a: a, bcsc: bcsc, ops: ops, lp: lp, comp: comp}
+		if k.lp.dot == nil {
+			k.lp.dot = k.dot // funcptr fallback: the generic merge below
+		}
 		if comp && (rep == RepBitmap || rep == RepDense) {
 			k.probe = newMaskProbe(m, rep, ws)
 		}
@@ -41,7 +48,7 @@ func newInnerKernelFactory[T any](m *matrix.Pattern, a *matrix.CSR[T], bcsc *mat
 	}
 }
 
-func (k *innerKernel[T]) recycle(ws *Workspaces) {
+func (k *innerKernel[T, O]) recycle(ws *Workspaces) {
 	if k.probe != nil {
 		k.probe.recycle(ws)
 		k.probe = nil
@@ -50,17 +57,17 @@ func (k *innerKernel[T]) recycle(ws *Workspaces) {
 
 // dot merges the sorted index lists and accumulates matching products.
 // ok reports whether the patterns intersect at all.
-func (k *innerKernel[T]) dot(aIdx []Index, aVal []T, bIdx []Index, bVal []T) (T, bool) {
-	mul, add := k.sr.Mul, k.sr.Add
+func (k *innerKernel[T, O]) dot(aIdx []Index, aVal []T, bIdx []Index, bVal []T) (T, bool) {
+	ops := k.ops
 	var acc T
 	found := false
 	ai, bi := 0, 0
 	for ai < len(aIdx) && bi < len(bIdx) {
 		switch {
 		case aIdx[ai] == bIdx[bi]:
-			v := mul(aVal[ai], bVal[bi])
+			v := ops.Mul(aVal[ai], bVal[bi])
 			if found {
-				acc = add(acc, v)
+				acc = ops.Add(acc, v)
 			} else {
 				acc = v
 				found = true
@@ -92,7 +99,7 @@ func dotPattern(aIdx, bIdx []Index) bool {
 	return false
 }
 
-func (k *innerKernel[T]) numericRow(i Index, col []Index, val []T) Index {
+func (k *innerKernel[T, O]) numericRow(i Index, col []Index, val []T) Index {
 	aLo, aHi := k.a.RowPtr[i], k.a.RowPtr[i+1]
 	if aLo == aHi {
 		return 0
@@ -104,7 +111,7 @@ func (k *innerKernel[T]) numericRow(i Index, col []Index, val []T) Index {
 	if !k.comp {
 		for _, j := range mrow {
 			bIdx, bVal := k.bcsc.Column(j)
-			if v, ok := k.dot(aIdx, aVal, bIdx, bVal); ok {
+			if v, ok := k.lp.dot(aIdx, aVal, bIdx, bVal); ok {
 				col[cnt] = j
 				val[cnt] = v
 				cnt++
@@ -123,7 +130,7 @@ func (k *innerKernel[T]) numericRow(i Index, col []Index, val []T) Index {
 				continue
 			}
 			bIdx, bVal := k.bcsc.Column(j)
-			if v, ok := k.dot(aIdx, aVal, bIdx, bVal); ok {
+			if v, ok := k.lp.dot(aIdx, aVal, bIdx, bVal); ok {
 				col[cnt] = j
 				val[cnt] = v
 				cnt++
@@ -139,7 +146,7 @@ func (k *innerKernel[T]) numericRow(i Index, col []Index, val []T) Index {
 			continue
 		}
 		bIdx, bVal := k.bcsc.Column(j)
-		if v, ok := k.dot(aIdx, aVal, bIdx, bVal); ok {
+		if v, ok := k.lp.dot(aIdx, aVal, bIdx, bVal); ok {
 			col[cnt] = j
 			val[cnt] = v
 			cnt++
@@ -148,7 +155,7 @@ func (k *innerKernel[T]) numericRow(i Index, col []Index, val []T) Index {
 	return cnt
 }
 
-func (k *innerKernel[T]) symbolicRow(i Index) Index {
+func (k *innerKernel[T, O]) symbolicRow(i Index) Index {
 	aLo, aHi := k.a.RowPtr[i], k.a.RowPtr[i+1]
 	if aLo == aHi {
 		return 0

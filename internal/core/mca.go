@@ -19,17 +19,19 @@ import (
 // dense-run representation the position is j-lo with no scatter at all.
 //
 // Requires sorted mask and B rows; does not support complemented masks.
-type mcaKernel[T any] struct {
+// Generic over the operator type O (see msaKernel).
+type mcaKernel[T any, O semiring.Ops[T]] struct {
 	m     *matrix.Pattern
 	a, b  *matrix.CSR[T]
-	sr    semiring.Semiring[T]
+	ops   O
+	lp    opLoops[T] // monomorphized scatter loops; zero → generic ops loops
 	acc   *accum.MCA[T]
 	probe *maskProbe // nil for the CSR merge path
 }
 
-func newMCAKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], rep MaskRep, ws *Workspaces) func() kernel[T] {
+func newMCAKernelFactory[T any, O semiring.Ops[T]](m *matrix.Pattern, a, b *matrix.CSR[T], ops O, lp opLoops[T], rep MaskRep, ws *Workspaces) func() kernel[T] {
 	return func() kernel[T] {
-		k := &mcaKernel[T]{m: m, a: a, b: b, sr: sr, acc: wsGetMCA[T](ws, 64)}
+		k := &mcaKernel[T, O]{m: m, a: a, b: b, ops: ops, lp: lp, acc: wsGetMCA[T](ws, 64)}
 		if rep == RepBitmap || rep == RepDense {
 			k.probe = newMaskProbe(m, rep, ws)
 		}
@@ -37,7 +39,7 @@ func newMCAKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semir
 	}
 }
 
-func (k *mcaKernel[T]) recycle(ws *Workspaces) {
+func (k *mcaKernel[T, O]) recycle(ws *Workspaces) {
 	wsPutMCA(ws, k.acc)
 	k.acc = nil
 	if k.probe != nil {
@@ -46,33 +48,41 @@ func (k *mcaKernel[T]) recycle(ws *Workspaces) {
 	}
 }
 
-func (k *mcaKernel[T]) numericRow(i Index, col []Index, val []T) Index {
+func (k *mcaKernel[T, O]) numericRow(i Index, col []Index, val []T) Index {
 	mrow := k.m.Row(i)
 	if len(mrow) == 0 {
 		return 0
 	}
-	acc, a, b := k.acc, k.a, k.b
-	mul, add := k.sr.Mul, k.sr.Add
+	acc, a, b, ops := k.acc, k.a, k.b, k.ops
 	acc.Prepare(len(mrow))
 	if p := k.probe; p != nil {
 		p.begin(i)
-		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
-			kcol := a.Col[kk]
-			av := a.Val[kk]
-			for bi := b.RowPtr[kcol]; bi < b.RowPtr[kcol+1]; bi++ {
-				j := b.Col[bi]
-				if !p.contains(j) {
-					continue
-				}
-				idx := p.pos(j)
-				if acc.State(idx) == accum.Set {
-					acc.Add(idx, mul(av, b.Val[bi]), add)
-				} else {
-					acc.Store(idx, mul(av, b.Val[bi]))
+		if k.lp.mcaProbe != nil {
+			k.lp.mcaProbe(acc, p, a, b, i)
+		} else {
+			for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+				kcol := a.Col[kk]
+				av := a.Val[kk]
+				bLo, bHi := b.RowPtr[kcol], b.RowPtr[kcol+1]
+				bCol := b.Col[bLo:bHi]
+				bVal := b.Val[bLo:bHi]
+				bVal = bVal[:len(bCol)]
+				for bi, j := range bCol {
+					if !p.contains(j) {
+						continue
+					}
+					idx := p.pos(j)
+					if acc.State(idx) == accum.Set {
+						acc.SetValue(idx, ops.Add(acc.Value(idx), ops.Mul(av, bVal[bi])))
+					} else {
+						acc.Store(idx, ops.Mul(av, bVal[bi]))
+					}
 				}
 			}
 		}
 		p.end()
+	} else if k.lp.mcaMerge != nil {
+		k.lp.mcaMerge(acc, a, b, i, mrow)
 	} else {
 		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
 			kcol := a.Col[kk]
@@ -90,9 +100,9 @@ func (k *mcaKernel[T]) numericRow(i Index, col []Index, val []T) Index {
 				}
 				if b.Col[bi] == j {
 					if acc.State(Index(idx)) == accum.Set {
-						acc.Add(Index(idx), mul(av, b.Val[bi]), add)
+						acc.SetValue(Index(idx), ops.Add(acc.Value(Index(idx)), ops.Mul(av, b.Val[bi])))
 					} else {
-						acc.Store(Index(idx), mul(av, b.Val[bi]))
+						acc.Store(Index(idx), ops.Mul(av, b.Val[bi]))
 					}
 				}
 			}
@@ -109,7 +119,7 @@ func (k *mcaKernel[T]) numericRow(i Index, col []Index, val []T) Index {
 	return cnt
 }
 
-func (k *mcaKernel[T]) symbolicRow(i Index) Index {
+func (k *mcaKernel[T, O]) symbolicRow(i Index) Index {
 	mrow := k.m.Row(i)
 	if len(mrow) == 0 {
 		return 0

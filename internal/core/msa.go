@@ -19,23 +19,31 @@ import (
 // SetAllowed/SetNotAllowed scatter (and the complement path's mask-row
 // reset): membership is the range check, with the state array used purely
 // for accumulation. Non-run rows fall back to the scatter row by row.
-type msaKernel[T any] struct {
+//
+// The kernel is generic over the operator type O: instantiated for a named
+// zero-size operator (semiring.PlusPairF64, ...) the ops.Mul/ops.Add calls
+// in the scatter loops inline; instantiated for semiring.FuncOps it computes
+// with exactly the same loop structure through the func fields, so the two
+// paths are bit-identical. The numeric loops hoist each B row into local
+// subslices so the per-flop loads are bounds-check-free.
+type msaKernel[T any, O semiring.Ops[T]] struct {
 	m     *matrix.Pattern
 	a, b  *matrix.CSR[T]
-	sr    semiring.Semiring[T]
+	ops   O
+	lp    opLoops[T] // monomorphized scatter loops; zero → generic ops loops
 	comp  bool
 	dense bool // RepDense: direct-index contiguous mask rows
 	acc   *accum.MSA[T]
 }
 
-func newMSAKernelFactory[T any](m *matrix.Pattern, a, b *matrix.CSR[T], sr semiring.Semiring[T], comp bool, rep MaskRep, ws *Workspaces) func() kernel[T] {
+func newMSAKernelFactory[T any, O semiring.Ops[T]](m *matrix.Pattern, a, b *matrix.CSR[T], ops O, lp opLoops[T], comp bool, rep MaskRep, ws *Workspaces) func() kernel[T] {
 	return func() kernel[T] {
-		return &msaKernel[T]{m: m, a: a, b: b, sr: sr, comp: comp, dense: rep == RepDense,
+		return &msaKernel[T, O]{m: m, a: a, b: b, ops: ops, lp: lp, comp: comp, dense: rep == RepDense,
 			acc: wsGetMSA[T](ws, int(b.NCols))}
 	}
 }
 
-func (k *msaKernel[T]) recycle(ws *Workspaces) {
+func (k *msaKernel[T, O]) recycle(ws *Workspaces) {
 	wsPutMSA(ws, k.acc)
 	k.acc = nil
 }
@@ -44,27 +52,33 @@ func (k *msaKernel[T]) recycle(ws *Workspaces) {
 // range check. In normal mode the in-run default state NotAllowed plays the
 // role of Allowed; in complement mode in-run columns are skipped outright
 // and the insertion log drives the gather as usual.
-func (k *msaKernel[T]) numericRowRun(i Index, lo, hi Index, col []Index, val []T) Index {
+func (k *msaKernel[T, O]) numericRowRun(i Index, lo, hi Index, col []Index, val []T) Index {
 	mrow := k.m.Row(i)
-	acc, a, b := k.acc, k.a, k.b
-	mul, add := k.sr.Mul, k.sr.Add
-	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
-		kcol := a.Col[kk]
-		av := a.Val[kk]
-		for p := b.RowPtr[kcol]; p < b.RowPtr[kcol+1]; p++ {
-			j := b.Col[p]
-			if (j >= lo && j < hi) == k.comp { // masked out
-				continue
-			}
-			switch acc.State(j) {
-			case accum.NotAllowed:
-				if k.comp {
-					acc.StoreC(j, mul(av, b.Val[p]))
-				} else {
-					acc.Store(j, mul(av, b.Val[p]))
+	acc, a, b, ops := k.acc, k.a, k.b, k.ops
+	if k.lp.msaRun != nil {
+		k.lp.msaRun(acc, a, b, i, lo, hi, k.comp)
+	} else {
+		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+			kcol := a.Col[kk]
+			av := a.Val[kk]
+			bLo, bHi := b.RowPtr[kcol], b.RowPtr[kcol+1]
+			bCol := b.Col[bLo:bHi]
+			bVal := b.Val[bLo:bHi]
+			bVal = bVal[:len(bCol)]
+			for p, j := range bCol {
+				if (j >= lo && j < hi) == k.comp { // masked out
+					continue
 				}
-			case accum.Set:
-				acc.Add(j, mul(av, b.Val[p]), add)
+				switch acc.State(j) {
+				case accum.NotAllowed:
+					if k.comp {
+						acc.StoreC(j, ops.Mul(av, bVal[p]))
+					} else {
+						acc.Store(j, ops.Mul(av, bVal[p]))
+					}
+				case accum.Set:
+					acc.SetValue(j, ops.Add(acc.Value(j), ops.Mul(av, bVal[p])))
+				}
 			}
 		}
 	}
@@ -90,7 +104,7 @@ func (k *msaKernel[T]) numericRowRun(i Index, lo, hi Index, col []Index, val []T
 	return cnt
 }
 
-func (k *msaKernel[T]) numericRow(i Index, col []Index, val []T) Index {
+func (k *msaKernel[T, O]) numericRow(i Index, col []Index, val []T) Index {
 	if k.dense {
 		if lo, hi, ok := matrix.RowRun(k.m.Row(i)); ok {
 			return k.numericRowRun(i, lo, hi, col, val)
@@ -103,21 +117,27 @@ func (k *msaKernel[T]) numericRow(i Index, col []Index, val []T) Index {
 	if len(mrow) == 0 {
 		return 0
 	}
-	acc, a, b := k.acc, k.a, k.b
-	mul, add := k.sr.Mul, k.sr.Add
+	acc, a, b, ops := k.acc, k.a, k.b, k.ops
 	for _, j := range mrow {
 		acc.SetAllowed(j)
 	}
-	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
-		kcol := a.Col[kk]
-		av := a.Val[kk]
-		for p := b.RowPtr[kcol]; p < b.RowPtr[kcol+1]; p++ {
-			j := b.Col[p]
-			switch acc.State(j) {
-			case accum.Allowed:
-				acc.Store(j, mul(av, b.Val[p]))
-			case accum.Set:
-				acc.Add(j, mul(av, b.Val[p]), add)
+	if k.lp.msa != nil {
+		k.lp.msa(acc, a, b, i)
+	} else {
+		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+			kcol := a.Col[kk]
+			av := a.Val[kk]
+			bLo, bHi := b.RowPtr[kcol], b.RowPtr[kcol+1]
+			bCol := b.Col[bLo:bHi]
+			bVal := b.Val[bLo:bHi]
+			bVal = bVal[:len(bCol)]
+			for p, j := range bCol {
+				switch acc.State(j) {
+				case accum.Allowed:
+					acc.Store(j, ops.Mul(av, bVal[p]))
+				case accum.Set:
+					acc.SetValue(j, ops.Add(acc.Value(j), ops.Mul(av, bVal[p])))
+				}
 			}
 		}
 	}
@@ -135,23 +155,29 @@ func (k *msaKernel[T]) numericRow(i Index, col []Index, val []T) Index {
 // numericRowC is the complemented-mask row (§5.2): mask entries are marked
 // Excluded, everything else is allowed by default, and an insertion log
 // drives the gather so the dense array is never scanned.
-func (k *msaKernel[T]) numericRowC(i Index, col []Index, val []T) Index {
+func (k *msaKernel[T, O]) numericRowC(i Index, col []Index, val []T) Index {
 	mrow := k.m.Row(i)
-	acc, a, b := k.acc, k.a, k.b
-	mul, add := k.sr.Mul, k.sr.Add
+	acc, a, b, ops := k.acc, k.a, k.b, k.ops
 	for _, j := range mrow {
 		acc.SetNotAllowed(j)
 	}
-	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
-		kcol := a.Col[kk]
-		av := a.Val[kk]
-		for p := b.RowPtr[kcol]; p < b.RowPtr[kcol+1]; p++ {
-			j := b.Col[p]
-			switch acc.State(j) {
-			case accum.NotAllowed: // default-allowed under complement
-				acc.StoreC(j, mul(av, b.Val[p]))
-			case accum.Set:
-				acc.Add(j, mul(av, b.Val[p]), add)
+	if k.lp.msaC != nil {
+		k.lp.msaC(acc, a, b, i)
+	} else {
+		for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
+			kcol := a.Col[kk]
+			av := a.Val[kk]
+			bLo, bHi := b.RowPtr[kcol], b.RowPtr[kcol+1]
+			bCol := b.Col[bLo:bHi]
+			bVal := b.Val[bLo:bHi]
+			bVal = bVal[:len(bCol)]
+			for p, j := range bCol {
+				switch acc.State(j) {
+				case accum.NotAllowed: // default-allowed under complement
+					acc.StoreC(j, ops.Mul(av, bVal[p]))
+				case accum.Set:
+					acc.SetValue(j, ops.Add(acc.Value(j), ops.Mul(av, bVal[p])))
+				}
 			}
 		}
 	}
@@ -169,7 +195,7 @@ func (k *msaKernel[T]) numericRowC(i Index, col []Index, val []T) Index {
 
 // symbolicRowRun is the dense-run symbolic row: range-check membership, no
 // mask scatter.
-func (k *msaKernel[T]) symbolicRowRun(i Index, lo, hi Index) Index {
+func (k *msaKernel[T, O]) symbolicRowRun(i Index, lo, hi Index) Index {
 	mrow := k.m.Row(i)
 	acc, a, b := k.acc, k.a, k.b
 	for kk := a.RowPtr[i]; kk < a.RowPtr[i+1]; kk++ {
@@ -202,7 +228,7 @@ func (k *msaKernel[T]) symbolicRowRun(i Index, lo, hi Index) Index {
 	return cnt
 }
 
-func (k *msaKernel[T]) symbolicRow(i Index) Index {
+func (k *msaKernel[T, O]) symbolicRow(i Index) Index {
 	if k.dense {
 		if lo, hi, ok := matrix.RowRun(k.m.Row(i)); ok {
 			return k.symbolicRowRun(i, lo, hi)

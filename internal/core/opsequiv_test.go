@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+// opsEquivCase runs one semiring through every variant × mask rep × sched
+// twice — once with the named operator type (monomorphized loops) and once
+// with the funcptr fallback (Ops stripped) — and requires bit-identical
+// output. This is the contract loops_gen.go is generated under: the
+// specialized loops replicate the generic ops loops' operation order
+// exactly, so inlining must never change result bits.
+func opsEquivCase[T any](t *testing.T, sr semiring.Semiring[T], mask *matrix.Pattern, a, b *matrix.CSR[T], eq func(T, T) bool) {
+	t.Helper()
+	if sr.Ops == nil {
+		t.Fatalf("%s: named semiring carries no operator type", sr.Name)
+	}
+	fp := sr
+	fp.Ops = nil
+	for _, v := range AllVariants() {
+		for _, comp := range []bool{false, true} {
+			if comp && !v.SupportsComplement() {
+				continue
+			}
+			for _, rep := range []MaskRep{RepCSR, RepBitmap, RepDense} {
+				for _, sched := range []Sched{SchedEqualRow, SchedCost} {
+					opt := Options{Threads: 2, Grain: 3, Complement: comp, MaskRep: rep, Sched: sched}
+					want, err := MaskedSpGEMM(v, mask, a, b, fp, opt)
+					if err != nil {
+						t.Fatalf("%s %s comp=%v rep=%s sched=%s funcptr: %v", sr.Name, v.Name(), comp, rep, sched, err)
+					}
+					got, err := MaskedSpGEMM(v, mask, a, b, sr, opt)
+					if err != nil {
+						t.Fatalf("%s %s comp=%v rep=%s sched=%s inlined: %v", sr.Name, v.Name(), comp, rep, sched, err)
+					}
+					if !matrix.Equal(got, want, eq) {
+						t.Fatalf("%s %s comp=%v rep=%s sched=%s: inlined result not bit-identical to funcptr", sr.Name, v.Name(), comp, rep, sched)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOpsEquivalence is the operator-path equivalence property test: for
+// every named semiring, the monomorphized kernels and the funcptr fallback
+// must produce bit-identical output across all variants, mask
+// representations, and schedules (same pattern, same value bits —
+// accumulation order is part of the contract).
+func TestOpsEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const m, k, n = 37, 31, 43
+	mask := randFloatCSR(r, m, n, 0.35).Pattern()
+	af := randFloatCSR(r, m, k, 0.25)
+	bf := randFloatCSR(r, k, n, 0.25)
+	eqBitsF := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+
+	for _, sr := range []semiring.Semiring[float64]{
+		semiring.Arithmetic(), semiring.PlusPairF(), semiring.MinPlus(),
+		semiring.PlusSecond(), semiring.PlusFirst(), semiring.MaxTimes(),
+	} {
+		t.Run(sr.Name, func(t *testing.T) { opsEquivCase(t, sr, mask, af, bf, eqBitsF) })
+	}
+
+	toI64 := func(v float64) int64 { return int64(v) }
+	ai := matrix.MapValues(randCSR(r, m, k, 0.25), toI64)
+	bi := matrix.MapValues(randCSR(r, k, n, 0.25), toI64)
+	eqI := func(x, y int64) bool { return x == y }
+	for _, sr := range []semiring.Semiring[int64]{semiring.ArithmeticInt(), semiring.PlusPair()} {
+		t.Run(sr.Name, func(t *testing.T) { opsEquivCase(t, sr, mask, ai, bi, eqI) })
+	}
+
+	ab := matrix.MapValues(ai, func(v int64) bool { return v != 0 })
+	bb := matrix.MapValues(bi, func(v int64) bool { return v != 0 })
+	eqB := func(x, y bool) bool { return x == y }
+	t.Run("boolean", func(t *testing.T) { opsEquivCase(t, semiring.Boolean(), mask, ab, bb, eqB) })
+}

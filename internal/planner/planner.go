@@ -110,6 +110,14 @@ type Plan struct {
 	// CacheHit reports that the plan was reused from a Cache rather than
 	// re-analyzed.
 	CacheHit bool
+	// Ops names the operator path the kernels will take for the semiring
+	// this plan executes with: core.OpsInlined when the semiring carries a
+	// named operator type (monomorphized loops, Add/Mul inlined) or
+	// core.OpsFuncPtr for custom semirings (indirect calls through the
+	// Semiring func fields). Empty when the executing semiring is not yet
+	// known (plans are cached per mask/operand shape, not per semiring);
+	// the masked session stamps it on the copy it hands out.
+	Ops string
 }
 
 // Schedule names the row schedule the drivers will run this plan with: the
@@ -177,8 +185,11 @@ func (p *Plan) Explain() string {
 	if p.CacheHit {
 		from = "cached"
 	}
-	fmt.Fprintf(&sb, "plan: %s, %d block(s), phase %s, %s\n",
-		kind, len(p.Blocks), p.Phase, from)
+	fmt.Fprintf(&sb, "plan: %s, %d block(s), phase %s, %s", kind, len(p.Blocks), p.Phase, from)
+	if p.Ops != "" {
+		fmt.Fprintf(&sb, ", ops=%s", p.Ops)
+	}
+	sb.WriteString("\n")
 	s := p.Stats
 	mode := "normal"
 	if s.Complement {

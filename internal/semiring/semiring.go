@@ -22,24 +22,29 @@ type Semiring[T any] struct {
 	Mul func(T, T) T
 	// Zero is the additive identity.
 	Zero T
+	// Ops, when non-nil, is the comparable operator form of the semiring.
+	// Kernels instantiated for a recognized Ops type inline Add/Mul; when
+	// Ops is nil (a custom semiring built from func fields) kernels fall
+	// back to calling Add/Mul through the func pointers. The named
+	// constructors in this package always set Ops.
+	Ops Ops[T]
+}
+
+// fromOps builds a Semiring whose func fields are the operator's method
+// values, so the funcptr fallback computes with exactly the same code as
+// the inlined path and the two are bit-identical by construction.
+func fromOps[T any](name string, ops Ops[T]) Semiring[T] {
+	return Semiring[T]{Name: name, Add: ops.Add, Mul: ops.Mul, Zero: ops.Zero(), Ops: ops}
 }
 
 // Arithmetic is the standard (+, ×) semiring over float64.
 func Arithmetic() Semiring[float64] {
-	return Semiring[float64]{
-		Name: "arithmetic",
-		Add:  func(x, y float64) float64 { return x + y },
-		Mul:  func(x, y float64) float64 { return x * y },
-	}
+	return fromOps[float64]("arithmetic", PlusTimesF64{})
 }
 
 // ArithmeticInt is the (+, ×) semiring over int64.
 func ArithmeticInt() Semiring[int64] {
-	return Semiring[int64]{
-		Name: "arithmetic-int64",
-		Add:  func(x, y int64) int64 { return x + y },
-		Mul:  func(x, y int64) int64 { return x * y },
-	}
+	return fromOps[int64]("arithmetic-int64", PlusTimesI64{})
 }
 
 // PlusPair is the (+, pair) semiring: multiplication yields the constant 1
@@ -47,84 +52,43 @@ func ArithmeticInt() Semiring[int64] {
 // is the semiring of choice for triangle counting and k-truss support
 // counting (each accumulated unit is one wedge closed by the masked edge).
 func PlusPair() Semiring[int64] {
-	return Semiring[int64]{
-		Name: "plus-pair",
-		Add:  func(x, y int64) int64 { return x + y },
-		Mul:  func(int64, int64) int64 { return 1 },
-	}
+	return fromOps[int64]("plus-pair", PlusPairI64{})
 }
 
 // PlusPairF is PlusPair over float64 values, for callers whose matrices
 // carry float64 payloads.
 func PlusPairF() Semiring[float64] {
-	return Semiring[float64]{
-		Name: "plus-pair-f64",
-		Add:  func(x, y float64) float64 { return x + y },
-		Mul:  func(float64, float64) float64 { return 1 },
-	}
+	return fromOps[float64]("plus-pair-f64", PlusPairF64{})
 }
 
 // Boolean is the (∨, ∧) semiring over bool: the product's pattern is
 // reachability. Zero is false.
 func Boolean() Semiring[bool] {
-	return Semiring[bool]{
-		Name: "boolean",
-		Add:  func(x, y bool) bool { return x || y },
-		Mul:  func(x, y bool) bool { return x && y },
-	}
+	return fromOps[bool]("boolean", OrAndBool{})
 }
 
 // MinPlus is the tropical (min, +) semiring over float64, used for shortest
 // path relaxations. Zero is +Inf.
 func MinPlus() Semiring[float64] {
-	inf := inf64()
-	return Semiring[float64]{
-		Name: "min-plus",
-		Add: func(x, y float64) float64 {
-			if x < y {
-				return x
-			}
-			return y
-		},
-		Mul:  func(x, y float64) float64 { return x + y },
-		Zero: inf,
-	}
+	return fromOps[float64]("min-plus", MinPlusF64{})
 }
 
 // PlusSecond is the (+, second) semiring: multiplication returns the B
 // operand. Betweenness centrality's forward phase uses it so that the number
 // of shortest paths flows along frontier expansion.
 func PlusSecond() Semiring[float64] {
-	return Semiring[float64]{
-		Name: "plus-second",
-		Add:  func(x, y float64) float64 { return x + y },
-		Mul:  func(_, y float64) float64 { return y },
-	}
+	return fromOps[float64]("plus-second", PlusSecondF64{})
 }
 
 // PlusFirst is the (+, first) semiring: multiplication returns the A
 // operand.
 func PlusFirst() Semiring[float64] {
-	return Semiring[float64]{
-		Name: "plus-first",
-		Add:  func(x, y float64) float64 { return x + y },
-		Mul:  func(x, _ float64) float64 { return x },
-	}
+	return fromOps[float64]("plus-first", PlusFirstF64{})
 }
 
 // MaxTimes is the (max, ×) semiring over float64. Zero is -Inf.
 func MaxTimes() Semiring[float64] {
-	return Semiring[float64]{
-		Name: "max-times",
-		Add: func(x, y float64) float64 {
-			if x > y {
-				return x
-			}
-			return y
-		},
-		Mul:  func(x, y float64) float64 { return x * y },
-		Zero: -inf64(),
-	}
+	return fromOps[float64]("max-times", MaxTimesF64{})
 }
 
 func inf64() float64 { return math.Inf(1) }

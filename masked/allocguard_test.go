@@ -1,0 +1,50 @@
+package masked
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSpecializedKernelsZeroAllocsPerRow guards the steady-state allocation
+// contract of the monomorphized operator loops: on a warmed session the
+// specialized kernels must allocate nothing per row. The loops write into
+// pooled accumulators and pooled output buffers, so a warmed multiply's
+// allocation count is a small constant (session bookkeeping + result
+// headers) — it must not grow when the input gets 4x more rows. A per-row
+// allocation of even one object would show up as a ~1500-alloc delta here.
+func TestSpecializedKernelsZeroAllocsPerRow(t *testing.T) {
+	ctx := context.Background()
+	for _, v := range []Variant{
+		{Alg: MSA, Phase: OnePhase},
+		{Alg: Hash, Phase: OnePhase},
+		{Alg: MCA, Phase: OnePhase},
+	} {
+		t.Run(v.Name(), func(t *testing.T) {
+			perRun := func(scale int) float64 {
+				lp, l := tcOperands(scale, 8, 9)
+				s := NewSession(WithThreads(1), WithVariant(v), WithAccumulate(PlusPair()))
+				if p := s.Explain(lp, l, l); p == nil || p.Ops != core.OpsInlined {
+					t.Fatalf("expected the specialized (ops=inlined) path for %s + plus-pair", v.Name())
+				}
+				if _, err := s.Multiply(ctx, lp, l, l); err != nil { // warm pools + plan cache
+					t.Fatal(err)
+				}
+				return testing.AllocsPerRun(10, func() {
+					if _, err := s.Multiply(ctx, lp, l, l); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+			small, big := perRun(9), perRun(11)
+			// Slack for runtime internals: map growth and, under -race, the
+			// race runtime's own size-dependent bookkeeping add a handful of
+			// allocations. A single per-row allocation would add ~1536 here
+			// (the row delta), three orders of magnitude above the slack.
+			if big > small+8 {
+				t.Errorf("%s: warmed allocs/op grew with rows: %.0f at 512 rows, %.0f at 2048 rows; specialized kernels must allocate zero per row", v.Name(), small, big)
+			}
+		})
+	}
+}

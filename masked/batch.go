@@ -78,9 +78,14 @@ type BatchRes struct {
 // key; pure performance knobs (threads, grain, representation, schedule)
 // are not, because results are bit-identical across them.
 //
-// The semiring contributes its Name, its Zero, and the code identity of
-// its Add/Mul functions, so two different custom semirings never coalesce
-// just because both left Name empty. The one residual caveat: two
+// The semiring contributes its Name, its Zero, and its operator identity.
+// Named semirings carry a comparable zero-size operator type (Semiring.Ops)
+// and key on it directly: two independently constructed Arithmetic()
+// values coalesce because both hold semiring.PlusTimesF64{}, with no
+// reliance on func-pointer identity. Custom semirings (nil or
+// non-comparable Ops) fall back to the code identity of their Add/Mul
+// functions, so two different custom semirings never coalesce just because
+// both left Name empty. The one residual caveat on that fallback path: two
 // semirings built from the *same closure code* capturing different values,
 // with equal Name and Zero, are indistinguishable — give custom semirings
 // distinct Names (the field exists exactly to identify them).
@@ -92,6 +97,7 @@ type flightKey struct {
 	variant    Variant
 	sr         string
 	srZero     float64
+	srOps      any // comparable operator type; srAdd/srMul stay zero
 	srAdd      uintptr
 	srMul      uintptr
 }
@@ -112,8 +118,12 @@ func reqKey(d opSpec, m *Pattern, a, b *Matrix) flightKey {
 	k := flightKey{
 		m: m, a: a, b: b, complement: d.complement,
 		sr: sr.Name, srZero: sr.Zero,
-		srAdd: reflect.ValueOf(sr.Add).Pointer(),
-		srMul: reflect.ValueOf(sr.Mul).Pointer(),
+	}
+	if sr.Ops != nil && reflect.TypeOf(sr.Ops).Comparable() {
+		k.srOps = sr.Ops
+	} else {
+		k.srAdd = reflect.ValueOf(sr.Add).Pointer()
+		k.srMul = reflect.ValueOf(sr.Mul).Pointer()
 	}
 	if d.pinned {
 		k.pinned, k.variant = true, d.variant

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/core"
 )
 
 // mixedBatch builds a batch exercising different operands, mask modes,
@@ -400,5 +403,43 @@ func TestServingStress(t *testing.T) {
 	cs := s.PlanCacheStats()
 	if cs.Hits == 0 {
 		t.Error("stress run never hit the plan cache")
+	}
+}
+
+// TestBatchNamedSemiringsCoalesce: named semirings coalesce by their
+// comparable operator type, not func-pointer identity — two requests whose
+// semirings were constructed independently (as two serving clients would)
+// must share one computation, and the executed plan must report the
+// inlined operator path.
+func TestBatchNamedSemiringsCoalesce(t *testing.T) {
+	lp, l := tcOperands(8, 4, 117)
+	sr1 := PlusPair() // independently constructed values of the same
+	sr2 := PlusPair() // named semiring: equal Ops type, no shared funcs
+	s := NewSession(WithThreads(2))
+	res := s.MultiplyBatch(context.Background(), []BatchReq{
+		{M: lp, A: l, B: l, Opts: []Op{WithAccumulate(sr1)}},
+		{M: lp, A: l, B: l, Opts: []Op{WithAccumulate(sr2)}},
+	})
+	if res[0].Err != nil || res[1].Err != nil {
+		t.Fatalf("named-semiring batch errored: %v %v", res[0].Err, res[1].Err)
+	}
+	if !res[0].Coalesced && !res[1].Coalesced {
+		t.Fatal("independently constructed named semirings did not coalesce")
+	}
+	if res[0].C != res[1].C {
+		t.Fatal("coalesced requests received distinct result objects")
+	}
+	// The session's plan must be labeled with the inlined operator path,
+	// and a custom semiring's with the funcptr fallback.
+	if p := s.Explain(lp, l, l, WithAccumulate(sr1)); p.Ops != core.OpsInlined {
+		t.Fatalf("named semiring plan reports ops=%q, want %q", p.Ops, core.OpsInlined)
+	}
+	custom := Semiring{Add: func(a, b float64) float64 { return a + b },
+		Mul: func(a, b float64) float64 { return a * b }}
+	if p := s.Explain(lp, l, l, WithAccumulate(custom)); p.Ops != core.OpsFuncPtr {
+		t.Fatalf("custom semiring plan reports ops=%q, want %q", p.Ops, core.OpsFuncPtr)
+	}
+	if !strings.Contains(s.Explain(lp, l, l, WithAccumulate(sr1)).Explain(), "ops=inlined") {
+		t.Fatal("Explain output does not render the ops= label")
 	}
 }

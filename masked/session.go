@@ -258,7 +258,20 @@ func (s *Session) execute(d opSpec, o Options, m *Pattern, a, b *Matrix) (*Matri
 	}
 	p := s.cache.Analyze(m, a.Pattern(), b.Pattern(), o)
 	c, err := planner.Execute(p, m, a, b, d.semiring(), o, nil)
-	return c, p, err
+	return c, stampOps(p, d.semiring()), err
+}
+
+// stampOps returns a shallow copy of p labeled with the operator path
+// (core.OpsInlined / core.OpsFuncPtr) the kernels take for sr. Plans are
+// cached per operand shape, not per semiring, and cache hits hand out
+// shared pointers — so the label goes on a copy, never on the cached plan.
+func stampOps(p *Plan, sr Semiring) *Plan {
+	if p == nil {
+		return nil
+	}
+	q := *p
+	q.Ops = core.OpsMode(sr)
+	return &q
 }
 
 // Explain analyzes C = M .* (A·B) without executing it and returns the
@@ -266,7 +279,8 @@ func (s *Session) execute(d opSpec, o Options, m *Pattern, a, b *Matrix) (*Matri
 // session's plan cache).
 func (s *Session) Explain(m *Pattern, a, b *Matrix, opts ...Op) *Plan {
 	d := s.def.apply(opts)
-	return s.cache.Analyze(m, a.Pattern(), b.Pattern(), s.options(context.Background(), d))
+	p := s.cache.Analyze(m, a.Pattern(), b.Pattern(), s.options(context.Background(), d))
+	return stampOps(p, d.semiring())
 }
 
 // PlanCacheStats returns a snapshot of the session plan cache's counters:
