@@ -1,0 +1,19 @@
+# Build and package cmd/mspgemm-server: the HTTP front end serving masked
+# SpGEMM over the binary wire protocol (see ARCHITECTURE.md, "Network
+# serving"). Static binary, distroless runtime, health-checked via the
+# binary's own -healthcheck mode so the image needs no shell or curl.
+
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY go.mod ./
+RUN go mod download
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/mspgemm-server ./cmd/mspgemm-server
+
+FROM gcr.io/distroless/static-debian12:nonroot
+COPY --from=build /out/mspgemm-server /mspgemm-server
+EXPOSE 8080
+HEALTHCHECK --interval=30s --timeout=5s --start-period=5s \
+    CMD ["/mspgemm-server", "-healthcheck", "http://127.0.0.1:8080"]
+ENTRYPOINT ["/mspgemm-server"]
+CMD ["-addr", ":8080"]

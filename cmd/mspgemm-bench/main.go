@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|maskrep|schedule|serving|kernels|all
+//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|maskrep|schedule|serving|serve-load|kernels|all
 //
 // Flags:
 //
@@ -29,10 +29,11 @@
 //	-inflight N  largest in-flight request count the serving study sweeps
 //	             (default 8)
 //	-json FILE   also write machine-readable per-case results (ns/op,
-//	             allocs/op, scheduling/serving metrics) to FILE, e.g.
-//	             -json BENCH_PR5.json. Currently the maskrep, schedule,
-//	             serving and kernels studies record; fig7..fig16 emit
-//	             TSV only
+//	             allocs/op, scheduling/serving metrics) plus host metadata
+//	             (Go version, GOMAXPROCS, CPU model) to FILE, e.g.
+//	             -json BENCH_PR7.json. Currently the maskrep, schedule,
+//	             serving, serve-load and kernels studies record;
+//	             fig7..fig16 emit TSV only
 //	-explain     print the adaptive plan for each corpus input to stderr
 //	-timeout D   abort the whole run after duration D (cooperative
 //	             cancellation of in-flight kernels), e.g. -timeout 90s
@@ -50,6 +51,14 @@
 // reporting throughput, the speedup over serialized execution, how many
 // requests were coalesced onto identical in-flight twins (outputs verified
 // bit-identical), and the thread arbiter's steal/top-up counters.
+// The "serve-load" subcommand is the network serving study: it boots a live
+// mspgemm server (internal/server) on an ephemeral localhost port per
+// in-flight level, drives it with that many concurrent wire-protocol
+// clients issuing a zipf-shaped mixed workload, verifies every response
+// bit-identical to an in-process reference, and reports client-observed
+// p50/p95/p99 latency, throughput, 429 retries, coalesced responses, and
+// the operand-intern/plan-cache hits that restore operand identity across
+// the wire.
 // The "kernels" subcommand is the operator-monomorphization study: it times
 // each named semiring's specialized (inlined-operator) loops against the
 // func-field fallback on the triangle-dense TC product, asserts both paths
@@ -83,14 +92,14 @@ func main() {
 	maskRep := flag.String("maskrep", "auto", "pin the mask representation: auto | csr | bitmap | dense")
 	sched := flag.String("sched", "auto", "pin the row-scheduling policy: auto | equal | cost")
 	inflight := flag.Int("inflight", 8, "largest in-flight request count the serving study sweeps")
-	jsonPath := flag.String("json", "", "write machine-readable per-case results of the maskrep/schedule/serving/kernels studies to this file (e.g. BENCH_PR6.json)")
+	jsonPath := flag.String("json", "", "write machine-readable per-case results of the maskrep/schedule/serving/serve-load/kernels studies to this file (e.g. BENCH_PR7.json)")
 	explain := flag.Bool("explain", false, "print the adaptive plan for each corpus input to stderr")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration, e.g. 90s (0 = no limit)")
 	flag.Parse()
 	plotTables = *plot
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|maskrep|schedule|serving|kernels|all")
+		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|maskrep|schedule|serving|serve-load|kernels|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -172,6 +181,8 @@ func main() {
 			emit(bench.ScheduleStudy(cfg))
 		case "serving":
 			emit(bench.ServingStudy(cfg))
+		case "serve-load":
+			emit(bench.ServeLoadStudy(cfg))
 		case "kernels":
 			emit(bench.KernelsStudy(cfg))
 		default:
@@ -180,7 +191,7 @@ func main() {
 	}
 	if which == "all" {
 		for _, name := range []string{"fig7", "fig8", "fig9", "fig10", "fig11",
-			"fig12", "fig13", "fig14", "fig15", "fig16", "maskrep", "schedule", "serving", "kernels"} {
+			"fig12", "fig13", "fig14", "fig15", "fig16", "maskrep", "schedule", "serving", "serve-load", "kernels"} {
 			run(name)
 		}
 	} else {

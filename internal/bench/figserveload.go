@@ -1,0 +1,305 @@
+package bench
+
+// The serve-load study: the serving stack measured through the actual
+// network path. A real mspgemm server (internal/server on an ephemeral
+// localhost port) is driven by concurrent wire-protocol clients with a
+// zipf-shaped mixed workload, and per-request latencies are collected
+// client-side — so the numbers include frame encode/decode, HTTP transport,
+// validation/interning, admission, and execution, exactly what a deployment
+// sees. Every response is verified bit-identical to an in-process reference
+// before any timing is trusted.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/grgen"
+	"repro/internal/matrix"
+	"repro/internal/server"
+	"repro/internal/wire"
+	"repro/masked"
+)
+
+// serveLoadReq is one catalog entry in wire-protocol terms.
+type serveLoadReq struct {
+	name       string
+	m          *matrix.Pattern
+	a, b       *masked.Matrix
+	semiring   string
+	complement bool
+}
+
+// wireReq builds the frame struct for one send.
+func (r *serveLoadReq) wireReq() *wire.MultiplyReq {
+	var flags uint16
+	if r.complement {
+		flags |= wire.FlagComplement
+	}
+	return &wire.MultiplyReq{Flags: flags, Semiring: r.semiring, M: r.m, A: r.a, B: r.b}
+}
+
+// opts maps the entry onto descriptor options for the in-process
+// reference computation.
+func (r *serveLoadReq) opts() ([]masked.Op, error) {
+	var opts []masked.Op
+	if r.semiring != "" {
+		sr, err := masked.SemiringByName(r.semiring)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, masked.WithAccumulate(sr))
+	}
+	if r.complement {
+		opts = append(opts, masked.WithComplement())
+	}
+	return opts, nil
+}
+
+// serveLoadCatalog mirrors the serving study's mixed workload in wire
+// terms: hot queries (the heavy, popular ones) and a cold long tail.
+func serveLoadCatalog(cfg Config) (hot, cold []serveLoadReq) {
+	scale := 0
+	if cfg.Quick {
+		scale = -1
+	}
+	tc := func(name string, s, d int, seed uint64) serveLoadReq {
+		l := matrix.Tril(grgen.RMAT(s, d, seed))
+		return serveLoadReq{name: name, m: l.Pattern(), a: l, b: l, semiring: "plus-pair"}
+	}
+	sq := func(name string, n matrix.Index, d float64, seed uint64, semiring string, compl bool) serveLoadReq {
+		g := grgen.ErdosRenyiSym(n, d, seed)
+		return serveLoadReq{name: name, m: g.Pattern(), a: g, b: g, semiring: semiring, complement: compl}
+	}
+	hot = []serveLoadReq{
+		tc("hot-tc-s8", 8+scale, 8, cfg.Seed+1),
+		tc("hot-tc-s9", 9+scale, 8, cfg.Seed+2),
+		sq("hot-sq-s8", 1<<(8+scale), 8, cfg.Seed+3, "", false),
+		sq("hot-comp-s7", 1<<(7+scale), 4, cfg.Seed+4, "", true),
+	}
+	cold = []serveLoadReq{
+		tc("cold-tc-s6", 6+scale, 4, cfg.Seed+5),
+		tc("cold-tc-s7", 7+scale, 4, cfg.Seed+6),
+		sq("cold-sq-s7", 1<<(7+scale), 4, cfg.Seed+7, "", false),
+		sq("cold-minplus-s7", 1<<(7+scale), 4, cfg.Seed+8, "min-plus", false),
+		sq("cold-comp-s6", 1<<(6+scale), 4, cfg.Seed+9, "", true),
+		sq("cold-sq-s6", 1<<(6+scale), 8, cfg.Seed+10, "", false),
+	}
+	return hot, cold
+}
+
+// pctile reads the q-quantile of an ascending latency slice.
+func pctile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted)-1) + 0.5)
+	return sorted[i]
+}
+
+// ServeLoadStudy boots a live server per in-flight level (1..cfg.Inflight)
+// and drives it over localhost with that many concurrent wire clients
+// issuing a deterministic zipf-shaped request sequence (hot queries carry
+// ~6× the weight of cold ones). Reported per level: p50/p95/p99 request
+// latency, throughput, client retries after 429, responses answered by
+// coalescing, and the operand-intern/plan-cache hit counts that restored
+// operand identity across the wire.
+func ServeLoadStudy(cfg Config) (*Table, error) {
+	maxInflight := cfg.Inflight
+	if maxInflight <= 0 {
+		maxInflight = 8
+	}
+	nreq := 120
+	if cfg.Quick {
+		nreq = 36
+	}
+	ctx := context.Background()
+	if cfg.Ctx != nil {
+		ctx = cfg.Ctx
+	}
+
+	hot, cold := serveLoadCatalog(cfg)
+	catalog := append(append([]serveLoadReq{}, hot...), cold...)
+
+	// Reference results on an isolated in-process session.
+	ref := masked.NewSession(masked.WithThreads(1))
+	want := make(map[string]*masked.Matrix, len(catalog))
+	for i := range catalog {
+		e := &catalog[i]
+		opts, err := e.opts()
+		if err != nil {
+			return nil, fmt.Errorf("serve-load %s: %v", e.name, err)
+		}
+		c, err := ref.Multiply(ctx, e.m, e.a, e.b, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("serve-load reference %s: %v", e.name, err)
+		}
+		want[e.name] = c
+	}
+
+	// Deterministic zipf-shaped sequence: hot entries weighted 6:1.
+	var weighted []int
+	for i := range catalog {
+		w := 1
+		if i < len(hot) {
+			w = 6
+		}
+		for k := 0; k < w; k++ {
+			weighted = append(weighted, i)
+		}
+	}
+	rng := rand.New(rand.NewSource(int64(cfg.Seed) + 77))
+	seq := make([]int, nreq)
+	for i := range seq {
+		seq[i] = weighted[rng.Intn(len(weighted))]
+	}
+
+	t := &Table{
+		Title: "Serve-load study: wire-protocol latency over a live localhost server",
+		Notes: []string{
+			fmt.Sprintf("host GOMAXPROCS=%d, session budget threads=%d", runtime.GOMAXPROCS(0), cfg.Threads),
+			fmt.Sprintf("one server per level (WithInflight=k), driven by k concurrent clients, %d requests each level", nreq),
+			"latency is client-observed: encode + HTTP + decode/validate/intern + admission + execute + encode",
+			"zipf mix: hot queries weighted 6:1 over the cold tail; every response verified bit-identical to an in-process reference",
+			"retries: client resubmissions after 429 (admission saturated); coalesced: responses answered by an identical in-flight twin",
+		},
+		Header: []string{"config", "requests", "p50_ms", "p95_ms", "p99_ms", "req_per_s",
+			"retries", "coalesced", "intern_hits", "plan_hits"},
+	}
+
+	var sweep []int
+	for k := 1; k < maxInflight; k *= 2 {
+		sweep = append(sweep, k)
+	}
+	sweep = append(sweep, maxInflight)
+
+	for _, k := range sweep {
+		local, err := server.StartLocal(server.Config{Threads: cfg.Threads, Inflight: k})
+		if err != nil {
+			return nil, fmt.Errorf("serve-load: start server: %v", err)
+		}
+		hc := &http.Client{}
+		client := server.NewClient(local.URL, hc)
+
+		// Warm pass: intern every operand and populate the plan cache, the
+		// steady state a serving deployment reaches after its first minutes.
+		for i := range catalog {
+			if _, err := client.Multiply(ctx, catalog[i].wireReq()); err != nil {
+				local.Close()
+				return nil, fmt.Errorf("serve-load warm %s: %v", catalog[i].name, err)
+			}
+		}
+
+		lat := make([]time.Duration, nreq)
+		var next, retries, coalesced int64
+		var mu sync.Mutex
+		var firstErr error
+		var wg sync.WaitGroup
+		var nextMu sync.Mutex
+		take := func() int {
+			nextMu.Lock()
+			defer nextMu.Unlock()
+			i := next
+			next++
+			return int(i)
+		}
+		t0 := time.Now()
+		for w := 0; w < k; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var myRetries, myCoalesced int64
+				for {
+					i := take()
+					if i >= nreq {
+						break
+					}
+					e := &catalog[seq[i]]
+					start := time.Now()
+					for {
+						res, err := client.Multiply(ctx, e.wireReq())
+						if errors.Is(err, server.ErrSaturated) {
+							myRetries++
+							time.Sleep(time.Millisecond)
+							continue
+						}
+						if err != nil {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = fmt.Errorf("serve-load %s: %v", e.name, err)
+							}
+							mu.Unlock()
+							return
+						}
+						if res.Flags&wire.FlagCoalesced != 0 {
+							myCoalesced++
+						}
+						if !matrix.Equal(res.C, want[e.name], func(a, b float64) bool { return a == b }) {
+							mu.Lock()
+							if firstErr == nil {
+								firstErr = fmt.Errorf("serve-load %s: wire result diverged from reference", e.name)
+							}
+							mu.Unlock()
+							return
+						}
+						break
+					}
+					lat[i] = time.Since(start)
+				}
+				mu.Lock()
+				retries += myRetries
+				coalesced += myCoalesced
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(t0).Seconds()
+		snap := local.Server.Metrics()
+		hc.CloseIdleConnections()
+		if err := local.Close(); err != nil {
+			return nil, fmt.Errorf("serve-load: drain inflight=%d: %v", k, err)
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+
+		sorted := append([]time.Duration(nil), lat...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		p50, p95, p99 := pctile(sorted, 0.50), pctile(sorted, 0.95), pctile(sorted, 0.99)
+		ms := func(d time.Duration) string { return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e6) }
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("inflight=%d", k), fmt.Sprintf("%d", nreq),
+			ms(p50), ms(p95), ms(p99), fmt.Sprintf("%.0f", float64(nreq)/wall),
+			fmt.Sprintf("%d", retries), fmt.Sprintf("%d", coalesced),
+			fmt.Sprintf("%d", snap.InternHits), fmt.Sprintf("%d", snap.Session.Cache.Hits),
+		})
+		cfg.Recorder.Add(Record{
+			Study:   "serve-load",
+			Case:    fmt.Sprintf("inflight=%d", k),
+			NsPerOp: p50.Nanoseconds(),
+			Metrics: map[string]float64{
+				"requests":         float64(nreq),
+				"p50_ms":           float64(p50.Nanoseconds()) / 1e6,
+				"p95_ms":           float64(p95.Nanoseconds()) / 1e6,
+				"p99_ms":           float64(p99.Nanoseconds()) / 1e6,
+				"req_per_s":        float64(nreq) / wall,
+				"retries":          float64(retries),
+				"coalesced":        float64(coalesced),
+				"intern_hits":      float64(snap.InternHits),
+				"intern_misses":    float64(snap.InternMisses),
+				"plan_cache_hits":  float64(snap.Session.Cache.Hits),
+				"rejected":         float64(snap.Rejected),
+				"arbiter_admitted": float64(snap.Session.Arbiter.Admitted),
+				"bytes_in":         float64(snap.BytesIn),
+				"bytes_out":        float64(snap.BytesOut),
+			},
+		})
+	}
+	return t, nil
+}

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 )
@@ -59,12 +60,33 @@ func (r *Recorder) Records() []Record {
 	return append([]Record(nil), r.recs...)
 }
 
-// benchFile is the serialized form: run metadata plus the records.
+// benchFile is the serialized form: run metadata plus the records. The
+// host block exists so two BENCH_PR*.json files can be compared knowing
+// whether the hardware moved under the numbers.
 type benchFile struct {
 	GeneratedAt string   `json:"generated_at"`
 	GoVersion   string   `json:"go_version"`
 	GOMAXPROCS  int      `json:"gomaxprocs"`
+	NumCPU      int      `json:"num_cpu"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	CPUModel    string   `json:"cpu_model,omitempty"`
 	Records     []Record `json:"records"`
+}
+
+// cpuModel reads the host CPU model name where the platform exposes one
+// (/proc/cpuinfo on Linux); empty elsewhere.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
 }
 
 // WriteJSON serializes the recorder's records to path.
@@ -73,6 +95,10 @@ func (r *Recorder) WriteJSON(path string) error {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUModel:    cpuModel(),
 		Records:     r.Records(),
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

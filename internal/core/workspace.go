@@ -101,6 +101,19 @@ func (ws *Workspaces) DriverPoolStats() (gets, misses int64) {
 	return ws.drvGets.Load(), ws.drvMisses.Load()
 }
 
+// PoolStats is the struct form of DriverPoolStats, for snapshots that
+// travel through the unified session stats and the /metrics exporter.
+type PoolStats struct {
+	// Gets counts driver buffer fetches; Misses the subset that had to
+	// allocate. Both are monotonic over the workspace's lifetime.
+	Gets, Misses int64
+}
+
+// PoolStatsSnapshot returns the driver pool counters as a PoolStats.
+func (ws *Workspaces) PoolStatsSnapshot() PoolStats {
+	return PoolStats{Gets: ws.drvGets.Load(), Misses: ws.drvMisses.Load()}
+}
+
 func wsGetI64(ws *Workspaces, n int) *bufI64 {
 	if ws != nil {
 		ws.drvGets.Add(1)

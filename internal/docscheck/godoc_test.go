@@ -11,13 +11,17 @@ import (
 )
 
 // godocPackages are the packages the godoc-coverage gate enforces: the
-// public API surface and the planner (whose Plan/Stats/Cache types render
-// on pkg.go.dev through the masked re-exports). Every exported identifier
-// in them — functions, methods on exported types, types, and package-level
-// const/var specs — must carry a doc comment.
+// public API surface, the planner (whose Plan/Stats/Cache types render
+// on pkg.go.dev through the masked re-exports), and the network serving
+// surface (the wire protocol other implementations must interoperate
+// with, and the server/client embedders build on). Every exported
+// identifier in them — functions, methods on exported types, types, and
+// package-level const/var specs — must carry a doc comment.
 var godocPackages = []string{
 	"masked",
 	"internal/planner",
+	"internal/server",
+	"internal/wire",
 }
 
 // TestGodocCoverage fails for every exported identifier without a doc

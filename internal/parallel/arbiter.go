@@ -40,7 +40,7 @@ type Arbiter struct {
 	waiters  []*waiter           // FIFO admission queue
 	active   map[*Grant]struct{} // grants that may be topped up or stolen from
 
-	admitted, steals, topups atomic.Int64 // monotonic observability counters
+	admitted, steals, topups, rejected atomic.Int64 // monotonic observability counters
 }
 
 // ArbiterStats is a point-in-time snapshot of an arbiter's accounting.
@@ -54,8 +54,10 @@ type ArbiterStats struct {
 	Free, Granted, Inflight, Waiting int
 	// Admitted counts grants ever issued; Steals counts workers moved from
 	// a rich running grant to fund a new admission; TopUps counts workers
-	// rebalanced from released grants to running stragglers.
-	Admitted, Steals, TopUps int64
+	// rebalanced from released grants to running stragglers; Rejected
+	// counts TryAcquire calls refused because the admission cap was full
+	// (the serving front end's 429s).
+	Admitted, Steals, TopUps, Rejected int64
 }
 
 // Stats returns a snapshot of the arbiter's accounting.
@@ -70,6 +72,7 @@ func (a *Arbiter) Stats() ArbiterStats {
 		Admitted:    a.admitted.Load(),
 		Steals:      a.steals.Load(),
 		TopUps:      a.topups.Load(),
+		Rejected:    a.rejected.Load(),
 	}
 	for g := range a.active {
 		st.Granted += int(g.workers.Load())
@@ -193,6 +196,25 @@ func (a *Arbiter) Acquire(ctx context.Context, cost int64) (*Grant, error) {
 		g.Release()
 		return nil, ctx.Err()
 	}
+}
+
+// TryAcquire is the non-queuing form of Acquire: it admits the request
+// immediately when a slot is free and otherwise refuses it (nil, false)
+// without waiting — the admission-control primitive of the network front
+// end, which must answer a saturated burst with 429s rather than build an
+// unbounded queue. A refusal also reports that requests are already
+// waiting in Acquire's FIFO: TryAcquire never jumps that queue. Refusals
+// are counted in ArbiterStats.Rejected.
+func (a *Arbiter) TryAcquire(cost int64) (*Grant, bool) {
+	a.mu.Lock()
+	if len(a.waiters) == 0 && a.inflight < a.maxIn {
+		g := a.admitLocked(a.want(cost))
+		a.mu.Unlock()
+		return g, true
+	}
+	a.mu.Unlock()
+	a.rejected.Add(1)
+	return nil, false
 }
 
 // admitLocked assigns a share to a newly admitted request: its ask, capped

@@ -254,3 +254,54 @@ func TestArbiterFIFO(t *testing.T) {
 		}
 	}
 }
+
+func TestArbiterTryAcquire(t *testing.T) {
+	a := NewArbiter(4, 2)
+	g1, ok := a.TryAcquire(1)
+	if !ok || g1 == nil {
+		t.Fatal("first TryAcquire refused with free slots")
+	}
+	g2, ok := a.TryAcquire(1)
+	if !ok {
+		t.Fatal("second TryAcquire refused under the cap")
+	}
+	if g, ok := a.TryAcquire(1); ok {
+		g.Release()
+		t.Fatal("TryAcquire admitted past the in-flight cap")
+	}
+	if got := a.Stats().Rejected; got != 1 {
+		t.Fatalf("Rejected = %d, want 1", got)
+	}
+	g1.Release()
+	g3, ok := a.TryAcquire(1)
+	if !ok {
+		t.Fatal("TryAcquire refused after a release freed a slot")
+	}
+	g3.Release()
+	g2.Release()
+
+	// TryAcquire must not jump Acquire's FIFO: with a waiter queued, a
+	// free slot still refuses the non-queuing caller.
+	b := NewArbiter(2, 1)
+	gHold, _ := b.TryAcquire(1)
+	admitted := make(chan *Grant)
+	go func() {
+		g, err := b.Acquire(context.Background(), 1)
+		if err != nil {
+			t.Error(err)
+		}
+		admitted <- g
+	}()
+	for b.Stats().Waiting == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if g, ok := b.TryAcquire(1); ok {
+		g.Release()
+		t.Fatal("TryAcquire jumped the waiter queue")
+	}
+	gHold.Release()
+	(<-admitted).Release()
+	if st := b.Stats(); st.Rejected != 1 || st.Admitted != 2 {
+		t.Fatalf("stats after FIFO check: %+v", st)
+	}
+}

@@ -1,0 +1,233 @@
+package server
+
+// Client speaks the wire protocol to a running server. The bench
+// serve-load study, the cmd/mspgemm-server smoke mode, and the tests all
+// drive servers through it.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// StatusError is a non-saturation server refusal: an HTTP error response
+// or a per-frame error frame.
+type StatusError struct {
+	// Code is the HTTP-style status; Message the server's text.
+	Code    int
+	Message string
+}
+
+// Error formats the status and message.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server: HTTP %d: %s", e.Code, e.Message)
+}
+
+// Client is a wire-protocol client for one server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at baseURL
+// ("http://host:port"). hc nil means http.DefaultClient.
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// post sends a frame-sequence body and returns the response body, mapping
+// HTTP 429 onto ErrSaturated and other non-200s onto StatusError.
+func (c *Client) post(ctx context.Context, path string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", wireContentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return nil, fmt.Errorf("%w (Retry-After: %ss)", ErrSaturated, resp.Header.Get("Retry-After"))
+	case resp.StatusCode != http.StatusOK:
+		return nil, &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	return data, nil
+}
+
+// frameError maps a FrameError payload onto the client error vocabulary.
+func frameError(payload []byte) error {
+	ef, err := wire.DecodeErrorFrame(payload)
+	if err != nil {
+		return err
+	}
+	if ef.Code == http.StatusTooManyRequests {
+		return fmt.Errorf("%w: %s", ErrSaturated, ef.Message)
+	}
+	return &StatusError{Code: int(ef.Code), Message: ef.Message}
+}
+
+// Multiply runs one masked multiply on the server.
+func (c *Client) Multiply(ctx context.Context, req *wire.MultiplyReq) (*wire.MultiplyRes, error) {
+	data, err := c.post(ctx, "/v1/multiply", req.Encode(nil))
+	if err != nil {
+		return nil, err
+	}
+	t, payload, _, err := wire.DecodeFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case wire.FrameMultiplyRes:
+		return wire.DecodeMultiplyRes(payload)
+	case wire.FrameError:
+		return nil, frameError(payload)
+	default:
+		return nil, fmt.Errorf("server: unexpected frame type %d", t)
+	}
+}
+
+// MultiplyOutcome is one frame's result within a batch response.
+type MultiplyOutcome struct {
+	// Res is the response, nil when Err is set.
+	Res *wire.MultiplyRes
+	// Err is the per-frame error (ErrSaturated via errors.Is, or a
+	// StatusError).
+	Err error
+}
+
+// MultiplyBatch runs several multiplies in one request. Outcomes come
+// back in request order; a whole-batch refusal (429, malformed body)
+// returns a request-level error instead.
+func (c *Client) MultiplyBatch(ctx context.Context, reqs []*wire.MultiplyReq) ([]MultiplyOutcome, error) {
+	var body []byte
+	for _, r := range reqs {
+		body = r.Encode(body)
+	}
+	data, err := c.post(ctx, "/v1/multiply", body)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MultiplyOutcome, 0, len(reqs))
+	for len(data) > 0 {
+		t, payload, rest, err := wire.DecodeFrame(data)
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case wire.FrameMultiplyRes:
+			res, err := wire.DecodeMultiplyRes(payload)
+			out = append(out, MultiplyOutcome{Res: res, Err: err})
+		case wire.FrameError:
+			out = append(out, MultiplyOutcome{Err: frameError(payload)})
+		default:
+			return nil, fmt.Errorf("server: unexpected frame type %d", t)
+		}
+		data = rest
+	}
+	if len(out) != len(reqs) {
+		return nil, fmt.Errorf("server: %d response frames for %d requests", len(out), len(reqs))
+	}
+	return out, nil
+}
+
+// TriangleCount runs a triangle count on the server.
+func (c *Client) TriangleCount(ctx context.Context, req *wire.TriangleCountReq) (*wire.TriangleCountRes, error) {
+	data, err := c.post(ctx, "/v1/triangle-count", req.Encode(nil))
+	if err != nil {
+		return nil, err
+	}
+	t, payload, _, err := wire.DecodeFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case wire.FrameTriangleCountRes:
+		return wire.DecodeTriangleCountRes(payload)
+	case wire.FrameError:
+		return nil, frameError(payload)
+	default:
+		return nil, fmt.Errorf("server: unexpected frame type %d", t)
+	}
+}
+
+// BFS runs a single-source BFS on the server.
+func (c *Client) BFS(ctx context.Context, req *wire.BFSReq) (*wire.BFSRes, error) {
+	data, err := c.post(ctx, "/v1/bfs", req.Encode(nil))
+	if err != nil {
+		return nil, err
+	}
+	t, payload, _, err := wire.DecodeFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	switch t {
+	case wire.FrameBFSRes:
+		return wire.DecodeBFSRes(payload)
+	case wire.FrameError:
+		return nil, frameError(payload)
+	default:
+		return nil, fmt.Errorf("server: unexpected frame type %d", t)
+	}
+}
+
+// get fetches a non-wire endpoint.
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	return data, nil
+}
+
+// Metrics fetches the JSON metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
+	data, err := c.get(ctx, "/metrics?format=json")
+	if err != nil {
+		return nil, err
+	}
+	var m MetricsSnapshot
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("server: metrics JSON: %w", err)
+	}
+	return &m, nil
+}
+
+// MetricsText fetches the Prometheus text exposition.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	data, err := c.get(ctx, "/metrics")
+	return string(data), err
+}
+
+// Healthz probes the health endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	_, err := c.get(ctx, "/healthz")
+	return err
+}

@@ -1,0 +1,166 @@
+package server
+
+// Operand interning. The session's plan cache and single-flight coalescing
+// both key on operand *identity* — which serves in-process callers that
+// re-submit the same objects, but a wire request decodes fresh objects
+// every time, so nothing would ever hit. The intern table restores
+// identity across the network: each decoded operand is content-addressed
+// by a SHA-256 over its dimensions and CSR arrays, and requests carrying
+// bytes seen before are rewritten to the canonical decoded object. Serving
+// workloads are exactly the re-multiply-against-a-static-graph loops the
+// session is built for, so the hot operands intern once and every later
+// request reuses their plans, coalesces with identical in-flight work, and
+// skips semantic re-validation (the canonical object was validated when it
+// was first admitted).
+//
+// Interned objects alias the request body they were decoded from, so the
+// server does not recycle a body buffer that produced an insertion — the
+// entry owns it until LRU eviction drops the reference.
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/matrix"
+)
+
+// internKey is the content address of an operand: SHA-256 over a kind tag,
+// the dimensions, and the raw CSR array bytes.
+type internKey [sha256.Size]byte
+
+const (
+	internKindPattern = 0
+	internKindMatrix  = 1
+)
+
+// internTable is a bounded LRU of canonical decoded operands.
+type internTable struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[internKey]*list.Element
+	lru     *list.List // front = most recent; values are *internEntry
+
+	hits, misses, evictions atomic.Int64
+}
+
+type internEntry struct {
+	key internKey
+	val any // *matrix.Pattern or *matrix.CSR[float64]
+}
+
+// newInternTable returns a table bounded to capacity entries, or nil
+// (pass-through interning) when capacity <= 0.
+func newInternTable(capacity int) *internTable {
+	if capacity <= 0 {
+		return nil
+	}
+	return &internTable{
+		cap:     capacity,
+		entries: make(map[internKey]*list.Element, capacity),
+		lru:     list.New(),
+	}
+}
+
+// i32Bytes and f64Bytes reinterpret slice payloads as raw bytes for
+// hashing — read-only views, never stored.
+func i32Bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
+}
+
+func f64Bytes(s []float64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 8*len(s))
+}
+
+// digest content-addresses one operand.
+func digest(kind byte, nrows, ncols int32, rowptr, col []int32, val []float64) internKey {
+	h := sha256.New()
+	var hdr [9]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(nrows))
+	binary.LittleEndian.PutUint32(hdr[5:], uint32(ncols))
+	h.Write(hdr[:])
+	h.Write(i32Bytes(rowptr))
+	h.Write(i32Bytes(col))
+	if kind == internKindMatrix {
+		h.Write(f64Bytes(val))
+	}
+	return internKey(h.Sum(nil))
+}
+
+// lookup returns the canonical object for key when present. Lookup and
+// insert are separate so the caller can run the O(nnz) semantic validation
+// only between a miss and the insertion: a hit is an operand that was
+// validated when first admitted, and an invalid operand never enters the
+// table.
+func (t *internTable) lookup(key internKey) (any, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.entries[key]; ok {
+		t.lru.MoveToFront(el)
+		t.hits.Add(1)
+		return el.Value.(*internEntry).val, true
+	}
+	t.misses.Add(1)
+	return nil, false
+}
+
+// insert records fresh as key's canonical object and reports whether fresh
+// was stored — false when a concurrent duplicate won the race, in which
+// case the raced winner is returned and fresh (plus the buffer it aliases)
+// is not retained.
+func (t *internTable) insert(key internKey, fresh any) (any, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if el, ok := t.entries[key]; ok {
+		t.lru.MoveToFront(el)
+		return el.Value.(*internEntry).val, false
+	}
+	t.entries[key] = t.lru.PushFront(&internEntry{key: key, val: fresh})
+	for t.lru.Len() > t.cap {
+		el := t.lru.Back()
+		t.lru.Remove(el)
+		delete(t.entries, el.Value.(*internEntry).key)
+		t.evictions.Add(1)
+	}
+	return fresh, true
+}
+
+// patternKey and matrixKey content-address the two operand kinds.
+func patternKey(p *matrix.Pattern) internKey {
+	return digest(internKindPattern, p.NRows, p.NCols, p.RowPtr, p.Col, nil)
+}
+
+func matrixKey(a *matrix.CSR[float64]) internKey {
+	return digest(internKindMatrix, a.NRows, a.NCols, a.RowPtr, a.Col, a.Val)
+}
+
+// internStats is the table's counter snapshot for /metrics.
+type internStats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+}
+
+func (t *internTable) stats() internStats {
+	if t == nil {
+		return internStats{}
+	}
+	t.mu.Lock()
+	n := t.lru.Len()
+	t.mu.Unlock()
+	return internStats{
+		Hits:      t.hits.Load(),
+		Misses:    t.misses.Load(),
+		Evictions: t.evictions.Load(),
+		Entries:   n,
+	}
+}

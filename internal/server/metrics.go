@@ -1,0 +1,122 @@
+package server
+
+// The /metrics exporter: one snapshot struct serialized two ways —
+// Prometheus text exposition for scrapers, JSON for the bench harness and
+// humans with curl. All *_total counters are monotonic over the server's
+// lifetime; the rest are gauges describing the scrape instant.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/masked"
+)
+
+// MetricsSnapshot is one point-in-time reading of every server and
+// session counter /metrics exports.
+type MetricsSnapshot struct {
+	// UptimeSeconds is the time since the server was built.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// MultiplyRequests counts /v1/multiply requests; MultiplyFrames the
+	// request frames inside them (a batch is one request, many frames).
+	MultiplyRequests int64 `json:"multiply_requests"`
+	MultiplyFrames   int64 `json:"multiply_frames"`
+	// TriangleCountRequests and BFSRequests count the app endpoints.
+	TriangleCountRequests int64 `json:"triangle_count_requests"`
+	BFSRequests           int64 `json:"bfs_requests"`
+	// Rejected counts whole-request 429s; Errors other 4xx/5xx responses.
+	Rejected int64 `json:"rejected"`
+	Errors   int64 `json:"errors"`
+	// BytesIn and BytesOut count request body bytes read and response
+	// frame bytes written.
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+	// QueuedFrames is the batch frames currently queued (gauge).
+	QueuedFrames int64 `json:"queued_frames"`
+	// Intern* report the operand intern table (see intern.go).
+	InternHits      int64 `json:"operand_intern_hits"`
+	InternMisses    int64 `json:"operand_intern_misses"`
+	InternEvictions int64 `json:"operand_intern_evictions"`
+	InternEntries   int   `json:"operand_intern_entries"`
+	// Session is the unified session snapshot: plan cache, arbiter,
+	// driver pools.
+	Session masked.Stats `json:"session"`
+}
+
+// Metrics reads one snapshot of all counters.
+func (sv *Server) Metrics() MetricsSnapshot {
+	in := sv.intern.stats()
+	return MetricsSnapshot{
+		UptimeSeconds:         time.Since(sv.start).Seconds(),
+		MultiplyRequests:      sv.nMultiply.Load(),
+		MultiplyFrames:        sv.nFrames.Load(),
+		TriangleCountRequests: sv.nTC.Load(),
+		BFSRequests:           sv.nBFS.Load(),
+		Rejected:              sv.nRejected.Load(),
+		Errors:                sv.nErrors.Load(),
+		BytesIn:               sv.bytesIn.Load(),
+		BytesOut:              sv.bytesOut.Load(),
+		QueuedFrames:          sv.queuedFrames.Load(),
+		InternHits:            in.Hits,
+		InternMisses:          in.Misses,
+		InternEvictions:       in.Evictions,
+		InternEntries:         in.Entries,
+		Session:               sv.sess.Stats(),
+	}
+}
+
+// writeProm serializes a snapshot in the Prometheus text exposition
+// format (the flat counter/gauge subset — no histograms here; latency
+// distributions are the bench study's job).
+func writeProm(w io.Writer, m MetricsSnapshot) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("mspgemm_uptime_seconds", "Seconds since the server started.", m.UptimeSeconds)
+
+	fmt.Fprintf(w, "# HELP mspgemm_requests_total Requests served by endpoint.\n# TYPE mspgemm_requests_total counter\n")
+	fmt.Fprintf(w, "mspgemm_requests_total{endpoint=\"multiply\"} %d\n", m.MultiplyRequests)
+	fmt.Fprintf(w, "mspgemm_requests_total{endpoint=\"triangle_count\"} %d\n", m.TriangleCountRequests)
+	fmt.Fprintf(w, "mspgemm_requests_total{endpoint=\"bfs\"} %d\n", m.BFSRequests)
+
+	counter("mspgemm_multiply_frames_total", "Multiply request frames decoded (a batch is many).", m.MultiplyFrames)
+	counter("mspgemm_rejected_total", "Whole requests refused with 429 (admission saturated).", m.Rejected)
+	counter("mspgemm_errors_total", "Non-429 error responses.", m.Errors)
+
+	fmt.Fprintf(w, "# HELP mspgemm_bytes_total Wire bytes by direction.\n# TYPE mspgemm_bytes_total counter\n")
+	fmt.Fprintf(w, "mspgemm_bytes_total{direction=\"in\"} %d\n", m.BytesIn)
+	fmt.Fprintf(w, "mspgemm_bytes_total{direction=\"out\"} %d\n", m.BytesOut)
+
+	gauge("mspgemm_queued_frames", "Batch frames currently queued.", float64(m.QueuedFrames))
+
+	fmt.Fprintf(w, "# HELP mspgemm_operand_intern_total Operand intern table events.\n# TYPE mspgemm_operand_intern_total counter\n")
+	fmt.Fprintf(w, "mspgemm_operand_intern_total{event=\"hit\"} %d\n", m.InternHits)
+	fmt.Fprintf(w, "mspgemm_operand_intern_total{event=\"miss\"} %d\n", m.InternMisses)
+	fmt.Fprintf(w, "mspgemm_operand_intern_total{event=\"eviction\"} %d\n", m.InternEvictions)
+	gauge("mspgemm_operand_intern_entries", "Resident interned operands.", float64(m.InternEntries))
+
+	c := m.Session.Cache
+	fmt.Fprintf(w, "# HELP mspgemm_plan_cache_total Plan cache events.\n# TYPE mspgemm_plan_cache_total counter\n")
+	fmt.Fprintf(w, "mspgemm_plan_cache_total{event=\"hit\"} %d\n", c.Hits)
+	fmt.Fprintf(w, "mspgemm_plan_cache_total{event=\"miss\"} %d\n", c.Misses)
+	fmt.Fprintf(w, "mspgemm_plan_cache_total{event=\"eviction\"} %d\n", c.Evictions)
+	gauge("mspgemm_plan_cache_entries", "Resident cached plans.", float64(c.Entries))
+
+	a := m.Session.Arbiter
+	gauge("mspgemm_arbiter_budget_workers", "Total session worker budget.", float64(a.Budget))
+	gauge("mspgemm_arbiter_granted_workers", "Workers currently granted.", float64(a.Granted))
+	gauge("mspgemm_arbiter_inflight", "Requests holding admission slots.", float64(a.Inflight))
+	gauge("mspgemm_arbiter_waiting", "Requests queued for admission.", float64(a.Waiting))
+	counter("mspgemm_arbiter_admitted_total", "Admission grants ever issued.", a.Admitted)
+	counter("mspgemm_arbiter_steals_total", "Workers stolen to fund new admissions.", a.Steals)
+	counter("mspgemm_arbiter_topups_total", "Workers rebalanced to running grants.", a.TopUps)
+	counter("mspgemm_arbiter_rejected_total", "Non-queuing admissions refused.", a.Rejected)
+
+	p := m.Session.DriverPool
+	counter("mspgemm_driver_pool_gets_total", "Driver buffer pool fetches.", p.Gets)
+	counter("mspgemm_driver_pool_misses_total", "Pool fetches that allocated.", p.Misses)
+}

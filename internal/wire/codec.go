@@ -1,0 +1,220 @@
+package wire
+
+// Low-level payload cursors. The encoder writes scalars and arrays with
+// explicit padding so every array sits at an 8-byte boundary relative to
+// the payload start; the decoder walks the same layout, validating every
+// length against the bytes actually present before slicing or allocating,
+// and reinterprets aligned little-endian array bytes in place instead of
+// copying them.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+
+	"repro/internal/matrix"
+)
+
+// hostLittleEndian reports whether the running host stores integers
+// little-endian — the precondition for returning wire arrays as in-place
+// views. (amd64/arm64/riscv64, i.e. everything this repository targets,
+// are little-endian; the copying fallback keeps big-endian hosts correct.)
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// enc appends payload fields to a buffer. base is the payload's start
+// offset within buf, so alignment padding is computed relative to the
+// payload, not the allocation.
+type enc struct {
+	buf  []byte
+	base int
+}
+
+func (e *enc) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *enc) u16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *enc) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *enc) i32(v int32)  { e.u32(uint32(v)) }
+func (e *enc) i64(v int64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, uint64(v)) }
+
+// pad aligns the payload cursor to an 8-byte boundary.
+func (e *enc) pad() {
+	for (len(e.buf)-e.base)%8 != 0 {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// bytesU8 writes a length-prefixed short byte string (≤ 255 bytes).
+func (e *enc) bytesU8(s string) {
+	if len(s) > math.MaxUint8 {
+		s = s[:math.MaxUint8]
+	}
+	e.u8(uint8(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// i32s writes an aligned int32 array (no length prefix; the message's
+// scalar section carries the count).
+func (e *enc) i32s(v []matrix.Index) {
+	e.pad()
+	if hostLittleEndian && len(v) > 0 {
+		e.buf = append(e.buf, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v))...)
+		return
+	}
+	for _, x := range v {
+		e.i32(x)
+	}
+}
+
+// f64s writes an aligned float64 array.
+func (e *enc) f64s(v []float64) {
+	e.pad()
+	if hostLittleEndian && len(v) > 0 {
+		e.buf = append(e.buf, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 8*len(v))...)
+		return
+	}
+	for _, x := range v {
+		e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(x))
+	}
+}
+
+// dec walks a payload. Every read validates the remaining length first;
+// the first violation parks an error and turns every later read into a
+// no-op returning zero values, so decoders can be written straight-line
+// and check d.err once.
+type dec struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+// need reports whether n more bytes are available, recording a truncation
+// error when they are not.
+func (d *dec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || len(d.p)-d.off < n {
+		d.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, d.off, len(d.p))
+		return false
+	}
+	return true
+}
+
+func (d *dec) u8() uint8 {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.p[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.p[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.p[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) i32() int32 { return int32(d.u32()) }
+
+func (d *dec) i64() int64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.p[d.off:])
+	d.off += 8
+	return int64(v)
+}
+
+// pad skips to the next 8-byte payload boundary.
+func (d *dec) pad() {
+	if n := (8 - d.off%8) % 8; n > 0 && d.need(n) {
+		d.off += n
+	}
+}
+
+// bytesU8 reads a length-prefixed short byte string.
+func (d *dec) bytesU8() string {
+	n := int(d.u8())
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.p[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// i32s reads an aligned int32 array of n elements: a view of the payload
+// when the host is little-endian and the bytes are 4-aligned in memory, a
+// copy otherwise. The byte count is validated before any allocation, so a
+// lying header cannot force an oversized make.
+func (d *dec) i32s(n int) []matrix.Index {
+	d.pad()
+	if n < 0 {
+		d.fail("negative array length %d", n)
+		return nil
+	}
+	if !d.need(4 * n) {
+		return nil
+	}
+	b := d.p[d.off : d.off+4*n]
+	d.off += 4 * n
+	if n == 0 {
+		return []matrix.Index{}
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*matrix.Index)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]matrix.Index, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// f64s reads an aligned float64 array of n elements, as a view when
+// alignment and endianness allow.
+func (d *dec) f64s(n int) []float64 {
+	d.pad()
+	if n < 0 {
+		d.fail("negative array length %d", n)
+		return nil
+	}
+	if !d.need(8 * n) {
+		return nil
+	}
+	b := d.p[d.off : d.off+8*n]
+	d.off += 8 * n
+	if n == 0 {
+		return []float64{}
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}

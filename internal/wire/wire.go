@@ -1,0 +1,171 @@
+// Package wire is the binary wire protocol of the network serving
+// subsystem: a compact, length-prefixed frame format for CSR operands,
+// masks and results that cmd/mspgemm-server speaks over HTTP bodies and
+// the future 2D-partitioned mode will exchange boundary rows with.
+//
+// # Frame format
+//
+// A frame is a 16-byte header followed by a payload padded to a multiple
+// of 8 bytes. All integers are little-endian:
+//
+//	offset  size  field
+//	0       4     magic "MSPW"
+//	4       1     version (currently 1)
+//	5       1     frame type (FrameMultiplyReq, ...)
+//	6       2     flags (reserved, must be zero)
+//	8       4     payload length in bytes (unpadded)
+//	12      4     reserved (must be zero)
+//	16      -     payload, padded with zeros to a multiple of 8
+//
+// Frames are self-delimiting, so a batch is simply frames concatenated;
+// DecodeFrame returns the remainder after each frame for exactly that
+// loop.
+//
+// # Payload layout and zero-copy decoding
+//
+// Matrices travel as their CSR arrays: 32-bit row offsets and column
+// indices (exactly matrix.Index, the engine's in-memory index type) and
+// float64 values. Within a payload every array is preceded by padding to
+// an 8-byte boundary *relative to the payload start*, and the header is 16
+// bytes, so when a frame sequence starts at an 8-byte-aligned address —
+// any Go byte-slice allocation — every array lands aligned in memory. On
+// little-endian hosts the decoder then returns the matrix slices as views
+// of the input buffer (an unsafe reinterpretation, no copy and no
+// allocation); on big-endian hosts or misaligned input it falls back to an
+// element-wise copy. Decoded matrices therefore alias the request buffer:
+// treat them as immutable, and keep the buffer alive while they are in use
+// (the server keeps body buffers pooled per request for this reason).
+//
+// Every decoder validates structural bounds — claimed lengths against the
+// bytes actually present — before touching or allocating anything, so a
+// malformed or truncated frame costs an error, never a panic or an
+// attacker-sized allocation. Semantic CSR validation (monotone row
+// pointers, in-range column indices) is a separate explicit step
+// (ValidateMultiplyReq and friends) because it is O(nnz) and trusted
+// callers may skip it.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// FrameType identifies what a frame's payload encodes.
+type FrameType uint8
+
+// Frame types of protocol version 1.
+const (
+	// FrameError carries an error code and message (responses only).
+	FrameError FrameType = 1
+	// FrameMultiplyReq is one masked multiply request: mask, A, B,
+	// semiring, flags, deadline.
+	FrameMultiplyReq FrameType = 2
+	// FrameMultiplyRes is a multiply response: the result matrix plus
+	// serving metadata (coalesced, worker share).
+	FrameMultiplyRes FrameType = 3
+	// FrameTriangleCountReq is a triangle-count request: the graph.
+	FrameTriangleCountReq FrameType = 4
+	// FrameTriangleCountRes is a triangle-count response: counts and
+	// timings.
+	FrameTriangleCountRes FrameType = 5
+	// FrameBFSReq is a BFS request: the graph and a source vertex.
+	FrameBFSReq FrameType = 6
+	// FrameBFSRes is a BFS response: the level array and step counts.
+	FrameBFSRes FrameType = 7
+)
+
+// Version is the protocol version this package encodes and accepts.
+const Version = 1
+
+// headerSize is the fixed frame header length.
+const headerSize = 16
+
+// magic identifies mspgemm wire frames.
+var magic = [4]byte{'M', 'S', 'P', 'W'}
+
+// ErrTruncated reports a frame or payload shorter than its own length
+// fields claim.
+var ErrTruncated = errors.New("wire: truncated frame")
+
+// ErrFrameTooLarge reports a frame whose payload exceeds the caller's
+// limit.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// pad8 returns n rounded up to a multiple of 8.
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// beginFrame appends a frame header for type t to dst and returns the
+// extended slice plus the header's offset, for finishFrame to patch the
+// payload length once the payload is written.
+func beginFrame(dst []byte, t FrameType) ([]byte, int) {
+	off := len(dst)
+	var h [headerSize]byte
+	copy(h[:4], magic[:])
+	h[4] = Version
+	h[5] = byte(t)
+	return append(dst, h[:]...), off
+}
+
+// finishFrame patches the payload length of the frame begun at off and
+// pads the payload to an 8-byte multiple.
+func finishFrame(dst []byte, off int) []byte {
+	n := len(dst) - off - headerSize
+	binary.LittleEndian.PutUint32(dst[off+8:], uint32(n))
+	for len(dst)-off-headerSize < pad8(n) {
+		dst = append(dst, 0)
+	}
+	return dst
+}
+
+// DecodeFrame splits one frame off the front of data: it returns the
+// frame type, the payload (a sub-slice of data, not a copy), and the
+// remaining bytes after the frame. Callers loop over a concatenated batch
+// by feeding rest back in until it is empty.
+func DecodeFrame(data []byte) (t FrameType, payload, rest []byte, err error) {
+	if len(data) < headerSize {
+		return 0, nil, nil, fmt.Errorf("%w: %d header bytes of %d", ErrTruncated, len(data), headerSize)
+	}
+	if [4]byte(data[:4]) != magic {
+		return 0, nil, nil, fmt.Errorf("wire: bad magic %q", data[:4])
+	}
+	if data[4] != Version {
+		return 0, nil, nil, fmt.Errorf("wire: unsupported version %d (want %d)", data[4], Version)
+	}
+	n := int(binary.LittleEndian.Uint32(data[8:]))
+	end := headerSize + pad8(n)
+	if n < 0 || end > len(data) {
+		return 0, nil, nil, fmt.Errorf("%w: payload claims %d bytes, %d available", ErrTruncated, n, len(data)-headerSize)
+	}
+	return FrameType(data[5]), data[headerSize : headerSize+n], data[end:], nil
+}
+
+// ReadFrame reads one frame from r, allocating at most maxPayload bytes
+// for it (maxPayload <= 0 means no limit). It returns the frame type and
+// payload, io.EOF cleanly at end of stream, and ErrFrameTooLarge when the
+// claimed payload exceeds the limit — before allocating it.
+func ReadFrame(r io.Reader, maxPayload int) (FrameType, []byte, error) {
+	var h [headerSize]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("%w: partial header", ErrTruncated)
+		}
+		return 0, nil, err
+	}
+	if [4]byte(h[:4]) != magic {
+		return 0, nil, fmt.Errorf("wire: bad magic %q", h[:4])
+	}
+	if h[4] != Version {
+		return 0, nil, fmt.Errorf("wire: unsupported version %d (want %d)", h[4], Version)
+	}
+	n := int(binary.LittleEndian.Uint32(h[8:]))
+	if maxPayload > 0 && n > maxPayload {
+		return 0, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxPayload)
+	}
+	buf := make([]byte, pad8(n))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+	}
+	return FrameType(h[5]), buf[:n], nil
+}

@@ -153,7 +153,14 @@ func (s *Session) reqCost(d opSpec, o Options, m *Pattern, a, b *Matrix) int64 {
 // response sans Tag. ctx cancellation while waiting for admission or for a
 // coalesced leader returns ctx.Err(); cancellation mid-multiply is honored
 // by the drivers as everywhere else.
-func (s *Session) doOne(ctx context.Context, d opSpec, m *Pattern, a, b *Matrix) BatchRes {
+//
+// queue selects the admission discipline: true waits FIFO for a slot
+// (MultiplyBatch, Serve), false refuses with ErrSaturated when the
+// admission cap is full (TryMultiply, the network front end). Either way a
+// request that coalesces onto an identical in-flight leader consumes no
+// admission slot — a saturated server still answers duplicates of what it
+// is already computing.
+func (s *Session) doOne(ctx context.Context, d opSpec, m *Pattern, a, b *Matrix, queue bool) BatchRes {
 	if m == nil || a == nil || b == nil {
 		return BatchRes{Err: fmt.Errorf("masked: batch request with nil operand (M=%v A=%v B=%v non-nil wanted)", m != nil, a != nil, b != nil)}
 	}
@@ -167,12 +174,13 @@ func (s *Session) doOne(ctx context.Context, d opSpec, m *Pattern, a, b *Matrix)
 			case <-ctx.Done():
 				return BatchRes{Err: ctx.Err()}
 			}
-			if fc.err != nil && (errors.Is(fc.err, context.Canceled) || errors.Is(fc.err, context.DeadlineExceeded)) {
-				// The leader was cancelled by its *own* context — a transient,
-				// caller-specific outcome that must not be shared with a
-				// follower whose context is healthy. The finished flight has
-				// already left the map, so retry: become the new leader (or
-				// join one).
+			if fc.err != nil && (errors.Is(fc.err, context.Canceled) || errors.Is(fc.err, context.DeadlineExceeded) || errors.Is(fc.err, ErrSaturated)) {
+				// The leader was cancelled by its *own* context or refused by
+				// its *own* admission mode — transient, caller-specific
+				// outcomes that must not be shared with a follower whose
+				// context is healthy (or which is willing to wait). The
+				// finished flight has already left the map, so retry: become
+				// the new leader (or join one).
 				continue
 			}
 			return BatchRes{C: fc.c, Plan: fc.plan, Err: fc.err, Workers: fc.workers, Coalesced: true}
@@ -180,13 +188,13 @@ func (s *Session) doOne(ctx context.Context, d opSpec, m *Pattern, a, b *Matrix)
 		fc := &flightCall{done: make(chan struct{})}
 		s.flight[key] = fc
 		s.flightMu.Unlock()
-		return s.lead(ctx, d, m, a, b, key, fc)
+		return s.lead(ctx, d, m, a, b, key, fc, queue)
 	}
 }
 
 // lead computes one flight as its leader and publishes the outcome to any
 // coalesced followers.
-func (s *Session) lead(ctx context.Context, d opSpec, m *Pattern, a, b *Matrix, key flightKey, fc *flightCall) BatchRes {
+func (s *Session) lead(ctx context.Context, d opSpec, m *Pattern, a, b *Matrix, key flightKey, fc *flightCall, queue bool) BatchRes {
 	defer func() {
 		// Unlink before waking followers: a follower that rejects this
 		// outcome (context error) must find the map slot free to retry.
@@ -197,7 +205,15 @@ func (s *Session) lead(ctx context.Context, d opSpec, m *Pattern, a, b *Matrix, 
 	}()
 
 	o := s.options(ctx, d)
-	grant, err := s.arb.Acquire(ctx, s.reqCost(d, o, m, a, b))
+	var grant *parallel.Grant
+	var err error
+	if queue {
+		grant, err = s.arb.Acquire(ctx, s.reqCost(d, o, m, a, b))
+	} else if g, ok := s.arb.TryAcquire(s.reqCost(d, o, m, a, b)); ok {
+		grant = g
+	} else {
+		err = ErrSaturated
+	}
 	if err != nil {
 		fc.err = err
 		return BatchRes{Err: err}
@@ -221,6 +237,26 @@ func (s *Session) lead(ctx context.Context, d opSpec, m *Pattern, a, b *Matrix, 
 
 	fc.c, fc.plan, fc.err = s.execute(d, o, m, a, b)
 	return BatchRes{C: fc.c, Plan: fc.plan, Err: fc.err, Workers: fc.workers}
+}
+
+// ErrSaturated is returned by TryMultiply when the session's admission
+// cap (WithInflight) is fully occupied and the request would have to
+// queue. Network front ends map it to 429 Too Many Requests with a
+// Retry-After hint instead of building an unbounded backlog.
+var ErrSaturated = errors.New("masked: serving admission saturated")
+
+// TryMultiply is Multiply under non-queuing admission control: the
+// request is admitted, arbitrated and coalesced exactly like a
+// MultiplyBatch member, but when every WithInflight slot is occupied its
+// response carries ErrSaturated immediately instead of waiting for one —
+// the load-shedding entry point of the network serving layer. A request
+// identical to one already in flight coalesces onto it and succeeds even
+// under saturation (it consumes no admission slot). The response's Tag is
+// never set; the serving metadata (Workers, Coalesced) is filled like a
+// batch member's.
+func (s *Session) TryMultiply(ctx context.Context, m *Pattern, a, b *Matrix, opts ...Op) BatchRes {
+	d := s.def.apply(opts)
+	return s.doOne(ctx, d, m, a, b, false)
 }
 
 // MultiplyBatch computes every request of the batch and returns the
@@ -264,7 +300,7 @@ func (s *Session) MultiplyBatch(ctx context.Context, reqs []BatchReq, opts ...Op
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			lead := members[0]
-			r := s.doOne(ctx, specs[lead], reqs[lead].M, reqs[lead].A, reqs[lead].B)
+			r := s.doOne(ctx, specs[lead], reqs[lead].M, reqs[lead].A, reqs[lead].B, true)
 			r.Tag = reqs[lead].Tag
 			res[lead] = r
 			for _, i := range members[1:] {
@@ -312,7 +348,7 @@ func (s *Session) Serve(ctx context.Context, reqs <-chan BatchReq, opts ...Op) <
 						return
 					}
 					d := call.apply(req.Opts)
-					r := s.doOne(ctx, d, req.M, req.A, req.B)
+					r := s.doOne(ctx, d, req.M, req.A, req.B, true)
 					r.Tag = req.Tag
 					// Prefer delivering the response even when ctx is already
 					// done (an accepted request owes its caller an answer);
@@ -348,6 +384,38 @@ func (s *Session) inflightCap(call opSpec) int {
 		return k
 	}
 	return s.arb.MaxInflight()
+}
+
+// Admission is one admitted non-multiply request's slot and worker share,
+// handed out by TryAdmit. Release it when the request finishes.
+type Admission struct {
+	g *parallel.Grant
+}
+
+// Workers returns the admission's arbitrated worker share (its value at
+// admission time; the serving layer may top it up while running, which
+// Multiply-path executors observe but a fixed WithThreads does not).
+func (a *Admission) Workers() int { return a.g.Workers() }
+
+// Release returns the admission's slot and workers to the arbiter. Safe
+// to call more than once.
+func (a *Admission) Release() { a.g.Release() }
+
+// TryAdmit claims one admission slot and a cost-proportional worker share
+// from the session's serving arbiter without queuing: it refuses (nil,
+// false) when every WithInflight slot is occupied. It is the admission
+// primitive for session operations that do not go through the multiply
+// serving path — the network front end admits application requests
+// (triangle count, BFS) with it and runs them under
+// WithThreads(adm.Workers()), so one saturated session answers 429 for
+// every endpoint consistently. cost is the request's work estimate in the
+// planner's flops unit (<= 0 means unknown).
+func (s *Session) TryAdmit(cost int64) (*Admission, bool) {
+	g, ok := s.arb.TryAcquire(cost)
+	if !ok {
+		return nil, false
+	}
+	return &Admission{g: g}, true
 }
 
 // ServingStats reports the session's serving-layer counters: the thread

@@ -279,7 +279,7 @@ func TestCoalescedFollowerRetriesAfterLeaderCancel(t *testing.T) {
 	s.flight[key] = fc
 	s.flightMu.Unlock()
 	resC := make(chan BatchRes, 1)
-	go func() { resC <- s.doOne(context.Background(), d, lp, l, l) }()
+	go func() { resC <- s.doOne(context.Background(), d, lp, l, l, true) }()
 	time.Sleep(10 * time.Millisecond) // let the follower join the flight
 	// The leader "was cancelled": unlink, publish the context error, wake.
 	fc.err = context.Canceled

@@ -91,6 +91,7 @@ package masked
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/apps"
 	"repro/internal/baseline"
@@ -186,6 +187,28 @@ var (
 	// PlusSecond is (+, second): multiplication returns its B operand.
 	PlusSecond = semiring.PlusSecond
 )
+
+// SemiringByName resolves a named float64 semiring — the vocabulary the
+// wire protocol and the CLI use: "arithmetic" (the default, also the
+// empty string), "plus-pair" / "plus-pair-f64", "min-plus",
+// "plus-second", "plus-first", "max-times".
+func SemiringByName(name string) (Semiring, error) {
+	switch name {
+	case "", "arithmetic":
+		return Arithmetic(), nil
+	case "plus-pair", "plus-pair-f64":
+		return PlusPair(), nil
+	case "min-plus":
+		return MinPlus(), nil
+	case "plus-second":
+		return PlusSecond(), nil
+	case "plus-first":
+		return semiring.PlusFirst(), nil
+	case "max-times":
+		return semiring.MaxTimes(), nil
+	}
+	return Semiring{}, fmt.Errorf("masked: unknown semiring %q (want arithmetic, plus-pair, min-plus, plus-second, plus-first or max-times)", name)
+}
 
 // Plan is the planner's decision for one masked multiply: the variant (or
 // per-row-block variants), the phase, and the statistics that drove the

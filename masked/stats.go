@@ -1,0 +1,49 @@
+package masked
+
+// Unified per-session observability. PR 5 grew three separate accessors —
+// PlanCacheStats, ServingStats, and the workspace-level driver pool
+// counters — and every consumer (the /metrics exporter, the bench
+// studies, dashboards) had to reach into all three. Session.Stats returns
+// the one coherent snapshot they share instead. The old accessors remain;
+// Stats is the preferred surface.
+
+import (
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// ArbiterStats is a snapshot of the serving arbiter's admission and
+// budget accounting; see Session.ServingStats and parallel.ArbiterStats.
+type ArbiterStats = parallel.ArbiterStats
+
+// DriverPoolStats is a snapshot of the session workspace's driver buffer
+// pool counters: Gets counts fetches, Misses the subset that had to
+// allocate (zero growth once the session is warm).
+type DriverPoolStats = core.PoolStats
+
+// Stats is one unified snapshot of a session's observability counters:
+// the plan cache, the serving arbiter, and the driver buffer pools. The
+// monotonic fields within each component (hits, misses, evictions,
+// admitted, steals, top-ups, rejections, pool gets/misses) can be
+// differenced between two snapshots to rate a serving window; the rest
+// describe the moment of the snapshot.
+type Stats struct {
+	// Cache is the plan cache snapshot (Session.PlanCacheStats).
+	Cache CacheStats
+	// Arbiter is the serving arbiter snapshot (Session.ServingStats).
+	Arbiter ArbiterStats
+	// DriverPool is the driver buffer pool snapshot.
+	DriverPool DriverPoolStats
+}
+
+// Stats returns one snapshot of all the session's observability counters.
+// The three components are read in sequence, not atomically with respect
+// to each other — fine for dashboards and rate computation, which is what
+// snapshots are for.
+func (s *Session) Stats() Stats {
+	return Stats{
+		Cache:      s.cache.Stats(),
+		Arbiter:    s.arb.Stats(),
+		DriverPool: s.ws.PoolStatsSnapshot(),
+	}
+}
