@@ -38,6 +38,7 @@ func main() {
 		inflight    = flag.Int("inflight", 0, "admission slots (0 = engine default)")
 		planCache   = flag.Int("plan-cache", 0, "plan cache capacity in plans (0 = engine default)")
 		internCap   = flag.Int("intern", 0, "operand intern table entries (0 = 128, negative disables)")
+		internMB    = flag.Int64("intern-max-mb", 0, "operand intern table byte bound in MiB (0 = 1024, negative = entry bound only)")
 		maxBodyMB   = flag.Int64("max-body-mb", 256, "request body cap in MiB")
 		maxBatch    = flag.Int("max-batch", 64, "max frames in one multiply body")
 		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
@@ -69,6 +70,7 @@ func main() {
 		Inflight:          *inflight,
 		PlanCacheCapacity: *planCache,
 		InternCapacity:    *internCap,
+		InternMaxBytes:    *internMB << 20,
 		MaxBodyBytes:      *maxBodyMB << 20,
 		MaxBatchFrames:    *maxBatch,
 		DefaultDeadline:   *deadline,

@@ -13,9 +13,19 @@ package server
 // skips semantic re-validation (the canonical object was validated when it
 // was first admitted).
 //
-// Interned objects alias the request body they were decoded from, so the
-// server does not recycle a body buffer that produced an insertion — the
-// entry owns it until LRU eviction drops the reference.
+// The table owns a private deep copy of every canonical operand, made at
+// insertion time. Decoded operands alias the pooled request body they
+// arrived in, and storing such a view would pin the whole body (up to
+// MaxBodyBytes) until eviction — and corrupt the canonical arrays if the
+// buffer were ever recycled while the entry lived. Copying decouples the
+// two lifetimes completely: handlers always recycle their body buffer, and
+// an interned operand retains exactly its own bytes. The copy runs only on
+// an intern miss, alongside the O(nnz) validation the miss already pays.
+//
+// Residency is bounded twice: by entry count (LRU past cap) and by total
+// retained bytes (LRU past maxBytes), so a stream of many small operands
+// and a stream of few huge ones are both capped. An operand larger than
+// the byte bound by itself is served but never stored.
 
 import (
 	"container/list"
@@ -39,29 +49,34 @@ const (
 
 // internTable is a bounded LRU of canonical decoded operands.
 type internTable struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[internKey]*list.Element
-	lru     *list.List // front = most recent; values are *internEntry
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64
+	bytes    int64
+	entries  map[internKey]*list.Element
+	lru      *list.List // front = most recent; values are *internEntry
 
 	hits, misses, evictions atomic.Int64
 }
 
 type internEntry struct {
-	key internKey
-	val any // *matrix.Pattern or *matrix.CSR[float64]
+	key  internKey
+	val  any // *matrix.Pattern or *matrix.CSR[float64]
+	size int64
 }
 
-// newInternTable returns a table bounded to capacity entries, or nil
+// newInternTable returns a table bounded to capacity entries and maxBytes
+// retained operand bytes (maxBytes <= 0 means entry-bounded only), or nil
 // (pass-through interning) when capacity <= 0.
-func newInternTable(capacity int) *internTable {
+func newInternTable(capacity int, maxBytes int64) *internTable {
 	if capacity <= 0 {
 		return nil
 	}
 	return &internTable{
-		cap:     capacity,
-		entries: make(map[internKey]*list.Element, capacity),
-		lru:     list.New(),
+		cap:      capacity,
+		maxBytes: maxBytes,
+		entries:  make(map[internKey]*list.Element, capacity),
+		lru:      list.New(),
 	}
 }
 
@@ -114,28 +129,36 @@ func (t *internTable) lookup(key internKey) (any, bool) {
 	return nil, false
 }
 
-// insert records fresh as key's canonical object and reports whether fresh
-// was stored — false when a concurrent duplicate won the race, in which
-// case the raced winner is returned and fresh (plus the buffer it aliases)
-// is not retained.
-func (t *internTable) insert(key internKey, fresh any) (any, bool) {
+// insert records clone — a private deep copy the table will own, size
+// bytes of arrays — as key's canonical object and returns the canonical
+// object: clone, or the raced winner when a concurrent duplicate inserted
+// first. An operand larger than the byte bound by itself is returned
+// un-stored.
+func (t *internTable) insert(key internKey, clone any, size int64) any {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if el, ok := t.entries[key]; ok {
 		t.lru.MoveToFront(el)
-		return el.Value.(*internEntry).val, false
+		return el.Value.(*internEntry).val
 	}
-	t.entries[key] = t.lru.PushFront(&internEntry{key: key, val: fresh})
-	for t.lru.Len() > t.cap {
+	if t.maxBytes > 0 && size > t.maxBytes {
+		return clone
+	}
+	t.entries[key] = t.lru.PushFront(&internEntry{key: key, val: clone, size: size})
+	t.bytes += size
+	for t.lru.Len() > t.cap || (t.maxBytes > 0 && t.bytes > t.maxBytes && t.lru.Len() > 1) {
 		el := t.lru.Back()
 		t.lru.Remove(el)
-		delete(t.entries, el.Value.(*internEntry).key)
+		e := el.Value.(*internEntry)
+		delete(t.entries, e.key)
+		t.bytes -= e.size
 		t.evictions.Add(1)
 	}
-	return fresh, true
+	return clone
 }
 
-// patternKey and matrixKey content-address the two operand kinds.
+// patternKey and matrixKey content-address the two operand kinds;
+// patternSize and matrixSize report the array bytes a stored copy retains.
 func patternKey(p *matrix.Pattern) internKey {
 	return digest(internKindPattern, p.NRows, p.NCols, p.RowPtr, p.Col, nil)
 }
@@ -144,10 +167,19 @@ func matrixKey(a *matrix.CSR[float64]) internKey {
 	return digest(internKindMatrix, a.NRows, a.NCols, a.RowPtr, a.Col, a.Val)
 }
 
+func patternSize(p *matrix.Pattern) int64 {
+	return 4 * int64(len(p.RowPtr)+len(p.Col))
+}
+
+func matrixSize(a *matrix.CSR[float64]) int64 {
+	return 4*int64(len(a.RowPtr)+len(a.Col)) + 8*int64(len(a.Val))
+}
+
 // internStats is the table's counter snapshot for /metrics.
 type internStats struct {
 	Hits, Misses, Evictions int64
 	Entries                 int
+	Bytes                   int64
 }
 
 func (t *internTable) stats() internStats {
@@ -155,12 +187,13 @@ func (t *internTable) stats() internStats {
 		return internStats{}
 	}
 	t.mu.Lock()
-	n := t.lru.Len()
+	n, b := t.lru.Len(), t.bytes
 	t.mu.Unlock()
 	return internStats{
 		Hits:      t.hits.Load(),
 		Misses:    t.misses.Load(),
 		Evictions: t.evictions.Load(),
 		Entries:   n,
+		Bytes:     b,
 	}
 }

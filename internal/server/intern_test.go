@@ -1,0 +1,123 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/wire"
+	"repro/masked"
+)
+
+// TestInternStoresCopies checks the table never retains the decoded view
+// it was handed: the canonical object is a private deep copy, so recycling
+// (or clobbering) the request buffer the view aliased cannot corrupt it.
+func TestInternStoresCopies(t *testing.T) {
+	sv := New(Config{Threads: 1})
+	g := masked.ErdosRenyi(64, 4, 7)
+	canon, err := sv.internMatrix(g, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon == g {
+		t.Fatal("intern returned the decoded view itself; want a private copy")
+	}
+	// Simulate the pooled body buffer being recycled and overwritten by a
+	// later request: clobber every array the view exposes.
+	for i := range g.Col {
+		g.Col[i] = 1 << 30
+	}
+	for i := range g.RowPtr {
+		g.RowPtr[i] = -1
+	}
+	if err := validateMatrix(canon); err != nil {
+		t.Fatalf("canonical operand corrupted by clobbering the source view: %v", err)
+	}
+}
+
+// TestInternSurvivesPartialFrameFailure is the end-to-end regression for
+// the use-after-release review finding: a frame whose mask interns (fresh
+// entry) but whose A operand fails validation must not leave the table
+// holding views of a body buffer the handler recycles. After buffer-churn
+// traffic, a request hitting that mask entry must still compute the right
+// answer.
+func TestInternSurvivesPartialFrameFailure(t *testing.T) {
+	l, c := startLocal(t, Config{Threads: 2})
+	ctx := context.Background()
+	g := masked.ErdosRenyi(128, 6, 17)
+	gp := g.Pattern()
+
+	// Frame with a valid, previously unseen mask and a semantically broken
+	// A: the mask interns, then A's validation fails the request with 400.
+	bad := g.Clone()
+	bad.Col[0] = 100000
+	_, err := c.Multiply(ctx, &wire.MultiplyReq{M: gp, A: bad, B: g})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("broken A: %v, want StatusError 400", err)
+	}
+
+	// Churn the body pool so a recycled buffer gets overwritten with other
+	// operand bytes.
+	for seed := uint64(0); seed < 4; seed++ {
+		h := masked.ErdosRenyi(96, 5, 20+seed)
+		if _, err := c.Multiply(ctx, &wire.MultiplyReq{M: h.Pattern(), A: h, B: h}); err != nil {
+			t.Fatalf("churn %d: %v", seed, err)
+		}
+	}
+
+	// Re-use the mask from the failed frame; the intern hit must serve an
+	// intact canonical copy, bit-identical to the in-process result.
+	res, err := c.Multiply(ctx, &wire.MultiplyReq{M: gp, A: g, B: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := masked.NewSession(masked.WithThreads(2))
+	want, err := ref.Multiply(ctx, gp, g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(res.C, want, func(a, b float64) bool { return a == b }) {
+		t.Fatal("result through the recycled-mask path differs from in-process")
+	}
+	if m := l.Server.Metrics(); m.InternBytes <= 0 {
+		t.Fatalf("intern bytes gauge %d, want > 0", m.InternBytes)
+	}
+}
+
+// TestInternByteBound checks the table evicts past the retained-bytes
+// bound and refuses entries that alone exceed it.
+func TestInternByteBound(t *testing.T) {
+	mk := func(seed uint64) *matrix.Pattern {
+		return masked.ErdosRenyi(64, 4, seed).Pattern()
+	}
+	one := patternSize(mk(0))
+	tab := newInternTable(100, 3*one)
+	for seed := uint64(0); seed < 8; seed++ {
+		p := mk(seed)
+		tab.insert(patternKey(p), p.Clone(), patternSize(p))
+	}
+	st := tab.stats()
+	if st.Bytes > 3*one {
+		t.Fatalf("retained %d bytes, bound %d", st.Bytes, 3*one)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite exceeding the byte bound")
+	}
+	if st.Entries == 0 {
+		t.Fatal("byte-bound eviction emptied the table")
+	}
+
+	// An operand bigger than the whole bound is served but never stored.
+	big := masked.ErdosRenyi(512, 16, 9).Pattern()
+	before := tab.stats()
+	got := tab.insert(patternKey(big), big, patternSize(big))
+	if got != big {
+		t.Fatal("oversized insert did not return the caller's object")
+	}
+	if after := tab.stats(); after.Entries != before.Entries || after.Bytes != before.Bytes {
+		t.Fatalf("oversized operand was stored: %+v -> %+v", before, after)
+	}
+}

@@ -39,6 +39,7 @@ type MetricsSnapshot struct {
 	InternMisses    int64 `json:"operand_intern_misses"`
 	InternEvictions int64 `json:"operand_intern_evictions"`
 	InternEntries   int   `json:"operand_intern_entries"`
+	InternBytes     int64 `json:"operand_intern_bytes"`
 	// Session is the unified session snapshot: plan cache, arbiter,
 	// driver pools.
 	Session masked.Stats `json:"session"`
@@ -62,6 +63,7 @@ func (sv *Server) Metrics() MetricsSnapshot {
 		InternMisses:          in.Misses,
 		InternEvictions:       in.Evictions,
 		InternEntries:         in.Entries,
+		InternBytes:           in.Bytes,
 		Session:               sv.sess.Stats(),
 	}
 }
@@ -98,6 +100,7 @@ func writeProm(w io.Writer, m MetricsSnapshot) {
 	fmt.Fprintf(w, "mspgemm_operand_intern_total{event=\"miss\"} %d\n", m.InternMisses)
 	fmt.Fprintf(w, "mspgemm_operand_intern_total{event=\"eviction\"} %d\n", m.InternEvictions)
 	gauge("mspgemm_operand_intern_entries", "Resident interned operands.", float64(m.InternEntries))
+	gauge("mspgemm_operand_intern_bytes", "Bytes retained by interned operand copies.", float64(m.InternBytes))
 
 	c := m.Session.Cache
 	fmt.Fprintf(w, "# HELP mspgemm_plan_cache_total Plan cache events.\n# TYPE mspgemm_plan_cache_total counter\n")

@@ -22,7 +22,8 @@
 // the serving loops the engine is built for — re-multiplying against a
 // static graph — regain operand identity across the wire: repeated
 // operands hit the session's plan cache, identical in-flight requests
-// coalesce, and re-validation is skipped.
+// coalesce, and re-validation is skipped. The table stores private copies,
+// so handlers recycle their pooled body buffer unconditionally.
 package server
 
 import (
@@ -65,6 +66,11 @@ type Config struct {
 	// InternCapacity bounds the operand intern table in entries
 	// (0 = 128, negative disables interning).
 	InternCapacity int
+	// InternMaxBytes bounds the total operand bytes the intern table
+	// retains (0 = 1 GiB, negative = entry bound only). Entries are
+	// private copies sized by their own CSR arrays, so this caps the
+	// table's heap footprint directly.
+	InternMaxBytes int64
 	// MaxBodyBytes caps a request body; larger bodies get 413
 	// (0 = 256 MiB).
 	MaxBodyBytes int64
@@ -87,6 +93,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.InternCapacity == 0 {
 		c.InternCapacity = 128
+	}
+	if c.InternMaxBytes == 0 {
+		c.InternMaxBytes = 1 << 30
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 256 << 20
@@ -143,7 +152,7 @@ func New(cfg Config) *Server {
 	sv := &Server{
 		cfg:    cfg,
 		sess:   masked.NewSession(opts...),
-		intern: newInternTable(cfg.InternCapacity),
+		intern: newInternTable(cfg.InternCapacity, cfg.InternMaxBytes),
 		start:  time.Now(),
 	}
 	sv.maxQueued = int64(cfg.MaxQueuedFrames)
@@ -234,8 +243,9 @@ func (l *Local) Close() error {
 
 // readBody reads the request body into a pooled buffer, answering 413/400
 // itself on failure. The returned release func recycles the buffer; the
-// handler must not call it while decoded views of the body are live (and
-// must skip it entirely when an operand was interned).
+// handler defers it past the last use of any decoded view of the body
+// (the intern table stores copies, never views, so interning does not
+// extend the buffer's lifetime).
 func (sv *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, func(), bool) {
 	bp, _ := sv.bodies.Get().(*[]byte)
 	if bp == nil {
@@ -344,45 +354,45 @@ func validateMatrix(a *matrix.CSR[float64]) error {
 	return nil
 }
 
-// internPattern validates and interns a decoded mask. The bool reports the
-// table retained the fresh object (so its body buffer must not be
-// recycled); an intern hit skips the O(nnz) validation, which ran when the
-// canonical copy was first admitted.
-func (sv *Server) internPattern(p *matrix.Pattern, what string) (*matrix.Pattern, bool, error) {
+// internPattern validates and interns a decoded mask. An intern hit skips
+// the O(nnz) validation, which ran when the canonical copy was first
+// admitted; a miss validates and stores a deep copy, because p aliases the
+// request's pooled body buffer and the table must outlive it.
+func (sv *Server) internPattern(p *matrix.Pattern, what string) (*matrix.Pattern, error) {
 	if sv.intern == nil {
 		if err := validatePattern(p); err != nil {
-			return nil, false, fmt.Errorf("%s: %w", what, err)
+			return nil, fmt.Errorf("%s: %w", what, err)
 		}
-		return p, false, nil
+		return p, nil
 	}
 	key := patternKey(p)
 	if v, ok := sv.intern.lookup(key); ok {
-		return v.(*matrix.Pattern), false, nil
+		return v.(*matrix.Pattern), nil
 	}
 	if err := validatePattern(p); err != nil {
-		return nil, false, fmt.Errorf("%s: %w", what, err)
+		return nil, fmt.Errorf("%s: %w", what, err)
 	}
-	v, stored := sv.intern.insert(key, p)
-	return v.(*matrix.Pattern), stored, nil
+	v := sv.intern.insert(key, p.Clone(), patternSize(p))
+	return v.(*matrix.Pattern), nil
 }
 
 // internMatrix is internPattern for valued operands.
-func (sv *Server) internMatrix(a *matrix.CSR[float64], what string) (*matrix.CSR[float64], bool, error) {
+func (sv *Server) internMatrix(a *matrix.CSR[float64], what string) (*matrix.CSR[float64], error) {
 	if sv.intern == nil {
 		if err := validateMatrix(a); err != nil {
-			return nil, false, fmt.Errorf("%s: %w", what, err)
+			return nil, fmt.Errorf("%s: %w", what, err)
 		}
-		return a, false, nil
+		return a, nil
 	}
 	key := matrixKey(a)
 	if v, ok := sv.intern.lookup(key); ok {
-		return v.(*matrix.CSR[float64]), false, nil
+		return v.(*matrix.CSR[float64]), nil
 	}
 	if err := validateMatrix(a); err != nil {
-		return nil, false, fmt.Errorf("%s: %w", what, err)
+		return nil, fmt.Errorf("%s: %w", what, err)
 	}
-	v, stored := sv.intern.insert(key, a)
-	return v.(*matrix.CSR[float64]), stored, nil
+	v := sv.intern.insert(key, a.Clone(), matrixSize(a))
+	return v.(*matrix.CSR[float64]), nil
 }
 
 // frameOpts maps a multiply frame's flags and semiring name onto
@@ -409,7 +419,10 @@ func frameOpts(f *wire.MultiplyReq) ([]masked.Op, error) {
 // FrameMultiplyReq frames. A single frame takes the non-queuing admission
 // path (429 + Retry-After when saturated); a batch is admitted whole
 // against the queued-frames bound and answered as per-frame response or
-// error frames in request order.
+// error frames in request order. A batch executes under one context whose
+// deadline is the largest requested across its frames (documented on
+// wire.MultiplyReq.DeadlineMillis): clients needing strict per-frame
+// deadlines send frames as separate requests.
 func (sv *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		sv.httpError(w, http.StatusMethodNotAllowed, "POST only")
@@ -419,12 +432,7 @@ func (sv *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	retain := false
-	defer func() {
-		if !retain {
-			release()
-		}
-	}()
+	defer release()
 
 	var frames []*wire.MultiplyReq
 	for data := body; len(data) > 0; {
@@ -464,22 +472,21 @@ func (sv *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 			sv.httpError(w, http.StatusBadRequest, fmt.Sprintf("frame %d: %v", i, err))
 			return
 		}
-		m, keepM, err := sv.internPattern(f.M, "mask")
+		m, err := sv.internPattern(f.M, "mask")
 		if err != nil {
 			sv.httpError(w, http.StatusBadRequest, fmt.Sprintf("frame %d: %v", i, err))
 			return
 		}
-		a, keepA, err := sv.internMatrix(f.A, "A")
+		a, err := sv.internMatrix(f.A, "A")
 		if err != nil {
 			sv.httpError(w, http.StatusBadRequest, fmt.Sprintf("frame %d: %v", i, err))
 			return
 		}
-		b, keepB, err := sv.internMatrix(f.B, "B")
+		b, err := sv.internMatrix(f.B, "B")
 		if err != nil {
 			sv.httpError(w, http.StatusBadRequest, fmt.Sprintf("frame %d: %v", i, err))
 			return
 		}
-		retain = retain || keepM || keepA || keepB
 		if a.NCols != b.NRows || m.NRows != a.NRows || m.NCols != b.NCols {
 			sv.httpError(w, http.StatusBadRequest, fmt.Sprintf(
 				"frame %d: incompatible shapes: M %dx%d, A %dx%d, B %dx%d",
@@ -576,12 +583,7 @@ func (sv *Server) handleTriangleCount(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	retain := false
-	defer func() {
-		if !retain {
-			release()
-		}
-	}()
+	defer release()
 	payload, ok := sv.decodeSingle(w, body, wire.FrameTriangleCountReq)
 	if !ok {
 		return
@@ -591,12 +593,11 @@ func (sv *Server) handleTriangleCount(w http.ResponseWriter, r *http.Request) {
 		sv.httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	g, keep, err := sv.internMatrix(req.G, "graph")
+	g, err := sv.internMatrix(req.G, "graph")
 	if err != nil {
 		sv.httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	retain = keep
 	if g.NRows != g.NCols {
 		sv.httpError(w, http.StatusBadRequest,
 			fmt.Sprintf("graph must be square, got %dx%d", g.NRows, g.NCols))
@@ -635,12 +636,7 @@ func (sv *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	retain := false
-	defer func() {
-		if !retain {
-			release()
-		}
-	}()
+	defer release()
 	payload, ok := sv.decodeSingle(w, body, wire.FrameBFSReq)
 	if !ok {
 		return
@@ -650,12 +646,11 @@ func (sv *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 		sv.httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	g, keep, err := sv.internMatrix(req.G, "graph")
+	g, err := sv.internMatrix(req.G, "graph")
 	if err != nil {
 		sv.httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	retain = keep
 	if g.NRows != g.NCols {
 		sv.httpError(w, http.StatusBadRequest,
 			fmt.Sprintf("graph must be square, got %dx%d", g.NRows, g.NCols))

@@ -78,7 +78,11 @@ type MultiplyReq struct {
 	Flags uint16
 	// DeadlineMillis bounds the request's execution time in milliseconds
 	// (0 = the server default). The server maps it onto a context
-	// deadline, cancelling the multiply cooperatively mid-flight.
+	// deadline, cancelling the multiply cooperatively mid-flight. Frames
+	// concatenated into one batch body share a single context whose
+	// deadline is the LARGEST requested across the batch — a frame may
+	// run longer than its own field asks. Clients that need strict
+	// per-frame deadlines send those frames as separate requests.
 	DeadlineMillis uint32
 	// Semiring names the accumulation semiring ("arithmetic" when empty);
 	// see masked.SemiringByName for the accepted names.

@@ -141,11 +141,21 @@ func DecodeFrame(data []byte) (t FrameType, payload, rest []byte, err error) {
 	return FrameType(data[5]), data[headerSize : headerSize+n], data[end:], nil
 }
 
+// MaxPayloadDefault is the payload limit ReadFrame applies when the
+// caller passes none. It matches the server's default body cap.
+const MaxPayloadDefault = 256 << 20
+
 // ReadFrame reads one frame from r, allocating at most maxPayload bytes
-// for it (maxPayload <= 0 means no limit). It returns the frame type and
-// payload, io.EOF cleanly at end of stream, and ErrFrameTooLarge when the
-// claimed payload exceeds the limit — before allocating it.
+// for it (maxPayload <= 0 applies MaxPayloadDefault — the limit is always
+// enforced, because the payload length is attacker-controlled and read
+// from a 16-byte header before any payload bytes arrive). It returns the
+// frame type and payload, io.EOF cleanly at end of stream, and
+// ErrFrameTooLarge when the claimed payload exceeds the limit — before
+// allocating it.
 func ReadFrame(r io.Reader, maxPayload int) (FrameType, []byte, error) {
+	if maxPayload <= 0 {
+		maxPayload = MaxPayloadDefault
+	}
 	var h [headerSize]byte
 	if _, err := io.ReadFull(r, h[:]); err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
@@ -160,8 +170,10 @@ func ReadFrame(r io.Reader, maxPayload int) (FrameType, []byte, error) {
 		return 0, nil, fmt.Errorf("wire: unsupported version %d (want %d)", h[4], Version)
 	}
 	n := int(binary.LittleEndian.Uint32(h[8:]))
-	if maxPayload > 0 && n > maxPayload {
-		return 0, nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, maxPayload)
+	// n < 0 happens on 32-bit hosts, where int(uint32) can wrap negative.
+	if n < 0 || n > maxPayload {
+		return 0, nil, fmt.Errorf("%w: payload claims %d bytes, limit %d",
+			ErrFrameTooLarge, uint32(n), maxPayload)
 	}
 	buf := make([]byte, pad8(n))
 	if _, err := io.ReadFull(r, buf); err != nil {

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"context"
+	"errors"
 	"math/rand/v2"
 	"testing"
 
@@ -79,6 +80,14 @@ func TestReadFrame(t *testing.T) {
 	}
 	if _, _, err := ReadFrame(bytes.NewReader(buf), 8); err == nil {
 		t.Fatal("ReadFrame accepted a frame over its payload limit")
+	}
+
+	// No explicit limit still enforces MaxPayloadDefault: a 16-byte header
+	// claiming a ~4 GiB payload must fail before allocating it.
+	huge := append([]byte(nil), buf[:headerSize]...)
+	huge[8], huge[9], huge[10], huge[11] = 0xf8, 0xff, 0xff, 0xff
+	if _, _, err := ReadFrame(bytes.NewReader(huge), 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("unlimited ReadFrame on a 4 GiB claim: %v, want ErrFrameTooLarge", err)
 	}
 }
 
