@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|maskrep|schedule|serving|serve-load|kernels|all
+//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|maskrep|schedule|serving|serve-load|kernels|calibration|all
 //
 // Flags:
 //
@@ -28,12 +28,16 @@
 //	             profiles), equal (equal-row chunks), or cost
 //	-inflight N  largest in-flight request count the serving study sweeps
 //	             (default 8)
+//	-calibrate M planner cost model for the figure runs: off (default; the
+//	             hand-tuned model), auto (the per-host cached probe fit),
+//	             or force (re-probe and overwrite the host cache). The
+//	             calibration study ignores it — it always compares both
 //	-json FILE   also write machine-readable per-case results (ns/op,
 //	             allocs/op, scheduling/serving metrics) plus host metadata
 //	             (Go version, GOMAXPROCS, CPU model) to FILE, e.g.
-//	             -json BENCH_PR7.json. Currently the maskrep, schedule,
-//	             serving, serve-load and kernels studies record;
-//	             fig7..fig16 emit TSV only
+//	             -json BENCH_PR8.json. Currently the maskrep, schedule,
+//	             serving, serve-load, kernels and calibration studies
+//	             record; fig7..fig16 emit TSV only
 //	-explain     print the adaptive plan for each corpus input to stderr
 //	-timeout D   abort the whole run after duration D (cooperative
 //	             cancellation of in-flight kernels), e.g. -timeout 90s
@@ -63,6 +67,12 @@
 // each named semiring's specialized (inlined-operator) loops against the
 // func-field fallback on the triangle-dense TC product, asserts both paths
 // produce bit-identical output, and reports per-case and geomean speedups.
+// The "calibration" subcommand is the cost-model calibration study: it runs
+// the corpus's support- and frontier-shaped products through two sessions —
+// one planning with the hand-tuned dimensionless model, one with the host's
+// probe-measured coefficients — scores plan-identical cases exactly 1.0x,
+// times and bit-verifies the differing ones, and reports per-case and
+// geomean speedups plus the fitted coefficients.
 package main
 
 import (
@@ -77,6 +87,8 @@ import (
 	"repro/internal/apps"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/planner"
+	"repro/masked"
 )
 
 func main() {
@@ -92,14 +104,15 @@ func main() {
 	maskRep := flag.String("maskrep", "auto", "pin the mask representation: auto | csr | bitmap | dense")
 	sched := flag.String("sched", "auto", "pin the row-scheduling policy: auto | equal | cost")
 	inflight := flag.Int("inflight", 8, "largest in-flight request count the serving study sweeps")
-	jsonPath := flag.String("json", "", "write machine-readable per-case results of the maskrep/schedule/serving/serve-load/kernels studies to this file (e.g. BENCH_PR7.json)")
+	calibrate := flag.String("calibrate", "off", "planner cost model for the figure runs: off (hand-tuned) | auto (per-host cached probes) | force (re-probe); the calibration study always compares both")
+	jsonPath := flag.String("json", "", "write machine-readable per-case results of the maskrep/schedule/serving/serve-load/kernels/calibration studies to this file (e.g. BENCH_PR8.json)")
 	explain := flag.Bool("explain", false, "print the adaptive plan for each corpus input to stderr")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration, e.g. 90s (0 = no limit)")
 	flag.Parse()
 	plotTables = *plot
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|maskrep|schedule|serving|serve-load|kernels|all")
+		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|maskrep|schedule|serving|serve-load|kernels|calibration|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -117,9 +130,16 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("-sched: %w", err))
 	}
+	calib, err := masked.ParseCalibration(*calibrate)
+	if err != nil {
+		fatal(fmt.Errorf("-calibrate: %w", err))
+	}
 	// One engine session for the whole run: every figure shares this plan
 	// cache and thread/context budget.
 	session := apps.NewSession(core.Options{Threads: *threads, MaskRep: rep, Sched: schedPolicy, Ctx: ctx})
+	if calib != masked.CalibrationOff {
+		session.Cache.SetModel(planner.HostModel(calib == masked.CalibrationForce))
+	}
 	if *alg != "" {
 		if _, err := session.EngineByName(*alg); err != nil {
 			fatal(fmt.Errorf("-alg: %w", err))
@@ -185,13 +205,15 @@ func main() {
 			emit(bench.ServeLoadStudy(cfg))
 		case "kernels":
 			emit(bench.KernelsStudy(cfg))
+		case "calibration":
+			emit(bench.CalibrationStudy(cfg))
 		default:
 			fatal(fmt.Errorf("unknown figure %q", name))
 		}
 	}
 	if which == "all" {
 		for _, name := range []string{"fig7", "fig8", "fig9", "fig10", "fig11",
-			"fig12", "fig13", "fig14", "fig15", "fig16", "maskrep", "schedule", "serving", "serve-load", "kernels"} {
+			"fig12", "fig13", "fig14", "fig15", "fig16", "maskrep", "schedule", "serving", "serve-load", "kernels", "calibration"} {
 			run(name)
 		}
 	} else {

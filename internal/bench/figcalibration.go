@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/grgen"
+	"repro/internal/matrix"
+	"repro/internal/planner"
+	"repro/masked"
+)
+
+// CalibrationStudy measures plan-choice quality with cost-model calibration
+// off versus on. Two sessions run the same masked products through the
+// adaptive planner: one with the hand-tuned dimensionless §8 model
+// (CalibrationOff), one with the host's measured coefficients
+// (CalibrationAuto, probed or loaded from the per-host cache). For each
+// corpus input × product shape the study compares the two plans; when they
+// agree the executions are identical by construction and the case scores
+// exactly 1.0x, and when they differ both are timed and the ratio reported.
+// Every differing pair is also verified bit-identical — calibration may only
+// change which plan runs, never the answer.
+//
+// Recorded metrics per case: off_ns, cal_ns, speedup (off/cal), same_plan
+// (1 when the models chose identical plans). A final "geomean" record
+// aggregates the speedups and a "model" record captures the calibrated
+// coefficients (ns_per_unit, hash_unit, heap_unit, bitmap_probe_ratio,
+// dense_unit, cost_per_worker) so BENCH_PR*.json files document the fit the
+// numbers were produced under.
+func CalibrationStudy(cfg Config) (*Table, error) {
+	mdl := planner.HostModel(false)
+	t := &Table{
+		Title: "Calibration study: hand-tuned vs host-calibrated cost model",
+		Notes: []string{
+			"same plan → identical execution, scored exactly 1.0x; differing plans timed and verified bit-identical",
+			fmt.Sprintf("calibrated model: source=%s ns/unit=%.2f hash=%.2f heap=%.2f bitmap=%.2f dense=%.2f cost/worker=%d",
+				mdl.Source, mdl.NsPerUnit, mdl.HashUnit, mdl.HeapUnit, mdl.BitmapProbeRatio, mdl.DenseUnit, mdl.CostPerWorker),
+		},
+		Header: []string{"input", "shape", "plan_off", "plan_cal", "off_s", "cal_s", "speedup"},
+	}
+	cfg.Recorder.Add(Record{Study: "calibration", Case: "model", Metrics: map[string]float64{
+		"ns_per_unit":        mdl.NsPerUnit,
+		"hash_unit":          mdl.HashUnit,
+		"heap_unit":          mdl.HeapUnit,
+		"inner_unit":         mdl.InnerUnit,
+		"mask_unit":          mdl.MaskUnit,
+		"bitmap_probe_ratio": mdl.BitmapProbeRatio,
+		"dense_unit":         mdl.DenseUnit,
+		"cost_per_worker":    float64(mdl.CostPerWorker),
+	}})
+
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sessOff := masked.NewSession(masked.WithThreads(cfg.Threads), masked.WithCalibration(masked.CalibrationOff))
+	sessCal := masked.NewSession(masked.WithThreads(cfg.Threads), masked.WithCalibration(masked.CalibrationAuto))
+
+	type product struct {
+		shape string
+		m     *matrix.Pattern
+		a, b  *matrix.CSR[float64]
+		opts  []masked.Op
+	}
+	var logSum float64
+	var cases int
+	for _, g := range Corpus(cfg) {
+		n := g.Graph.NRows
+		products := []product{
+			// Support counting: the mask is the adjacency itself — the
+			// triangle/k-truss shape, dense mask rows over the whole graph.
+			{shape: "support", m: g.Graph.Pattern(), a: g.Graph, b: g.Graph,
+				opts: []masked.Op{masked.WithAccumulate(masked.PlusPair())}},
+			// Sparse-frontier shape: a random ~2/row mask over the square —
+			// the BFS/BC regime where Hash vs MSA and the phase choice hinge
+			// on the cost coefficients.
+			{shape: "frontier", m: grgen.Random01Mask(n, n, 2, cfg.Seed+77), a: g.Graph, b: g.Graph},
+		}
+		for _, pr := range products {
+			planOff := sessOff.Explain(pr.m, pr.a, pr.b, pr.opts...)
+			planCal := sessCal.Explain(pr.m, pr.a, pr.b, pr.opts...)
+			same := samePlan(planOff, planCal)
+			row := []string{g.Name, pr.shape, planLabel(planOff), planLabel(planCal)}
+			speedup := 1.0
+			offNs, calNs := int64(-1), int64(-1)
+			if same {
+				row = append(row, "-", "-", "1.00x (same plan)")
+			} else {
+				offS := minTime(cfg.reps(), func() (time.Duration, error) {
+					t0 := time.Now()
+					_, err := sessOff.Multiply(ctx, pr.m, pr.a, pr.b, pr.opts...)
+					return time.Since(t0), err
+				})
+				calS := minTime(cfg.reps(), func() (time.Duration, error) {
+					t0 := time.Now()
+					_, err := sessCal.Multiply(ctx, pr.m, pr.a, pr.b, pr.opts...)
+					return time.Since(t0), err
+				})
+				if offS < 0 || calS < 0 {
+					return nil, fmt.Errorf("bench: calibration case %s/%s failed", g.Name, pr.shape)
+				}
+				cOff, err := sessOff.Multiply(ctx, pr.m, pr.a, pr.b, pr.opts...)
+				if err != nil {
+					return nil, err
+				}
+				cCal, err := sessCal.Multiply(ctx, pr.m, pr.a, pr.b, pr.opts...)
+				if err != nil {
+					return nil, err
+				}
+				if !matrix.Equal(cOff, cCal, func(x, y float64) bool { return x == y }) {
+					return nil, fmt.Errorf("bench: calibration changed the result on %s/%s", g.Name, pr.shape)
+				}
+				speedup = offS / calS
+				offNs, calNs = int64(offS*1e9), int64(calS*1e9)
+				row = append(row, fmt.Sprintf("%.4f", offS), fmt.Sprintf("%.4f", calS), fmt.Sprintf("%.2fx", speedup))
+			}
+			logSum += math.Log(speedup)
+			cases++
+			sameMetric := 0.0
+			if same {
+				sameMetric = 1
+			}
+			cfg.Recorder.Add(Record{
+				Study:   "calibration",
+				Case:    g.Name + "/" + pr.shape,
+				NsPerOp: calNs,
+				Metrics: map[string]float64{"off_ns": float64(offNs), "speedup": speedup, "same_plan": sameMetric},
+			})
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	geo := math.Exp(logSum / float64(cases))
+	t.Notes = append(t.Notes, fmt.Sprintf("geomean speedup (calibrated over hand-tuned): %.3fx over %d cases", geo, cases))
+	cfg.Recorder.Add(Record{Study: "calibration", Case: "geomean", Metrics: map[string]float64{"speedup": geo, "cases": float64(cases)}})
+	return t, nil
+}
+
+// planLabel renders a plan as a short variant label: the single variant
+// name, or "mixed(k)" for a k-block mixed plan, suffixed with the phase.
+func planLabel(p *planner.Plan) string {
+	if p == nil || len(p.Blocks) == 0 {
+		return "-"
+	}
+	alg := p.Blocks[0].Alg
+	for _, b := range p.Blocks[1:] {
+		if b.Alg != alg {
+			return fmt.Sprintf("mixed(%d)-%s", len(p.Blocks), p.Phase)
+		}
+	}
+	return fmt.Sprintf("%s-%s", alg, p.Phase)
+}
+
+// samePlan reports whether two plans run the identical execution: same
+// phase and the same (row range, algorithm, representation) blocks.
+func samePlan(a, b *planner.Plan) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Phase != b.Phase || len(a.Blocks) != len(b.Blocks) {
+		return false
+	}
+	for i := range a.Blocks {
+		x, y := a.Blocks[i], b.Blocks[i]
+		if x.Lo != y.Lo || x.Hi != y.Hi || x.Alg != y.Alg || x.Rep != y.Rep {
+			return false
+		}
+	}
+	return true
+}

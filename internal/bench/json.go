@@ -9,9 +9,10 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
-	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/hostid"
 )
 
 // Record is one measured case of one study.
@@ -74,21 +75,6 @@ type benchFile struct {
 	Records     []Record `json:"records"`
 }
 
-// cpuModel reads the host CPU model name where the platform exposes one
-// (/proc/cpuinfo on Linux); empty elsewhere.
-func cpuModel() string {
-	data, err := os.ReadFile("/proc/cpuinfo")
-	if err != nil {
-		return ""
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		if name, ok := strings.CutPrefix(line, "model name"); ok {
-			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
-		}
-	}
-	return ""
-}
-
 // WriteJSON serializes the recorder's records to path.
 func (r *Recorder) WriteJSON(path string) error {
 	out := benchFile{
@@ -98,7 +84,7 @@ func (r *Recorder) WriteJSON(path string) error {
 		NumCPU:      runtime.NumCPU(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
-		CPUModel:    cpuModel(),
+		CPUModel:    hostid.CPUModel(),
 		Records:     r.Records(),
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

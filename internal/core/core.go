@@ -149,6 +149,11 @@ type Options struct {
 	// reused across calls instead of reallocated per worker per call.
 	// Sessions own one arena for their whole lifetime; see Workspaces.
 	Workspaces *Workspaces
+	// NowNs, if non-nil, replaces the monotonic clock the blocked drivers
+	// time kernel chunks with (BlockStat.ElapsedNs). Tests inject a fake
+	// clock here so timing-dependent assertions are deterministic; nil means
+	// the real monotonic clock. Timing never changes results.
+	NowNs func() int64
 }
 
 // Workers resolves the options' worker count for one parallel stage:
@@ -269,6 +274,12 @@ type BlockStat struct {
 	MaskNNZ int64
 	// OutNNZ is the number of output entries the block produced.
 	OutNNZ int64
+	// ElapsedNs is the summed wall time workers spent in the block's kernel
+	// rows (both passes of a two-phase run; chunk time straddling a block
+	// boundary is split pro-rata by rows). It is measured with Options.NowNs
+	// when set, the real monotonic clock otherwise, and feeds the planner's
+	// prediction-error feedback loop.
+	ElapsedNs int64
 }
 
 // MaskedSpGEMMBlocked computes C = M .* (A·B) (or the complement form) with
@@ -328,17 +339,28 @@ func MaskedSpGEMMBlocked[T any](phase Phase, blocks []ExecBlock, m *matrix.Patte
 		return nil, fmt.Errorf("core: blocked plan covers rows [0,%d), want [0,%d)", next, m.NRows)
 	}
 	bound := allocBound(m, a, b, opt.Complement)
-	out, err := runDriverBlocked(phase, m.NRows, b.NCols, bound, segs, opt)
+	var timer *segTimer
+	if stats != nil {
+		// Timing is only measured when the caller asked for stats; the cost
+		// is one clock read per claimed chunk, zero on the untimed path.
+		segHi := make([]Index, len(blocks))
+		for i, blk := range blocks {
+			segHi[i] = blk.Hi
+		}
+		timer = &segTimer{now: opt.nowFn(), segHi: segHi, segNs: make([]int64, len(blocks))}
+	}
+	out, err := runDriverBlocked(phase, m.NRows, b.NCols, bound, segs, opt, timer)
 	if err != nil {
 		return nil, err
 	}
 	if stats != nil {
 		*stats = (*stats)[:0]
-		for _, blk := range blocks {
+		for bi, blk := range blocks {
 			s := BlockStat{
-				Block:  blk,
-				Rows:   int64(blk.Hi - blk.Lo),
-				OutNNZ: int64(out.RowPtr[blk.Hi] - out.RowPtr[blk.Lo]),
+				Block:     blk,
+				Rows:      int64(blk.Hi - blk.Lo),
+				OutNNZ:    int64(out.RowPtr[blk.Hi] - out.RowPtr[blk.Lo]),
+				ElapsedNs: timer.segNs[bi],
 			}
 			if int(blk.Hi) < len(m.RowPtr) { // degenerate zero-value masks have no RowPtr
 				s.MaskNNZ = int64(m.RowPtr[blk.Hi] - m.RowPtr[blk.Lo])

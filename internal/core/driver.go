@@ -2,6 +2,8 @@ package core
 
 import (
 	"sort"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/matrix"
 	"repro/internal/parallel"
@@ -83,12 +85,83 @@ func (o Options) sweepGrain() int {
 	return sweepGrain
 }
 
+// procStart anchors the default monotonic clock; only differences of its
+// readings are ever used.
+var procStart = time.Now()
+
+// nowFn resolves the options' clock: the injected NowNs when set (tests
+// drive block timing deterministically with it), else the process monotonic
+// clock.
+func (o Options) nowFn() func() int64 {
+	if o.NowNs != nil {
+		return o.NowNs
+	}
+	return func() int64 { return int64(time.Since(procStart)) }
+}
+
+// segTimer accumulates per-segment kernel wall time during a blocked
+// execution. A nil *segTimer disables timing (single-variant calls, callers
+// that did not ask for stats) at zero cost.
+type segTimer struct {
+	now   func() int64
+	segHi []Index // ascending segment end rows; segHi[i] closes segment i
+	segNs []int64 // accumulated nanoseconds per segment (atomic)
+}
+
+// add attributes dt nanoseconds spent on the row chunk [lo, hi) to the
+// segments it overlaps, pro-rata by row count.
+func (t *segTimer) add(lo, hi int, dt int64) {
+	if dt <= 0 {
+		return
+	}
+	rows := int64(hi - lo)
+	s := sort.Search(len(t.segHi), func(i int) bool { return int(t.segHi[i]) > lo })
+	for lo < hi && s < len(t.segHi) {
+		end := hi
+		if int(t.segHi[s]) < end {
+			end = int(t.segHi[s])
+		}
+		atomic.AddInt64(&t.segNs[s], dt*int64(end-lo)/rows)
+		lo = end
+		s++
+	}
+}
+
+// wrap instruments one worker body: the wall time between successive claim
+// calls is the time the worker spent computing the chunk it previously
+// claimed (kernel rows only — the scan/stitch sweeps run outside forRows),
+// measured once per chunk so the clock never sits on the per-row fast path.
+func (t *segTimer) wrap(worker func(id int, claim func() (int, int, bool))) func(id int, claim func() (int, int, bool)) {
+	if t == nil {
+		return worker
+	}
+	return func(id int, claim func() (int, int, bool)) {
+		prevLo, prevHi := 0, 0
+		last := t.now()
+		worker(id, func() (int, int, bool) {
+			lo, hi, ok := claim()
+			nowNs := t.now()
+			if prevHi > prevLo {
+				t.add(prevLo, prevHi, nowNs-last)
+			}
+			last = nowNs
+			prevLo, prevHi = lo, hi
+			if !ok {
+				prevLo, prevHi = 0, 0
+			}
+			return lo, hi, ok
+		})
+	}
+}
+
 // forRows runs one kernel pass over all rows under the options' scheduling
 // policy: equal-cost spans over the row-cost prefix when one is available
 // and engaged (see schedPrefix), equal-row dynamic chunks otherwise. Both
 // forms are cancellation-aware and deliver rows to workers in disjoint
-// ascending spans, so kernel results never depend on the policy.
-func forRows(opt Options, nrows Index, worker func(id int, claim func() (lo, hi int, ok bool))) error {
+// ascending spans, so kernel results never depend on the policy. A non-nil
+// timer observes each worker's per-chunk wall time.
+func forRows(opt Options, nrows Index, timer *segTimer, worker func(id int, claim func() (lo, hi int, ok bool))) error {
+	worker = timer.wrap(worker)
 	if prefix := schedPrefix(opt, nrows); prefix != nil {
 		return parallel.ForCostWorkersCtx(opt.Ctx, int(nrows), opt.Workers(), prefix, worker)
 	}
@@ -100,18 +173,19 @@ func forRows(opt Options, nrows Index, worker func(id int, claim func() (lo, hi 
 // context is cancelled before the product completes.
 func runDriver[T any](phase Phase, m *matrix.Pattern, ncols Index, bound func(Index) int64, factory func() kernel[T], opt Options) (*matrix.CSR[T], error) {
 	segs := []execSeg[T]{{lo: 0, hi: m.NRows, factory: factory}}
-	return runDriverBlocked(phase, m.NRows, ncols, bound, segs, opt)
+	return runDriverBlocked(phase, m.NRows, ncols, bound, segs, opt, nil)
 }
 
 // runDriverBlocked executes the selected phase strategy over a partition of
 // the row space: each segment's rows run on that segment's kernel. Dynamic
 // chunk scheduling still spans the whole row space, so load balance does not
-// degrade when segments have skewed costs.
-func runDriverBlocked[T any](phase Phase, nrows, ncols Index, bound func(Index) int64, segs []execSeg[T], opt Options) (*matrix.CSR[T], error) {
+// degrade when segments have skewed costs. A non-nil timer accumulates each
+// segment's kernel wall time (both passes of a two-phase run).
+func runDriverBlocked[T any](phase Phase, nrows, ncols Index, bound func(Index) int64, segs []execSeg[T], opt Options, timer *segTimer) (*matrix.CSR[T], error) {
 	if phase == TwoPhase {
-		return driver2P(nrows, ncols, segs, opt)
+		return driver2P(nrows, ncols, segs, opt, timer)
 	}
-	return driver1P(nrows, ncols, bound, segs, opt)
+	return driver1P(nrows, ncols, bound, segs, opt, timer)
 }
 
 // fillRowPtr writes the Index row pointers from the scanned int64 offsets.
@@ -130,10 +204,10 @@ func fillRowPtr(opt Options, rowPtr []Index, offs []int64, total int64) {
 // numeric pass writes directly into exactly-sized output arrays. The per-row
 // count array is pooled on opt.Workspaces; the only allocations of a warmed
 // call are the returned output's.
-func driver2P[T any](nrows, ncols Index, segs []execSeg[T], opt Options) (*matrix.CSR[T], error) {
+func driver2P[T any](nrows, ncols Index, segs []execSeg[T], opt Options, timer *segTimer) (*matrix.CSR[T], error) {
 	cb := wsGetI64(opt.Workspaces, int(nrows))
 	counts := cb.s
-	err := forRows(opt, nrows, func(_ int, claim func() (int, int, bool)) {
+	err := forRows(opt, nrows, timer, func(_ int, claim func() (int, int, bool)) {
 		k := newWorkerKernels(segs)
 		defer k.recycle(opt.Workspaces)
 		for {
@@ -160,7 +234,7 @@ func driver2P[T any](nrows, ncols Index, segs []execSeg[T], opt Options) (*matri
 	}
 	fillRowPtr(opt, out.RowPtr, counts, total)
 	wsPutI64(opt.Workspaces, cb)
-	err = forRows(opt, nrows, func(_ int, claim func() (int, int, bool)) {
+	err = forRows(opt, nrows, timer, func(_ int, claim func() (int, int, bool)) {
 		k := newWorkerKernels(segs)
 		defer k.recycle(opt.Workspaces)
 		for {
@@ -192,7 +266,7 @@ func driver2P[T any](nrows, ncols Index, segs []execSeg[T], opt Options) (*matri
 // work the old unconditional compaction pass paid on every call. All bin and
 // bookkeeping buffers are pooled on opt.Workspaces, so a warmed under-filled
 // call allocates nothing beyond the returned output either.
-func driver1P[T any](nrows, ncols Index, bound func(Index) int64, segs []execSeg[T], opt Options) (*matrix.CSR[T], error) {
+func driver1P[T any](nrows, ncols Index, bound func(Index) int64, segs []execSeg[T], opt Options, timer *segTimer) (*matrix.CSR[T], error) {
 	ws := opt.Workspaces
 	ob := wsGetI64(ws, int(nrows))
 	offs := ob.s
@@ -217,7 +291,7 @@ func driver1P[T any](nrows, ncols Index, bound func(Index) int64, segs []execSeg
 		wsPutIdx(ws, binCol)
 		wsPutVal(ws, binVal)
 	}
-	err = forRows(opt, nrows, func(_ int, claim func() (int, int, bool)) {
+	err = forRows(opt, nrows, timer, func(_ int, claim func() (int, int, bool)) {
 		k := newWorkerKernels(segs)
 		defer k.recycle(ws)
 		for {

@@ -128,25 +128,43 @@ func SupportedMaskRep(alg Algorithm, rep MaskRep, complement bool) MaskRep {
 // check is only exact on sorted rows). The planner calls this per block;
 // the fixed-variant entry points call it once for the whole row space.
 func AutoMaskRep(alg Algorithm, complement bool, rows, maskNNZ, aNNZ, runRows, nonEmptyRows int64) MaskRep {
+	return AutoMaskRepRatio(alg, complement, rows, maskNNZ, aNNZ, runRows, nonEmptyRows, 1, 1)
+}
+
+// AutoMaskRepRatio is AutoMaskRep with calibrated representation cost
+// ratios scaling the density thresholds: bitmapRatio is the measured
+// bitmap-vs-CSR probe cost ratio (above 1 the bitmap is relatively
+// expensive on this host, so it needs proportionally denser mask rows
+// before it pays) and denseRatio the dense-direct-index-vs-CSR ratio,
+// scaling the dense-run path's minimum average row the same way. Ratios of
+// 1 (or anything non-positive) reproduce the hand-tuned thresholds exactly;
+// the planner passes its model's fitted ratios.
+func AutoMaskRepRatio(alg Algorithm, complement bool, rows, maskNNZ, aNNZ, runRows, nonEmptyRows int64, bitmapRatio, denseRatio float64) MaskRep {
 	if rows <= 0 || maskNNZ == 0 {
 		return RepCSR
 	}
-	avgM := maskNNZ / rows
-	if nonEmptyRows > 0 && runRows*denseRunDen >= nonEmptyRows*denseRunNum && avgM >= 4 {
+	if !(bitmapRatio > 0) {
+		bitmapRatio = 1
+	}
+	if !(denseRatio > 0) {
+		denseRatio = 1
+	}
+	avgM := float64(maskNNZ / rows)
+	if nonEmptyRows > 0 && runRows*denseRunDen >= nonEmptyRows*denseRunNum && avgM >= 4*denseRatio {
 		return SupportedMaskRep(alg, RepDense, complement)
 	}
 	avgA := aNNZ / rows
 	switch alg {
 	case Hash:
-		if avgM >= hashBitmapMinMaskRow {
+		if avgM >= hashBitmapMinMaskRow*bitmapRatio {
 			return RepBitmap
 		}
 	case MCA:
-		if avgM >= bitmapMinMaskRow && avgA >= bitmapMinARow {
+		if avgM >= bitmapMinMaskRow*bitmapRatio && avgA >= bitmapMinARow {
 			return RepBitmap
 		}
 	case Inner:
-		if complement && avgM >= hashBitmapMinMaskRow {
+		if complement && avgM >= hashBitmapMinMaskRow*bitmapRatio {
 			return RepBitmap
 		}
 	}

@@ -1,0 +1,43 @@
+// Package hostid identifies the host hardware a measurement was taken on.
+// Two consumers share it: the bench harness stamps its JSON output with the
+// CPU model so two BENCH_PR*.json files can be compared knowing whether the
+// hardware moved under the numbers, and the planner's calibration pass keys
+// its per-host coefficient cache on the same identity so probes taken on one
+// machine are never replayed on another.
+package hostid
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// CPUModel reads the host CPU model name where the platform exposes one
+// (/proc/cpuinfo on Linux); empty elsewhere.
+func CPUModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// Key returns a stable, filename-safe identity for (this host, this process
+// shape): a short hash of the CPU model, GOMAXPROCS, GOARCH and the Go
+// release. Calibration constants fitted under one key are only valid under
+// the same key — a different core count changes parallel-dispatch overhead,
+// a different CPU changes every per-unit cost.
+func Key() string {
+	id := fmt.Sprintf("%s|gomaxprocs=%d|%s|%s",
+		CPUModel(), runtime.GOMAXPROCS(0), runtime.GOARCH, runtime.Version())
+	sum := sha256.Sum256([]byte(id))
+	return hex.EncodeToString(sum[:8])
+}

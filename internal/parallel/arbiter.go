@@ -41,6 +41,11 @@ type Arbiter struct {
 	active   map[*Grant]struct{} // grants that may be topped up or stolen from
 
 	admitted, steals, topups, rejected atomic.Int64 // monotonic observability counters
+
+	// costPerWorker is the per-worker cost unit want() divides by; 0 means
+	// the CostPerWorker default. Atomic so a session can install a calibrated
+	// value (SetCostPerWorker) while requests are being admitted.
+	costPerWorker atomic.Int64
 }
 
 // ArbiterStats is a point-in-time snapshot of an arbiter's accounting.
@@ -127,6 +132,27 @@ func NewArbiter(budget, maxInflight int) *Arbiter {
 // Budget returns the arbiter's total worker budget.
 func (a *Arbiter) Budget() int { return a.budget }
 
+// SetCostPerWorker replaces the per-worker cost unit admission asks divide
+// by (0 or less resets to the CostPerWorker default). The planner's
+// calibration derives it from the measured dispatch overhead, so on hosts
+// where fan-out is cheap small requests are allowed more workers and vice
+// versa. Safe to call while requests are in flight; running grants keep the
+// ask they were admitted with.
+func (a *Arbiter) SetCostPerWorker(v int64) {
+	if v <= 0 {
+		v = 0
+	}
+	a.costPerWorker.Store(v)
+}
+
+// CostPerWorkerUnit returns the cost unit want() currently divides by.
+func (a *Arbiter) CostPerWorkerUnit() int64 {
+	if v := a.costPerWorker.Load(); v > 0 {
+		return v
+	}
+	return CostPerWorker
+}
+
 // MaxInflight returns the admission cap.
 func (a *Arbiter) MaxInflight() int { return a.maxIn }
 
@@ -141,7 +167,8 @@ func (a *Arbiter) want(cost int64) int {
 		}
 		return w
 	}
-	w := int((cost + CostPerWorker - 1) / CostPerWorker)
+	unit := a.CostPerWorkerUnit()
+	w := int((cost + unit - 1) / unit)
 	if w < 1 {
 		w = 1
 	}

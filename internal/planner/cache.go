@@ -36,8 +36,14 @@ type Cache struct {
 	// perShard * len(shards).
 	perShard int
 	// hits, misses and evictions are cache-wide and monotonic for the
-	// lifetime of the cache (Reset drops entries, never history).
-	hits, misses, evictions atomic.Int64
+	// lifetime of the cache (Reset drops entries, never history); records
+	// and replans are the feedback loop's counters (Record observations and
+	// feedback-triggered invalidations — see Record).
+	hits, misses, evictions, records, replans atomic.Int64
+	// model is the cost model misses analyze with; nil means DefaultModel.
+	// Atomic so SetModel (session calibration) is safe against concurrent
+	// analyses; the *Model it points to is immutable.
+	model atomic.Pointer[Model]
 }
 
 // cacheShard is one lock stripe: a bounded map with LRU eviction order.
@@ -175,6 +181,12 @@ type CacheStats struct {
 	Misses int64
 	// Evictions counts plans dropped to keep a shard under its bound.
 	Evictions int64
+	// Records counts feedback observations folded into cached entries
+	// (Cache.Record calls that were not ignored).
+	Records int64
+	// Replans counts entries invalidated by the prediction-error feedback
+	// loop (sustained drift; the next Analyze of the product re-plans).
+	Replans int64
 	// Entries is the resident plan count at snapshot time.
 	Entries int
 	// Capacity is the cache-wide entry bound (perShard × Shards).
@@ -207,14 +219,16 @@ func (c *Cache) Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 		hit.CacheHit = true
 		return &hit
 	}
-	p = Analyze(m, a, b, opt)
+	p = AnalyzeModel(m, a, b, opt, c.Model())
 	c.misses.Add(1)
 	sh.mu.Lock()
 	if el, ok := sh.plans[key]; ok {
 		// Another request analyzed the same product while we did: the plans
 		// are equivalent, so install ours in the resident entry (no pointer
 		// identity is promised between Analyze results) and refresh its
-		// recency.
+		// recency. The entry's feedback state carries over — the plans
+		// describe the same product, so its prediction history stays valid.
+		p.fb = el.Value.(*cacheEntry).plan.fb
 		el.Value.(*cacheEntry).plan = p
 		sh.lru.MoveToFront(el)
 	} else {
@@ -224,10 +238,26 @@ func (c *Cache) Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 			delete(sh.plans, tail.Value.(*cacheEntry).key)
 			c.evictions.Add(1)
 		}
+		p.fb = &feedback{key: key}
 		sh.plans[key] = sh.lru.PushFront(&cacheEntry{key: key, plan: p})
 	}
 	sh.mu.Unlock()
 	return p
+}
+
+// SetModel installs the cost model subsequent misses analyze with (nil
+// resets to DefaultModel). Resident plans are not re-analyzed — their
+// entries age out by LRU, bucket change or feedback invalidation — so a
+// session calibrates once, before its first products, and serving sessions
+// can still swap models live without a stop-the-world.
+func (c *Cache) SetModel(m *Model) { c.model.Store(m) }
+
+// Model returns the cost model cache misses analyze with (never nil).
+func (c *Cache) Model() *Model {
+	if m := c.model.Load(); m != nil {
+		return m
+	}
+	return DefaultModel()
 }
 
 // Peek returns the cached plan for the operands without analyzing on a miss
@@ -253,6 +283,8 @@ func (c *Cache) Stats() CacheStats {
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),
+		Records:   c.records.Load(),
+		Replans:   c.replans.Load(),
 		Capacity:  c.perShard * len(c.shards),
 		Shards:    len(c.shards),
 	}

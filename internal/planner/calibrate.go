@@ -1,0 +1,284 @@
+package planner
+
+// Session-start micro-calibration. The §8 cost model's unit costs were
+// hand-tuned once on one host; Calibrate refits them here and now by timing
+// a fixed set of synthetic probes — one per kernel family the model prices:
+//
+//	msa-scatter   MSA-1P under a sparse and a dense random mask; the
+//	              two-point fit separates the per-flop scatter cost (the
+//	              model's 1.0 anchor and NsPerUnit) from the per-mask-entry
+//	              gather cost (MaskUnit)
+//	hash-probe    Hash-1P under the same two masks → HashUnit
+//	heap-pop      Heap-1P under the same two masks → HeapUnit (per flop ×
+//	              log2 merge width)
+//	bitmap-probe  MCA-1P on the dense mask, bitmap vs CSR representation →
+//	              BitmapProbeRatio
+//	dense-run     MSA-1P on a contiguous-run mask, dense vs CSR
+//	              representation → DenseUnit
+//
+// plus a parallel-dispatch probe fitting CostPerWorker (the serving
+// arbiter's admission unit) from the measured fan-out overhead. Probes run
+// single-threaded on deterministic generated operands (~10 ms total); every
+// fitted coefficient is clamped (Model.sanitized) so scheduling noise can
+// only dull the model, never break planning. Results are cached per host
+// (hostid.Key: CPU model + GOMAXPROCS + arch + Go release) so repeat
+// sessions skip the probes; see HostModel.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grgen"
+	"repro/internal/hostid"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+	"repro/internal/semiring"
+)
+
+// Probe workload shape: large enough that per-call driver overhead is small
+// against kernel time, small enough that a cold calibration stays ~10 ms.
+const (
+	probeRows      = 2048
+	probeDeg       = 8
+	probeSparseDeg = 4
+	probeDenseDeg  = 64
+	probeRunWidth  = 32
+	probeReps      = 3
+	probeSeed      = 0x5eed_ca11b
+	// spawnPayFactor converts measured per-worker dispatch overhead into
+	// the work a worker must bring to amortize it: a grant is worth taking
+	// when its work is ~8× the fan-out cost.
+	spawnPayFactor = 8
+)
+
+// runMask builds a mask whose every row is a contiguous run of width w — the
+// shape the dense-run representation exploits.
+func runMask(n, w Index) *matrix.Pattern {
+	p := &matrix.Pattern{NRows: n, NCols: n, RowPtr: make([]Index, n+1), Col: make([]Index, int(n)*int(w))}
+	for i := Index(0); i < n; i++ {
+		lo := (i * 7) % (n - w)
+		p.RowPtr[i+1] = p.RowPtr[i] + w
+		for j := Index(0); j < w; j++ {
+			p.Col[p.RowPtr[i]+j] = lo + j
+		}
+	}
+	return p
+}
+
+// probeTime runs one pinned-variant product probeReps times and returns the
+// fastest wall time in nanoseconds (the minimum is the least-noise estimator
+// for a CPU-bound probe).
+func probeTime(v core.Variant, m *matrix.Pattern, a, b *matrix.CSR[float64], rep core.MaskRep, ws *core.Workspaces) float64 {
+	sr := semiring.Arithmetic()
+	opt := core.Options{Threads: 1, MaskRep: rep, Workspaces: ws}
+	best := -1.0
+	for r := 0; r < probeReps; r++ {
+		start := time.Now()
+		if _, err := core.MaskedSpGEMM(v, m, a, b, sr, opt); err != nil {
+			return -1
+		}
+		ns := float64(time.Since(start).Nanoseconds())
+		if best < 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// fit2 solves T = perFlop·flops + perMask·maskNNZ from the two-mask probe
+// pair, returning (perFlop, perMask); degenerate measurements collapse to
+// the flop-only estimate with perMask 0 (sanitized later).
+func fit2(tSparse, tDense, mnSparse, mnDense, flops float64) (float64, float64) {
+	perMask := 0.0
+	if mnDense > mnSparse && tDense > tSparse {
+		perMask = (tDense - tSparse) / (mnDense - mnSparse)
+	}
+	perFlop := (tSparse - perMask*mnSparse) / flops
+	return perFlop, perMask
+}
+
+// Calibrate runs the probe set and returns a host-fitted model (Source
+// "probed"). It is deterministic in its inputs but not its measurements;
+// every coefficient is clamped to a sane range. Callers wanting the
+// per-host cache should use HostModel instead.
+func Calibrate() *Model {
+	a := grgen.ErdosRenyi(probeRows, probeDeg, probeSeed)
+	mSparse := grgen.Random01Mask(probeRows, probeRows, probeSparseDeg, probeSeed+1)
+	mDense := grgen.Random01Mask(probeRows, probeRows, probeDenseDeg, probeSeed+2)
+	mRun := runMask(probeRows, probeRunWidth)
+	ws := core.NewWorkspaces()
+	flops := float64(core.Flops(a, a, 1))
+	mnSparse, mnDense := float64(mSparse.NNZ()), float64(mDense.NNZ())
+
+	one := func(alg core.Algorithm, m *matrix.Pattern, rep core.MaskRep) float64 {
+		return probeTime(core.Variant{Alg: alg, Phase: core.OnePhase}, m, a, a, rep, ws)
+	}
+
+	mdl := *DefaultModel()
+	mdl.Source = "probed"
+
+	// msa-scatter: the anchor. Everything else is relative to scatterNs.
+	tMSASparse := one(core.MSA, mSparse, core.RepCSR)
+	tMSADense := one(core.MSA, mDense, core.RepCSR)
+	scatterNs, maskNs := fit2(tMSASparse, tMSADense, mnSparse, mnDense, flops)
+	if scatterNs <= 0 {
+		// The anchor probe failed (preempted, errored): keep the defaults
+		// rather than fit ratios against garbage.
+		return mdl.sanitized()
+	}
+	mdl.NsPerUnit = scatterNs
+	mdl.PushUnit = 1
+	mdl.MaskUnit = maskNs / scatterNs
+
+	// hash-probe.
+	if hashNs, _ := fit2(one(core.Hash, mSparse, core.RepCSR), one(core.Hash, mDense, core.RepCSR), mnSparse, mnDense, flops); hashNs > 0 {
+		mdl.HashUnit = hashNs / scatterNs
+	}
+
+	// heap-pop: per flop × log2 of the mean merge width.
+	logU := float64(ceilLog2(int64(a.NNZ())/int64(probeRows) + 2))
+	if heapNs, _ := fit2(one(core.Heap, mSparse, core.RepCSR), one(core.Heap, mDense, core.RepCSR), mnSparse, mnDense, flops); heapNs > 0 {
+		mdl.HeapUnit = heapNs / (scatterNs * logU)
+	}
+
+	// bitmap-probe: same product, same mask, the representation is the only
+	// variable.
+	if tCSR, tBM := one(core.MCA, mDense, core.RepCSR), one(core.MCA, mDense, core.RepBitmap); tCSR > 0 && tBM > 0 {
+		mdl.BitmapProbeRatio = tBM / tCSR
+	}
+
+	// dense-run: ditto for the direct-index representation.
+	if tCSR, tDense := one(core.MSA, mRun, core.RepCSR), one(core.MSA, mRun, core.RepDense); tCSR > 0 && tDense > 0 {
+		mdl.DenseUnit = tDense / tCSR
+	}
+
+	// Parallel-dispatch overhead → CostPerWorker: the wall cost of fanning
+	// out to a second worker over trivial work, in model units, times the
+	// amortization factor.
+	if runtime.GOMAXPROCS(0) > 1 {
+		overhead := -1.0
+		for r := 0; r < probeReps; r++ {
+			start := time.Now()
+			parallel.ForWorkers(2, 2, 1, func(int, func() (int, int, bool)) {})
+			ns := float64(time.Since(start).Nanoseconds())
+			if overhead < 0 || ns < overhead {
+				overhead = ns
+			}
+		}
+		if overhead > 0 {
+			mdl.CostPerWorker = int64(spawnPayFactor * overhead / scatterNs)
+		}
+	}
+	return mdl.sanitized()
+}
+
+// --- per-host persistence ---
+
+// calibFileVersion versions the cache file schema; a mismatch (older or
+// newer writer) discards the file and re-probes.
+const calibFileVersion = 1
+
+// CalibrationDirEnv names the environment variable overriding where
+// per-host calibration files live (tests and CI point it at a temp dir);
+// unset means the user cache directory.
+const CalibrationDirEnv = "MSPGEMM_CALIBRATION_DIR"
+
+// hostCalibrationFile is the serialized per-host model with enough metadata
+// to audit where it came from.
+type hostCalibrationFile struct {
+	Version    int    `json:"version"`
+	HostKey    string `json:"host_key"`
+	CPUModel   string `json:"cpu_model"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CreatedAt  string `json:"created_at"`
+	Model      Model  `json:"model"`
+}
+
+func calibPath() string {
+	dir := os.Getenv(CalibrationDirEnv)
+	if dir == "" {
+		base, err := os.UserCacheDir()
+		if err != nil {
+			return ""
+		}
+		dir = filepath.Join(base, "mspgemm")
+	}
+	return filepath.Join(dir, "calibration-"+hostid.Key()+".json")
+}
+
+// loadHostModel reads this host's cached model; nil when absent, unreadable,
+// from another schema version or another host key.
+func loadHostModel() *Model {
+	path := calibPath()
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var f hostCalibrationFile
+	if json.Unmarshal(data, &f) != nil || f.Version != calibFileVersion || f.HostKey != hostid.Key() {
+		return nil
+	}
+	m := f.Model.sanitized()
+	m.Source = "host-cache"
+	return m
+}
+
+// saveHostModel persists a fitted model for this host, best-effort: a
+// read-only cache dir costs a re-probe next process, never an error.
+func saveHostModel(m *Model) {
+	path := calibPath()
+	if path == "" {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	data, err := json.MarshalIndent(hostCalibrationFile{
+		Version:    calibFileVersion,
+		HostKey:    hostid.Key(),
+		CPUModel:   hostid.CPUModel(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		Model:      *m,
+	}, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+var (
+	hostModelMu     sync.Mutex
+	hostModelCached *Model
+)
+
+// HostModel returns the calibrated model for this host: the in-process
+// cached copy when one exists, else the per-host file a previous process
+// saved, else a fresh Calibrate run (persisted for the next process). With
+// force set the probes always re-run and overwrite the file. Safe for
+// concurrent use; concurrent first callers calibrate once.
+func HostModel(force bool) *Model {
+	hostModelMu.Lock()
+	defer hostModelMu.Unlock()
+	if !force {
+		if hostModelCached != nil {
+			return hostModelCached
+		}
+		if m := loadHostModel(); m != nil {
+			hostModelCached = m
+			return m
+		}
+	}
+	m := Calibrate()
+	saveHostModel(m)
+	hostModelCached = m
+	return m
+}

@@ -26,6 +26,7 @@ import (
 	"math"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/matrix"
@@ -88,6 +89,11 @@ type Block struct {
 	// RunRows and NonEmptyRows are the range's contiguous-run and non-empty
 	// mask row counts (the dense-representation signal).
 	RunRows, NonEmptyRows int64
+	// PredictedNs is the cost model's serial-kernel-time estimate for the
+	// block in nanoseconds (Model.NsPerUnit × the block's cost units); 0 on
+	// degenerate plans. The drivers' measured per-block times are compared
+	// against it by the feedback loop.
+	PredictedNs float64
 	// Reason is a one-line human explanation of the choice.
 	Reason string
 }
@@ -118,6 +124,18 @@ type Plan struct {
 	// known (plans are cached per mask/operand shape, not per semiring);
 	// the masked session stamps it on the copy it hands out.
 	Ops string
+	// PredictedNs is the cost model's end-to-end serial-kernel-time estimate
+	// in nanoseconds (the sum of the blocks' PredictedNs); 0 on degenerate
+	// plans. The feedback loop divides measured execution time by it.
+	PredictedNs float64
+	// Exec carries the observed timing of one execution, stamped by the
+	// masked session on the copy it hands out (like Ops) — nil on cached
+	// plans, which are shared across callers and stay immutable.
+	Exec *ExecStats
+	// fb is the prediction-error feedback state shared by every copy of a
+	// cached plan (shallow copies carry the pointer); nil on plans that
+	// never entered a Cache. See Cache.Record.
+	fb *feedback
 }
 
 // Schedule names the row schedule the drivers will run this plan with: the
@@ -211,11 +229,31 @@ func (p *Plan) Explain() string {
 		}
 		sb.WriteString("\n")
 	}
-	for _, b := range p.Blocks {
-		fmt.Fprintf(&sb, "  rows [%d,%d) → %s mask=%s sched=%s: %s (mask nnz=%d, flops=%d)\n",
+	if e := p.Exec; e != nil {
+		fmt.Fprintf(&sb, "feedback: predicted %s, actual %s", fmtNs(p.PredictedNs), fmtNs(float64(e.ActualNs)))
+		if p.PredictedNs > 0 {
+			fmt.Fprintf(&sb, " (ratio %.2f)", float64(e.ActualNs)/p.PredictedNs)
+		}
+		fmt.Fprintf(&sb, ", ewma %.2f over %d exec(s)\n", e.Feedback.EWMA, e.Feedback.Execs)
+	}
+	for i, b := range p.Blocks {
+		fmt.Fprintf(&sb, "  rows [%d,%d) → %s mask=%s sched=%s: %s (mask nnz=%d, flops=%d)",
 			b.Lo, b.Hi, b.Alg, b.Rep, p.Schedule(), b.Reason, b.MaskNNZ, b.Flops)
+		if e := p.Exec; e != nil && i < len(e.BlockNs) {
+			fmt.Fprintf(&sb, " [predicted %s, actual %s]", fmtNs(b.PredictedNs), fmtNs(float64(e.BlockNs[i])))
+		}
+		sb.WriteString("\n")
 	}
 	return sb.String()
+}
+
+// fmtNs renders a nanosecond quantity as a duration string ("1.234µs");
+// sub-nanosecond noise is truncated so the output is stable.
+func fmtNs(ns float64) string {
+	if ns < 0 {
+		ns = 0
+	}
+	return time.Duration(int64(ns)).String()
 }
 
 // Cost-model constants. The pull/heap margins reproduce the ~8× density
@@ -268,8 +306,22 @@ func (p *Plan) NeedsSortedRows() bool {
 
 // Analyze derives a Plan for C = M .* (A·B) from operand structure alone
 // (values never matter to selection, so all operands are Patterns — use
-// CSR.Pattern() for free views). opt contributes only Complement.
+// CSR.Pattern() for free views). opt contributes only Complement. Selection
+// runs under the hand-tuned DefaultModel; use AnalyzeModel (or a calibrated
+// Cache) for host-fitted coefficients.
 func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
+	return AnalyzeModel(m, a, b, opt, nil)
+}
+
+// AnalyzeModel is Analyze selecting with the given cost-model coefficients
+// (nil means DefaultModel, which reproduces the hand-tuned constants
+// exactly). The model also prices the emitted plan: Plan.PredictedNs and
+// each block's PredictedNs carry the model's serial-time estimate, the
+// baseline the feedback loop compares measured execution times against.
+func AnalyzeModel(m, a, b *matrix.Pattern, opt core.Options, mdl *Model) *Plan {
+	if mdl == nil {
+		mdl = DefaultModel()
+	}
 	nrows, ncols := m.NRows, m.NCols
 	if nrows == 0 || len(m.RowPtr) == 0 || len(a.RowPtr) == 0 || len(b.RowPtr) == 0 {
 		// Degenerate (possibly zero-value) operands: nothing to analyze, and
@@ -391,7 +443,7 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 	}
 
 	// Decide per analysis block, then coalesce equal neighbours.
-	push := pushAlg(st)
+	push := pushAlg(st, mdl)
 	blocks := make([]Block, 0, nblocks)
 	for bi := 0; bi < nblocks; bi++ {
 		lo := Index(int64(bi) * blockRows)
@@ -401,27 +453,29 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 		}
 		mn := int64(m.RowPtr[hi] - m.RowPtr[lo])
 		an := int64(a.RowPtr[hi] - a.RowPtr[lo])
-		alg, reason := decide(st, push, int64(hi-lo), mn, an, flopsPerBlock[bi])
+		alg, reason := decide(st, push, int64(hi-lo), mn, an, flopsPerBlock[bi], mdl)
 		blk := Block{Lo: lo, Hi: hi, Alg: alg, MaskNNZ: mn, ANNZ: an, Flops: flopsPerBlock[bi],
 			RunRows: runPerBlock[bi], NonEmptyRows: nonEmptyPerBlock[bi], Reason: reason}
-		blk.Rep = blockRep(st, blk)
+		blk.Rep = blockRep(st, blk, mdl)
 		blocks = append(blocks, blk)
 	}
-	blocks = demoteUnpaidInner(st, push, blocks)
+	blocks = demoteUnpaidInner(st, push, blocks, mdl)
 	blocks = coalesce(blocks)
 	if len(blocks) > maxPlanBlocks {
 		// Too fragmented to pay for per-block dispatch: one global decision.
-		alg, reason := decide(st, push, int64(nrows), st.NNZM, st.NNZA, st.Flops)
+		alg, reason := decide(st, push, int64(nrows), st.NNZM, st.NNZA, st.Flops, mdl)
 		blk := Block{Lo: 0, Hi: nrows, Alg: alg, MaskNNZ: st.NNZM, ANNZ: st.NNZA, Flops: st.Flops,
 			RunRows: st.MaskRunRows, NonEmptyRows: st.MaskNonEmptyRows,
 			Reason: "collapsed fragmented profile: " + reason}
-		blk.Rep = blockRep(st, blk)
+		blk.Rep = blockRep(st, blk, mdl)
 		blocks = []Block{blk}
 	}
 	if len(blocks) == 0 { // nrows == 0
 		blocks = []Block{{Lo: 0, Hi: 0, Alg: push, Rep: core.RepCSR, Reason: "empty row space"}}
 	}
-	return &Plan{Stats: st, Phase: phase, Blocks: blocks, Costs: costs}
+	p := &Plan{Stats: st, Phase: phase, Blocks: blocks, Costs: costs}
+	mdl.predictNs(p)
+	return p
 }
 
 // blockRep selects the mask representation for one decided block: the
@@ -429,7 +483,7 @@ func Analyze(m, a, b *matrix.Pattern, opt core.Options) *Plan {
 // indexing for contiguous-run masks, the bitmap for dense mask rows probed
 // repeatedly, CSR elsewhere), demoted to what the block's algorithm can
 // exploit.
-func blockRep(st Stats, b Block) core.MaskRep {
+func blockRep(st Stats, b Block, mdl *Model) core.MaskRep {
 	if st.MaskRepPin != core.RepAuto {
 		rep := core.SupportedMaskRep(b.Alg, st.MaskRepPin, st.Complement)
 		if !st.Sorted && (rep == core.RepDense || (b.Alg == core.Hash && rep == core.RepBitmap)) {
@@ -447,7 +501,8 @@ func blockRep(st Stats, b Block) core.MaskRep {
 		// require sorted mask rows — unsorted operands stay on CSR.
 		return core.RepCSR
 	}
-	return core.AutoMaskRep(b.Alg, st.Complement, int64(b.Hi-b.Lo), b.MaskNNZ, b.ANNZ, b.RunRows, b.NonEmptyRows)
+	return core.AutoMaskRepRatio(b.Alg, st.Complement, int64(b.Hi-b.Lo), b.MaskNNZ, b.ANNZ, b.RunRows, b.NonEmptyRows,
+		mdl.BitmapProbeRatio, mdl.DenseUnit)
 }
 
 // sortedRows is a parallel matrix.Pattern.IsSortedRows: the check is the
@@ -475,18 +530,26 @@ func sortedRows(p *matrix.Pattern, threads int) bool {
 // pushAlg picks the scatter/gather family for the comparable-density middle:
 // MSA (the paper's overall winner) unless the call's total work cannot
 // amortize MSA's O(ncols) per-worker dense scratch, where Hash wins (§8.1
-// "Hash on larger matrices"; BFS/BC early sweeps).
-func pushAlg(st Stats) core.Algorithm {
-	if (st.NNZM+st.Flops)*hashWorkFraction < int64(st.NCols) {
+// "Hash on larger matrices"; BFS/BC early sweeps). The model's hash-vs-push
+// unit ratio shifts the crossover: a host where hash probes are relatively
+// expensive needs even less work before MSA's scratch amortizes.
+func pushAlg(st Stats, mdl *Model) core.Algorithm {
+	if float64((st.NNZM+st.Flops)*hashWorkFraction)*mdl.HashUnit < float64(st.NCols)*mdl.PushUnit {
 		return core.Hash
 	}
 	return core.MSA
 }
 
+// ceilLog2 returns ⌈log2(v)⌉ for v ≥ 1, the heap's per-pop merge depth.
+func ceilLog2(v int64) int64 {
+	return int64(math.Ceil(math.Log2(float64(v))))
+}
+
 // decide applies the §8 selection rules to one row range. push is the
 // globally-chosen scatter/gather family; rows/maskNNZ/aNNZ/flops are the
-// range's local statistics.
-func decide(st Stats, push core.Algorithm, rows, maskNNZ, aNNZ, flops int64) (core.Algorithm, string) {
+// range's local statistics; mdl supplies the per-family unit costs (under
+// DefaultModel the estimates equal the historical integer formulas).
+func decide(st Stats, push core.Algorithm, rows, maskNNZ, aNNZ, flops int64, mdl *Model) (core.Algorithm, string) {
 	if st.Complement {
 		// MCA cannot run complemented (§8.4), and pull complement probes
 		// Θ(ncols − nnz(m_i)) columns per row, defeating its advantage.
@@ -502,42 +565,45 @@ func decide(st Stats, push core.Algorithm, rows, maskNNZ, aNNZ, flops int64) (co
 	// mask row and touches every flop; heap replaces the gather with a
 	// cheap merge but pays a log factor on flops; inner merges A rows with
 	// B columns under the mask.
-	costPush := maskNNZ + flops
-	avgU := aNNZ / rows
-	logU := int64(math.Ceil(math.Log2(float64(avgU + 2))))
-	costHeap := maskNNZ>>heapMaskDiscountShift + logU*flops
-	costInner := aNNZ + maskNNZ + int64(float64(maskNNZ)*st.AvgColDegB)
+	pu := mdl.PushUnit
+	if push == core.Hash {
+		pu = mdl.HashUnit
+	}
+	costPush := mdl.MaskUnit*float64(maskNNZ) + pu*float64(flops)
+	logU := ceilLog2(aNNZ/rows + 2)
+	costHeap := mdl.MaskUnit*float64(maskNNZ>>heapMaskDiscountShift) + mdl.HeapUnit*float64(logU*flops)
+	costInner := mdl.InnerUnit * float64(aNNZ+maskNNZ+int64(float64(maskNNZ)*st.AvgColDegB))
 	switch {
-	case costInner*pullMargin < costPush && costInner*pullMargin < costHeap:
-		return core.Inner, fmt.Sprintf("mask ≪ work: pull dot products (est %d vs push %d)", costInner, costPush)
+	case costInner*mdl.PullMargin < costPush && costInner*mdl.PullMargin < costHeap:
+		return core.Inner, fmt.Sprintf("mask ≪ work: pull dot products (est %.0f vs push %.0f)", costInner, costPush)
 	case costHeap < costPush:
 		if maskNNZ*heapDotMaxMaskFraction < rows*int64(st.NCols) {
-			return core.HeapDot, fmt.Sprintf("work ≪ mask: heap merge, full mask inspection (est %d vs push %d)", costHeap, costPush)
+			return core.HeapDot, fmt.Sprintf("work ≪ mask: heap merge, full mask inspection (est %.0f vs push %.0f)", costHeap, costPush)
 		}
-		return core.Heap, fmt.Sprintf("work ≪ mask: heap merge (est %d vs push %d)", costHeap, costPush)
+		return core.Heap, fmt.Sprintf("work ≪ mask: heap merge (est %.0f vs push %.0f)", costHeap, costPush)
 	default:
-		return push, fmt.Sprintf("comparable densities: %s (est push %d, heap %d, inner %d)", push, costPush, costHeap, costInner)
+		return push, fmt.Sprintf("comparable densities: %s (est push %.0f, heap %.0f, inner %.0f)", push, costPush, costHeap, costInner)
 	}
 }
 
 // demoteUnpaidInner drops Inner blocks when their combined estimated saving
 // cannot repay the one-off B transpose (ToCSC is O(nnz(B) + ncols)).
-func demoteUnpaidInner(st Stats, push core.Algorithm, blocks []Block) []Block {
-	var saving int64
+func demoteUnpaidInner(st Stats, push core.Algorithm, blocks []Block, mdl *Model) []Block {
+	var saving float64
 	for _, b := range blocks {
 		if b.Alg == core.Inner {
-			costPush := b.MaskNNZ + b.Flops
-			costInner := b.ANNZ + b.MaskNNZ + int64(float64(b.MaskNNZ)*st.AvgColDegB)
+			costPush := mdl.MaskUnit*float64(b.MaskNNZ) + mdl.PushUnit*float64(b.Flops)
+			costInner := mdl.InnerUnit * float64(b.ANNZ+b.MaskNNZ+int64(float64(b.MaskNNZ)*st.AvgColDegB))
 			saving += costPush - costInner
 		}
 	}
-	if saving == 0 || saving >= st.NNZB+int64(st.NCols) {
+	if saving == 0 || saving >= float64(st.NNZB+int64(st.NCols)) {
 		return blocks
 	}
 	for i := range blocks {
 		if blocks[i].Alg == core.Inner {
 			blocks[i].Alg = push
-			blocks[i].Rep = blockRep(st, blocks[i]) // re-pick for the new family
+			blocks[i].Rep = blockRep(st, blocks[i], mdl) // re-pick for the new family
 			blocks[i].Reason = "pull saving does not repay the B transpose: " + blocks[i].Reason
 		}
 	}

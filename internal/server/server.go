@@ -63,6 +63,12 @@ type Config struct {
 	Inflight int
 	// PlanCacheCapacity bounds the session plan cache (0 = engine default).
 	PlanCacheCapacity int
+	// Calibration selects the session's cost-model calibration mode: the
+	// zero value masked.CalibrationOff plans with the hand-tuned model,
+	// CalibrationAuto/CalibrationForce install the host's measured
+	// coefficients (see masked.WithCalibration). Exported in /metrics as
+	// mspgemm_calibration_info.
+	Calibration masked.Calibration
 	// InternCapacity bounds the operand intern table in entries
 	// (0 = 128, negative disables interning).
 	InternCapacity int
@@ -149,6 +155,7 @@ func New(cfg Config) *Server {
 	if cfg.PlanCacheCapacity > 0 {
 		opts = append(opts, masked.WithPlanCacheCapacity(cfg.PlanCacheCapacity))
 	}
+	opts = append(opts, masked.WithCalibration(cfg.Calibration))
 	sv := &Server{
 		cfg:    cfg,
 		sess:   masked.NewSession(opts...),

@@ -1,0 +1,138 @@
+package masked
+
+// Calibration must never change answers — only which plan runs. These tests
+// pin that contract from the public session API: a calibrated session is
+// bit-identical to an uncalibrated one across every variant, named semiring
+// and mask representation, and the planner's auto path stays bit-identical
+// even under adversarially skewed cost models that flip its choices.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/grgen"
+	"repro/internal/matrix"
+	"repro/internal/planner"
+)
+
+// calibrationOperands builds a skewed product (R-MAT with its own pattern as
+// mask — dense mask rows) plus a sparse-frontier mask, the two shapes whose
+// plan choice is most sensitive to the cost coefficients.
+func calibrationOperands() (g *Matrix, masks map[string]*Pattern) {
+	g = RMAT(8, 8, 5)
+	masks = map[string]*Pattern{
+		"support":  g.Pattern(),
+		"frontier": grgen.Random01Mask(g.NRows, g.NCols, 2, 7),
+	}
+	return g, masks
+}
+
+// TestCalibratedSessionsBitIdentical runs all 12 variants × the named
+// semirings × every mask representation through an uncalibrated and a
+// calibrated session and requires bit-identical outputs. The calibrated
+// session probes (or loads) the host model; the env override keeps the
+// per-host cache inside the test's temp dir.
+func TestCalibratedSessionsBitIdentical(t *testing.T) {
+	t.Setenv(planner.CalibrationDirEnv, t.TempDir())
+	ctx := context.Background()
+	g, masks := calibrationOperands()
+
+	semirings := map[string]Semiring{
+		"arithmetic": Arithmetic(),
+		"plus-pair":  PlusPair(),
+		"min-plus":   MinPlus(),
+	}
+	reps := map[string]MaskRep{"auto": RepAuto, "csr": RepCSR, "bitmap": RepBitmap, "dense": RepDense}
+
+	sessOff := NewSession(WithCalibration(CalibrationOff))
+	sessCal := NewSession(WithCalibration(CalibrationAuto))
+	if sessOff.Stats().Calibration.Mode != "off" || sessCal.Stats().Calibration.Mode != "auto" {
+		t.Fatalf("calibration modes not reported: off=%q cal=%q",
+			sessOff.Stats().Calibration.Mode, sessCal.Stats().Calibration.Mode)
+	}
+
+	for maskName, m := range masks {
+		for srName, sr := range semirings {
+			for repName, rep := range reps {
+				base := []Op{WithAccumulate(sr), WithMaskRep(rep)}
+				// The planner's auto path plus every pinned variant.
+				schemes := map[string][]Op{"auto": base}
+				for _, v := range Variants() {
+					schemes[v.Name()] = append([]Op{WithVariant(v)}, base...)
+				}
+				var want *matrix.CSR[float64]
+				for scheme, ops := range schemes {
+					name := fmt.Sprintf("%s/%s/%s/%s", maskName, srName, repName, scheme)
+					cOff, err := sessOff.Multiply(ctx, m, g, g, ops...)
+					if err != nil {
+						t.Fatalf("%s: uncalibrated: %v", name, err)
+					}
+					cCal, err := sessCal.Multiply(ctx, m, g, g, ops...)
+					if err != nil {
+						t.Fatalf("%s: calibrated: %v", name, err)
+					}
+					if !matrix.Equal(cOff, cCal, func(a, b float64) bool { return a == b }) {
+						t.Fatalf("%s: calibrated result differs from uncalibrated", name)
+					}
+					if want == nil {
+						want = cOff
+					} else if !matrix.Equal(cOff, want, func(a, b float64) bool { return a == b }) {
+						t.Fatalf("%s: scheme differs from the mask/semiring/rep reference", name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSkewedModelsBitIdentical drives the auto path under adversarially
+// skewed cost models — each one designed to flip the planner toward a
+// different family or phase — and requires every choice to produce the
+// bit-identical product. This covers model-induced plan changes that a
+// well-fitted host calibration may never exercise.
+func TestSkewedModelsBitIdentical(t *testing.T) {
+	ctx := context.Background()
+	g, masks := calibrationOperands()
+
+	def := planner.DefaultModel()
+	skew := func(mut func(*planner.Model)) *planner.Model {
+		m := *def
+		mut(&m)
+		return &m
+	}
+	models := map[string]*planner.Model{
+		"default":      nil,
+		"hash-cheap":   skew(func(m *planner.Model) { m.HashUnit = 0.01 }),
+		"hash-dear":    skew(func(m *planner.Model) { m.HashUnit = 100 }),
+		"heap-cheap":   skew(func(m *planner.Model) { m.HeapUnit = 0.01 }),
+		"inner-cheap":  skew(func(m *planner.Model) { m.InnerUnit = 0.001; m.PullMargin = 1 }),
+		"mask-dear":    skew(func(m *planner.Model) { m.MaskUnit = 50 }),
+		"bitmap-cheap": skew(func(m *planner.Model) { m.BitmapProbeRatio = 0.001 }),
+		"dense-dear":   skew(func(m *planner.Model) { m.DenseUnit = 100 }),
+	}
+
+	for maskName, m := range masks {
+		var want *matrix.CSR[float64]
+		plans := map[string]bool{}
+		for modelName, mdl := range models {
+			s := NewSession()
+			s.cache.SetModel(mdl)
+			c, err := s.Multiply(ctx, m, g, g)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", maskName, modelName, err)
+			}
+			if want == nil {
+				want = c
+			} else if !matrix.Equal(c, want, func(a, b float64) bool { return a == b }) {
+				t.Fatalf("%s/%s: skewed model changed the result", maskName, modelName)
+			}
+			plans[s.Explain(m, g, g).Explain()] = true
+		}
+		// The skews are only a meaningful test if at least one of them
+		// actually flipped the plan.
+		if len(plans) < 2 {
+			t.Errorf("%s: all skewed models chose the same plan — skews too weak", maskName)
+		}
+	}
+}

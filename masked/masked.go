@@ -222,6 +222,19 @@ type BlockStat = core.BlockStat
 // counters and occupancy; see Session.PlanCacheStats.
 type CacheStats = planner.CacheStats
 
+// ExecStats is one observed execution of a plan — measured kernel time and
+// the feedback state after recording it — stamped on the plan copies
+// MultiplyAuto returns; see planner.ExecStats.
+type ExecStats = planner.ExecStats
+
+// FeedbackState is a snapshot of a cached plan's prediction-error feedback
+// loop; see planner.FeedbackState.
+type FeedbackState = planner.FeedbackState
+
+// Model is the planner's parameterized cost model; sessions install a
+// host-calibrated one under WithCalibration. See planner.Model.
+type Model = planner.Model
+
 // legacyCtx extracts the context a deprecated free-function call runs
 // under: opt.Ctx when set, Background otherwise.
 func legacyCtx(opt Options) context.Context {

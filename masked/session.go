@@ -2,6 +2,7 @@ package masked
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"repro/internal/apps"
@@ -50,6 +51,10 @@ type Session struct {
 	def   opSpec
 	ws    *core.Workspaces
 	cache *planner.Cache
+	// model is the cost model the session plans with: DefaultModel when
+	// calibration is off, the host-calibrated model otherwise. Immutable
+	// after NewSession.
+	model *planner.Model
 	// arb splits the session thread budget across concurrent batch/serve
 	// requests; one arbiter per session, so overlapping MultiplyBatch and
 	// Serve calls share one budget instead of multiplying it.
@@ -77,6 +82,7 @@ type opSpec struct {
 	sched      Sched
 	sr         Semiring
 	hasSR      bool
+	calib      Calibration // WithCalibration: cost-model calibration mode (NewSession only)
 }
 
 func (d opSpec) apply(opts []Op) opSpec {
@@ -165,6 +171,63 @@ func WithInflight(k int) Op {
 	return func(d *opSpec) { d.inflight = k }
 }
 
+// Calibration selects how a session obtains its planner cost model; see
+// WithCalibration.
+type Calibration int
+
+const (
+	// CalibrationOff (the default) plans with the hand-tuned §8 model — the
+	// dimensionless unit costs every prior release used. Fully deterministic:
+	// no probes run, no files are read.
+	CalibrationOff Calibration = iota
+	// CalibrationAuto plans with the host-calibrated model: the per-host
+	// cached fit when one exists, else a one-time ~10 ms probe pass whose
+	// result is cached for future sessions (planner.HostModel).
+	CalibrationAuto
+	// CalibrationForce re-runs the calibration probes unconditionally,
+	// overwriting the per-host cache — for benchmarking after hardware or
+	// toolchain changes.
+	CalibrationForce
+)
+
+// String returns the flag spelling of the mode ("off", "auto", "force").
+func (c Calibration) String() string {
+	switch c {
+	case CalibrationAuto:
+		return "auto"
+	case CalibrationForce:
+		return "force"
+	default:
+		return "off"
+	}
+}
+
+// ParseCalibration parses a -calibrate flag value ("off", "auto", "force").
+func ParseCalibration(s string) (Calibration, error) {
+	switch s {
+	case "off", "":
+		return CalibrationOff, nil
+	case "auto":
+		return CalibrationAuto, nil
+	case "force":
+		return CalibrationForce, nil
+	}
+	return CalibrationOff, fmt.Errorf("masked: unknown calibration mode %q (want off, auto or force)", s)
+}
+
+// WithCalibration selects the session's cost-model calibration mode:
+// CalibrationOff (the default) keeps the hand-tuned dimensionless model,
+// CalibrationAuto installs the host's measured cost coefficients (cached per
+// host, probed once when absent), CalibrationForce re-probes unconditionally.
+// Calibration changes only which plan the planner picks and how many workers
+// the serving arbiter grants — results are bit-identical under every mode.
+// It takes effect on NewSession only and is ignored on individual operations
+// (a session's model is fixed at construction, so its cached plans are all
+// priced consistently).
+func WithCalibration(c Calibration) Op {
+	return func(d *opSpec) { d.calib = c }
+}
+
 // WithPlanCacheCapacity bounds the session plan cache to roughly n entries
 // (LRU-evicted per shard; 0 = planner.DefaultCacheCapacity). It only takes
 // effect on NewSession — the cache is constructed once per session — and is
@@ -178,13 +241,20 @@ func WithPlanCacheCapacity(n int) Op {
 // every operation.
 func NewSession(opts ...Op) *Session {
 	def := opSpec{}.apply(opts)
-	return &Session{
+	s := &Session{
 		def:    def,
 		ws:     core.NewWorkspaces(),
 		cache:  planner.NewCacheCapacity(def.cacheCap),
 		arb:    parallel.NewArbiter(def.threads, def.inflight),
 		flight: make(map[flightKey]*flightCall),
 	}
+	s.model = planner.DefaultModel()
+	if def.calib != CalibrationOff {
+		s.model = planner.HostModel(def.calib == CalibrationForce)
+		s.cache.SetModel(s.model)
+		s.arb.SetCostPerWorker(s.model.CostPerWorker)
+	}
+	return s
 }
 
 // defaultSession backs the deprecated free functions.
@@ -257,8 +327,24 @@ func (s *Session) execute(d opSpec, o Options, m *Pattern, a, b *Matrix) (*Matri
 		return c, nil, err
 	}
 	p := s.cache.Analyze(m, a.Pattern(), b.Pattern(), o)
-	c, err := planner.Execute(p, m, a, b, d.semiring(), o, nil)
-	return c, stampOps(p, d.semiring()), err
+	var stats []core.BlockStat
+	c, err := planner.Execute(p, m, a, b, d.semiring(), o, &stats)
+	q := stampOps(p, d.semiring())
+	if err == nil {
+		// Close the feedback loop: fold the drivers' measured per-block
+		// kernel time into the cached entry's prediction-error state, and
+		// stamp the observation on the returned copy (never the shared
+		// cached plan) so Explain can show predicted vs actual.
+		var actual int64
+		blockNs := make([]int64, len(stats))
+		for i, bs := range stats {
+			actual += bs.ElapsedNs
+			blockNs[i] = bs.ElapsedNs
+		}
+		fb, _ := s.cache.Record(p, actual)
+		q = q.WithExec(planner.ExecStats{ActualNs: actual, BlockNs: blockNs, Feedback: fb})
+	}
+	return c, q, err
 }
 
 // stampOps returns a shallow copy of p labeled with the operator path

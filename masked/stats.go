@@ -21,12 +21,29 @@ type ArbiterStats = parallel.ArbiterStats
 // allocate (zero growth once the session is warm).
 type DriverPoolStats = core.PoolStats
 
+// CalibrationStats describes the cost model a session plans with — fixed at
+// NewSession, so every field is constant for the session's lifetime.
+type CalibrationStats struct {
+	// Mode is the session's calibration mode ("off", "auto", "force").
+	Mode string
+	// Source is where the model's coefficients came from: "default" (the
+	// hand-tuned §8 constants), "probed" (this process ran the calibration
+	// probes) or "host-cache" (a previous process's fit for this host).
+	Source string
+	// NsPerUnit is the measured nanoseconds one model cost unit corresponds
+	// to (1 for the dimensionless default model).
+	NsPerUnit float64
+	// CostPerWorker is the admission cost unit the serving arbiter divides
+	// asks by.
+	CostPerWorker int64
+}
+
 // Stats is one unified snapshot of a session's observability counters:
-// the plan cache, the serving arbiter, and the driver buffer pools. The
-// monotonic fields within each component (hits, misses, evictions,
-// admitted, steals, top-ups, rejections, pool gets/misses) can be
-// differenced between two snapshots to rate a serving window; the rest
-// describe the moment of the snapshot.
+// the plan cache, the serving arbiter, the driver buffer pools, and the
+// session's calibration. The monotonic fields within each component (hits,
+// misses, evictions, records, replans, admitted, steals, top-ups,
+// rejections, pool gets/misses) can be differenced between two snapshots to
+// rate a serving window; the rest describe the moment of the snapshot.
 type Stats struct {
 	// Cache is the plan cache snapshot (Session.PlanCacheStats).
 	Cache CacheStats
@@ -34,6 +51,8 @@ type Stats struct {
 	Arbiter ArbiterStats
 	// DriverPool is the driver buffer pool snapshot.
 	DriverPool DriverPoolStats
+	// Calibration describes the session's cost model.
+	Calibration CalibrationStats
 }
 
 // Stats returns one snapshot of all the session's observability counters.
@@ -45,5 +64,11 @@ func (s *Session) Stats() Stats {
 		Cache:      s.cache.Stats(),
 		Arbiter:    s.arb.Stats(),
 		DriverPool: s.ws.PoolStatsSnapshot(),
+		Calibration: CalibrationStats{
+			Mode:          s.def.calib.String(),
+			Source:        s.model.Source,
+			NsPerUnit:     s.model.NsPerUnit,
+			CostPerWorker: s.model.CostPerWorker,
+		},
 	}
 }
