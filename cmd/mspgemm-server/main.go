@@ -12,6 +12,10 @@
 //
 //	mspgemm-server -smoke http://127.0.0.1:8080        # end-to-end check
 //	mspgemm-server -healthcheck http://127.0.0.1:8080  # GET /healthz
+//
+// For chaos testing, -faults (or MSPGEMM_FAULTS) arms the deterministic
+// fault-injection registry of internal/faultinject; the smoke client
+// retries, so a bounded fault schedule must still produce correct answers.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/matrix"
 	"repro/internal/server"
 	"repro/internal/wire"
@@ -45,10 +50,20 @@ func main() {
 		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
 		maxDeadline = flag.Duration("max-deadline", 5*time.Minute, "cap on requested deadlines")
 		drain       = flag.Duration("drain", 30*time.Second, "shutdown drain timeout")
+		faults      = flag.String("faults", "", "fault-injection spec, e.g. 'seed=7;server.handler.panic=0.1,limit:3' (also MSPGEMM_FAULTS; chaos testing only)")
 		smoke       = flag.String("smoke", "", "run an end-to-end smoke test against this base URL and exit")
 		healthcheck = flag.String("healthcheck", "", "probe this base URL's /healthz and exit")
 	)
 	flag.Parse()
+
+	if spec := firstNonEmpty(*faults, os.Getenv("MSPGEMM_FAULTS")); spec != "" {
+		reg, err := faultinject.Parse(spec)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		faultinject.Set(reg)
+		log.Printf("mspgemm-server: FAULT INJECTION ARMED: %s", reg.Describe())
+	}
 
 	if *healthcheck != "" {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -99,13 +114,26 @@ func main() {
 	log.Print("mspgemm-server: drained in-flight requests, exiting")
 }
 
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
 // runSmoke drives one of every request through a running server and
 // verifies the answers against in-process computations — the CI server
-// smoke job and a quick deployment sanity check.
+// smoke job and a quick deployment sanity check. The client retries, so
+// the smoke also passes against a server running with -faults armed (the
+// CI chaos job) as long as every fault schedule is bounded.
 func runSmoke(baseURL string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
-	c := server.NewClient(baseURL, nil)
+	c := server.NewClient(baseURL, nil, server.WithRetry(server.RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+	}))
 
 	if err := c.Healthz(ctx); err != nil {
 		return fmt.Errorf("healthz: %w", err)

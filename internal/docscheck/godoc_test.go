@@ -18,6 +18,7 @@ import (
 // identifier in them — functions, methods on exported types, types, and
 // package-level const/var specs — must carry a doc comment.
 var godocPackages = []string{
+	"internal/faultinject",
 	"masked",
 	"internal/planner",
 	"internal/server",

@@ -1,0 +1,131 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDisabledIsInert checks the nil-default path: no registry, no fires,
+// no allocations in the hook.
+func TestDisabledIsInert(t *testing.T) {
+	Set(nil)
+	if Enabled() {
+		t.Fatal("Enabled with no registry installed")
+	}
+	for i := 0; i < 100; i++ {
+		if Fire(PointServerPanic) {
+			t.Fatal("disabled point fired")
+		}
+	}
+	Sleep(PointServerSlow) // must return immediately
+	if Stats() != nil {
+		t.Fatal("Stats non-nil with no registry")
+	}
+	if n := testing.AllocsPerRun(100, func() { Fire(PointKernelPanic) }); n != 0 {
+		t.Fatalf("disabled Fire allocates %v per call", n)
+	}
+}
+
+// TestEveryAndLimit checks the deterministic modular schedule and the fire
+// cap.
+func TestEveryAndLimit(t *testing.T) {
+	r := New(1)
+	r.Add(Rule{Point: "p", Every: 3, Limit: 2})
+	Set(r)
+	defer Set(nil)
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if Fire("p") {
+			fired = append(fired, i)
+		}
+	}
+	// Fires on evaluations 3 and 6; the limit of 2 then disarms it.
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 6 {
+		t.Fatalf("fired on evaluations %v, want [3 6]", fired)
+	}
+	if got := Stats()["p"]; got != 2 {
+		t.Fatalf("stats report %d fires, want 2", got)
+	}
+}
+
+// TestSeedDeterminism checks two registries with the same seed produce the
+// same probabilistic fire sequence, and a different seed a different one.
+func TestSeedDeterminism(t *testing.T) {
+	seq := func(seed int64) []bool {
+		r := New(seed)
+		r.Add(Rule{Point: "p", Rate: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			f, _ := r.evaluate("p")
+			out[i] = f
+		}
+		return out
+	}
+	a, b, c := seq(7), seq(7), seq(8)
+	same := func(x, y []bool) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !same(a, b) {
+		t.Fatal("same seed produced different fire sequences")
+	}
+	if same(a, c) {
+		t.Fatal("different seeds produced identical fire sequences (suspicious)")
+	}
+}
+
+// TestParse checks the spec grammar end to end and its error cases.
+func TestParse(t *testing.T) {
+	r, err := Parse("seed=7; server.handler.panic=0.3,limit:10 ; server.handler.slow=every:2,delay:20ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mu.Lock()
+	pan := r.rules[PointServerPanic]
+	slow := r.rules[PointServerSlow]
+	r.mu.Unlock()
+	if pan == nil || pan.Rate != 0.3 || pan.Limit != 10 {
+		t.Fatalf("panic rule %+v", pan)
+	}
+	if slow == nil || slow.Every != 2 || slow.Delay != 20*time.Millisecond {
+		t.Fatalf("slow rule %+v", slow)
+	}
+	if d := r.Describe(); d == "" {
+		t.Fatal("empty Describe for armed registry")
+	}
+
+	if r, err := Parse("   "); err != nil || r != nil {
+		t.Fatalf("empty spec: %v, %v", r, err)
+	}
+	for _, bad := range []string{
+		"nonsense",
+		"p=2.0",
+		"p=every:0",
+		"p=limit:x",
+		"p=delay:fast",
+		"p=",
+		"seed=abc",
+		"p=bogus:1",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+// TestSleepDelay checks a firing delay rule actually blocks.
+func TestSleepDelay(t *testing.T) {
+	r := New(1)
+	r.Add(Rule{Point: "p", Every: 1, Delay: 20 * time.Millisecond})
+	Set(r)
+	defer Set(nil)
+	start := time.Now()
+	Sleep("p")
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("Sleep returned after %v, want >= 20ms", d)
+	}
+}

@@ -1,0 +1,93 @@
+package parallel
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// TestWorkerPanicRethrown checks a panic on a worker goroutine surfaces on
+// the calling goroutine as a WorkerPanic carrying the worker's stack, and
+// that the surviving workers drain instead of hanging or crashing.
+func TestWorkerPanicRethrown(t *testing.T) {
+	defer func() {
+		v := recover()
+		wp, ok := v.(WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T %v, want WorkerPanic", v, v)
+		}
+		if wp.Value != "boom at 500" {
+			t.Fatalf("panic value %v", wp.Value)
+		}
+		if !strings.Contains(wp.String(), "boom at 500") || !strings.Contains(wp.String(), "goroutine") {
+			t.Fatalf("WorkerPanic string misses value or stack:\n%s", wp)
+		}
+	}()
+	ForGrain(10_000, 4, 1, func(i int) {
+		if i == 500 {
+			panic("boom at 500")
+		}
+	})
+	t.Fatal("ForGrain returned normally past a panicking body")
+}
+
+// TestWorkerPanicPoisonsClaims checks that after one worker panics, the
+// other workers stop claiming chunks quickly (the claim counter is
+// poisoned), rather than running the full iteration space.
+func TestWorkerPanicPoisonsClaims(t *testing.T) {
+	var ran atomic.Int64
+	func() {
+		defer func() { recover() }()
+		ForWorkers(1_000_000, 4, 1, func(id int, claim func() (int, int, bool)) {
+			if id == 0 {
+				panic("die early")
+			}
+			for {
+				lo, _, ok := claim()
+				if !ok {
+					return
+				}
+				ran.Add(1)
+				if lo == 0 {
+					// Give the panicking worker time to poison the counter.
+					time.Sleep(5 * time.Millisecond)
+				}
+			}
+		})
+	}()
+	if n := ran.Load(); n > 500_000 {
+		t.Fatalf("survivors ran %d of 1000000 single-index chunks after poison", n)
+	}
+}
+
+// TestWorkerPanicFaultPoint checks the parallel.worker.panic injection point
+// fires on a worker goroutine and arrives as a WorkerPanic, with no
+// goroutines left behind.
+func TestWorkerPanicFaultPoint(t *testing.T) {
+	base := runtime.NumGoroutine()
+	r := faultinject.New(1)
+	r.Add(faultinject.Rule{Point: faultinject.PointWorkerPanic, Every: 1, Limit: 1})
+	faultinject.Set(r)
+	defer faultinject.Set(nil)
+
+	caught := func() (v any) {
+		defer func() { v = recover() }()
+		For(4096, 4, func(i int) {})
+		return nil
+	}()
+	if wp, ok := caught.(WorkerPanic); !ok || !strings.Contains(wp.String(), faultinject.PointWorkerPanic) {
+		t.Fatalf("recovered %T %v, want injected WorkerPanic", caught, caught)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base {
+		t.Fatalf("goroutines leaked after worker panic: %d > %d", n, base)
+	}
+}

@@ -13,9 +13,13 @@ package parallel
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
 
 // DefaultGrain is the number of consecutive loop indices a worker claims at
@@ -30,6 +34,61 @@ func Threads(n int) int {
 		return n
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// WorkerPanic is what the coordinator re-panics with on its own goroutine
+// when a worker goroutine panics: the first worker's panic value plus that
+// worker's stack, captured at the point of panic. Without this translation a
+// worker panic would crash the process from a goroutine nobody can recover
+// on; with it, the panic surfaces on the goroutine that called For/ForChunks
+// /ForWorkers, where the serving layer's recover barriers can turn it into
+// an error response.
+type WorkerPanic struct {
+	// Value is the original panic value from the worker goroutine.
+	Value any
+	// Stack is the worker goroutine's stack at the point of panic.
+	Stack []byte
+}
+
+// String renders the original panic value and the worker stack.
+func (p WorkerPanic) String() string {
+	return fmt.Sprintf("parallel: worker panic: %v\n%s", p.Value, p.Stack)
+}
+
+// panicBox collects the first worker panic of a parallel loop. capture runs
+// deferred on each worker; it poisons the shared claim counter so surviving
+// workers drain within one grain, and records the panic for rethrow to
+// re-raise on the coordinator after wg.Wait (which orders the writes).
+type panicBox struct {
+	once sync.Once
+	pan  *WorkerPanic
+}
+
+// poisonClaims is stored into a loop's claim counter when a worker panics:
+// far beyond any real n, so every later claim comes back empty.
+const poisonClaims = int64(1) << 62
+
+func (b *panicBox) capture(next *atomic.Int64) {
+	if v := recover(); v != nil {
+		stack := debug.Stack()
+		b.once.Do(func() {
+			b.pan = &WorkerPanic{Value: v, Stack: stack}
+		})
+		next.Store(poisonClaims)
+	}
+}
+
+func (b *panicBox) rethrow() {
+	if b.pan != nil {
+		panic(*b.pan)
+	}
+}
+
+// maybePanic fires the parallel.worker.panic fault-injection point.
+func maybePanic() {
+	if faultinject.Fire(faultinject.PointWorkerPanic) {
+		panic("faultinject: " + faultinject.PointWorkerPanic)
+	}
 }
 
 // For runs body(i) for every i in [0, n) using the given number of worker
@@ -52,6 +111,11 @@ func ForGrain(n, workers, grain int, body func(i int)) {
 // Chunks are claimed dynamically. Each worker goroutine calls body
 // sequentially for the chunks it claims, so per-worker state can be reused
 // across chunks only via ForWorkers.
+//
+// A panic in body does not crash the process from a worker goroutine: the
+// remaining workers drain (at most one in-flight chunk each), and the first
+// panic is re-raised on the calling goroutine as a WorkerPanic carrying the
+// worker's stack, where the caller's own recover (if any) sees it.
 func ForChunks(n, workers, grain int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -69,15 +133,19 @@ func ForChunks(n, workers, grain int, body func(lo, hi int)) {
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var pan panicBox
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		go func() {
 			defer wg.Done()
+			defer pan.capture(&next)
+			maybePanic()
 			for {
-				lo := int(next.Add(int64(grain))) - grain
-				if lo >= n {
+				lo64 := next.Add(int64(grain)) - int64(grain)
+				if lo64 >= int64(n) {
 					return
 				}
+				lo := int(lo64)
 				hi := lo + grain
 				if hi > n {
 					hi = n
@@ -87,6 +155,7 @@ func ForChunks(n, workers, grain int, body func(lo, hi int)) {
 		}()
 	}
 	wg.Wait()
+	pan.rethrow()
 }
 
 // ForWorkers runs p worker goroutines. Each worker receives its worker id
@@ -94,6 +163,9 @@ func ForChunks(n, workers, grain int, body func(lo, hi int)) {
 // [lo, hi) of [0, n) until ok is false. This form lets a worker allocate
 // scratch state (e.g. an accumulator) once and reuse it across all chunks it
 // processes, which is how the SpGEMM kernels avoid per-row allocation.
+//
+// Worker panics are re-raised on the calling goroutine as a WorkerPanic
+// (see ForChunks); surviving workers see claim report done and drain.
 func ForWorkers(n, workers, grain int, worker func(id int, claim func() (lo, hi int, ok bool))) {
 	if n <= 0 {
 		return
@@ -110,10 +182,11 @@ func ForWorkers(n, workers, grain int, worker func(id int, claim func() (lo, hi 
 	}
 	var next atomic.Int64
 	claim := func() (int, int, bool) {
-		lo := int(next.Add(int64(grain))) - grain
-		if lo >= n {
+		lo64 := next.Add(int64(grain)) - int64(grain)
+		if lo64 >= int64(n) {
 			return 0, 0, false
 		}
+		lo := int(lo64)
 		hi := lo + grain
 		if hi > n {
 			hi = n
@@ -125,14 +198,18 @@ func ForWorkers(n, workers, grain int, worker func(id int, claim func() (lo, hi 
 		return
 	}
 	var wg sync.WaitGroup
+	var pan panicBox
 	wg.Add(p)
 	for w := 0; w < p; w++ {
 		go func(id int) {
 			defer wg.Done()
+			defer pan.capture(&next)
+			maybePanic()
 			worker(id, claim)
 		}(w)
 	}
 	wg.Wait()
+	pan.rethrow()
 }
 
 // ForWorkersCtx is ForWorkers with cooperative cancellation: the claim

@@ -26,6 +26,7 @@ package planner
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -231,15 +232,19 @@ func loadHostModel() *Model {
 	return m
 }
 
-// saveHostModel persists a fitted model for this host, best-effort: a
-// read-only cache dir costs a re-probe next process, never an error.
-func saveHostModel(m *Model) {
+// saveHostModel persists a fitted model for this host atomically: the file
+// is written to a temp name in the cache directory and renamed into place,
+// so a concurrent process (or a crash mid-write) can never leave a
+// truncated file for loadHostModel to half-parse. Failure is best-effort —
+// a read-only cache dir costs a re-probe next process — but the reason is
+// returned so HostModel can surface it on the model.
+func saveHostModel(m *Model) error {
 	path := calibPath()
 	if path == "" {
-		return
+		return errors.New("no cache directory resolvable")
 	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return
+		return err
 	}
 	data, err := json.MarshalIndent(hostCalibrationFile{
 		Version:    calibFileVersion,
@@ -250,9 +255,26 @@ func saveHostModel(m *Model) {
 		Model:      *m,
 	}, "", "  ")
 	if err != nil {
-		return
+		return err
 	}
-	_ = os.WriteFile(path, append(data, '\n'), 0o644)
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".calibration-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 var (
@@ -278,7 +300,9 @@ func HostModel(force bool) *Model {
 		}
 	}
 	m := Calibrate()
-	saveHostModel(m)
+	if err := saveHostModel(m); err != nil {
+		m.SaveErr = err.Error()
+	}
 	hostModelCached = m
 	return m
 }

@@ -1,0 +1,52 @@
+package planner
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestHostModelSaveAtomic checks a forced calibration persists its model
+// via temp-file-plus-rename: the cache file parses back, no temp files are
+// left behind, and SaveErr stays empty.
+func TestHostModelSaveAtomic(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv(CalibrationDirEnv, dir)
+
+	m := HostModel(true)
+	if m.SaveErr != "" {
+		t.Fatalf("save failed: %s", m.SaveErr)
+	}
+	if loaded := loadHostModel(); loaded == nil {
+		t.Fatal("freshly saved host model does not load back")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind after save", e.Name())
+		}
+		if !strings.HasPrefix(e.Name(), "calibration-") {
+			t.Fatalf("unexpected file %s in calibration dir", e.Name())
+		}
+	}
+}
+
+// TestHostModelSaveErrorSurfaced checks a failing save is reported on the
+// model instead of swallowed: the cache "directory" is an existing file,
+// so MkdirAll fails deterministically.
+func TestHostModelSaveErrorSurfaced(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv(CalibrationDirEnv, blocker)
+
+	m := HostModel(true)
+	if m.SaveErr == "" {
+		t.Fatal("save into a non-directory reported no error")
+	}
+}

@@ -55,6 +55,12 @@ type Model struct {
 	// "probed" (fresh calibration run) or "host-cache" (loaded from the
 	// per-host file a previous run saved).
 	Source string `json:"source"`
+	// SaveErr records why persisting this model to the per-host cache file
+	// failed ("" on success or when no save was attempted). Saving is
+	// best-effort — a failure only costs a re-probe next process — but the
+	// reason is surfaced (masked.CalibrationStats.SaveError) instead of
+	// swallowed. Not serialized: it describes this process's save attempt.
+	SaveErr string `json:"-"`
 }
 
 // DefaultModel returns the hand-tuned reference coefficients: every unit

@@ -3,15 +3,32 @@ package server
 // Client speaks the wire protocol to a running server. The bench
 // serve-load study, the cmd/mspgemm-server smoke mode, and the tests all
 // drive servers through it.
+//
+// Requests are sent as checksummed (version-2) wire frames and responses
+// are verified on decode, so corruption in either direction surfaces as a
+// typed error instead of silently wrong operands. With WithRetry the
+// client additionally retries transient failures — saturation (429, with
+// the server's Retry-After hint), connection errors, checksum/truncation
+// corruption, per-attempt timeouts — under exponential backoff with full
+// jitter. Every request this package sends is a pure computation
+// (multiplies, triangle counts, BFS are side-effect free), so every
+// outcome that cannot be a deterministic property of the request itself is
+// idempotent-safe to retry.
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -29,23 +46,138 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("server: HTTP %d: %s", e.Code, e.Message)
 }
 
+// SaturatedError is an HTTP 429 refusal: the server's admission cap is
+// full. It unwraps to ErrSaturated (use errors.Is to classify) and carries
+// the parsed Retry-After hint, which the retry policy honors.
+type SaturatedError struct {
+	// RetryAfter is the server's parsed Retry-After hint (0 when the header
+	// was absent or unparseable).
+	RetryAfter time.Duration
+}
+
+// Error formats the refusal with its hint.
+func (e *SaturatedError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("%v (Retry-After: %v)", ErrSaturated, e.RetryAfter)
+	}
+	return ErrSaturated.Error()
+}
+
+// Unwrap makes errors.Is(err, ErrSaturated) true.
+func (e *SaturatedError) Unwrap() error { return ErrSaturated }
+
+// RetryPolicy bounds the client's retry loop. The zero value disables
+// retries (one attempt, the pre-retry behavior).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts including the first
+	// (<= 1 means no retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: attempt k backs off a
+	// uniformly random duration in [0, min(BaseDelay·2^k, MaxDelay)] (full
+	// jitter), raised to the server's Retry-After hint when one was given.
+	// 0 means 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps each backoff delay — including the Retry-After hint, so
+	// a slow server cannot stall the retry loop beyond the caller's
+	// patience. 0 means 2s.
+	MaxDelay time.Duration
+	// AttemptTimeout bounds each individual attempt; the caller's ctx
+	// bounds the whole loop. 0 applies no per-attempt bound. An attempt
+	// that hits its own timeout is retried (the overall ctx is the real
+	// budget); an overall ctx expiry is returned as-is.
+	AttemptTimeout time.Duration
+}
+
+// ClientStats are the client's monotonic retry-loop counters.
+type ClientStats struct {
+	// Attempts counts HTTP attempts, including first tries.
+	Attempts int64
+	// Retries counts attempts beyond each request's first.
+	Retries int64
+	// ChecksumErrors counts attempts that failed on a CRC32-C payload
+	// mismatch (wire.ErrChecksum) — corruption the checksums caught.
+	ChecksumErrors int64
+}
+
+// ClientOpt configures a Client (NewClient's variadic tail).
+type ClientOpt func(*Client)
+
+// WithRetry arms the client's retry loop with p. Without it the client
+// makes exactly one attempt per request.
+func WithRetry(p RetryPolicy) ClientOpt {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithMaxResponseBytes caps how many response-body bytes the client will
+// read (0 or less keeps the 1 GiB default). Larger responses fail with a
+// StatusError instead of ballooning client memory.
+func WithMaxResponseBytes(n int64) ClientOpt {
+	return func(c *Client) {
+		if n > 0 {
+			c.maxResp = n
+		}
+	}
+}
+
+// defaultMaxResponseBytes bounds response bodies when WithMaxResponseBytes
+// is not given.
+const defaultMaxResponseBytes = 1 << 30
+
 // Client is a wire-protocol client for one server.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retry   RetryPolicy
+	maxResp int64
+
+	attempts, retries, checksumErrs atomic.Int64
 }
 
 // NewClient returns a client for the server at baseURL
-// ("http://host:port"). hc nil means http.DefaultClient.
-func NewClient(baseURL string, hc *http.Client) *Client {
+// ("http://host:port"). hc nil means http.DefaultClient. Options arm
+// retries (WithRetry) and adjust limits; a bare NewClient(url, nil) is the
+// single-attempt client earlier releases shipped.
+func NewClient(baseURL string, hc *http.Client, opts ...ClientOpt) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      hc,
+		maxResp: defaultMaxResponseBytes,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Stats reads the client's retry-loop counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Attempts:       c.attempts.Load(),
+		Retries:        c.retries.Load(),
+		ChecksumErrors: c.checksumErrs.Load(),
+	}
+}
+
+// readCapped reads a response body up to the client's cap, failing on
+// larger bodies before buffering them.
+func (c *Client) readCapped(body io.Reader) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(body, c.maxResp+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > c.maxResp {
+		return nil, &StatusError{Code: http.StatusInsufficientStorage,
+			Message: fmt.Sprintf("response exceeds client cap of %d bytes", c.maxResp)}
+	}
+	return data, nil
 }
 
 // post sends a frame-sequence body and returns the response body, mapping
-// HTTP 429 onto ErrSaturated and other non-200s onto StatusError.
+// HTTP 429 onto *SaturatedError (which unwraps to ErrSaturated) and other
+// non-200s onto StatusError.
 func (c *Client) post(ctx context.Context, path string, body []byte) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
 	if err != nil {
@@ -57,17 +189,163 @@ func (c *Client) post(ctx context.Context, path string, body []byte) ([]byte, er
 		return nil, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	data, err := c.readCapped(resp.Body)
 	if err != nil {
 		return nil, err
 	}
 	switch {
 	case resp.StatusCode == http.StatusTooManyRequests:
-		return nil, fmt.Errorf("%w (Retry-After: %ss)", ErrSaturated, resp.Header.Get("Retry-After"))
+		return nil, &SaturatedError{RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After"))}
 	case resp.StatusCode != http.StatusOK:
 		return nil, &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(data))}
 	}
 	return data, nil
+}
+
+// parseRetryAfter parses the delay-seconds form of a Retry-After header
+// (the form the server sends; the HTTP-date form is not used here).
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.ParseInt(strings.TrimSpace(h), 10, 32)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryable classifies an attempt's failure: (hint, true) for transient,
+// idempotent-safe outcomes the retry loop may retry — saturation (with the
+// server's Retry-After as hint), transport errors, checksum or truncation
+// corruption in either direction, 5xx responses — and false for
+// deterministic outcomes (validation errors, unsupported requests,
+// cancellation) that would fail identically again.
+func retryable(err error) (hint time.Duration, ok bool) {
+	var se *SaturatedError
+	if errors.As(err, &se) {
+		return se.RetryAfter, true
+	}
+	if errors.Is(err, ErrSaturated) {
+		return 0, true
+	}
+	if errors.Is(err, wire.ErrChecksum) || errors.Is(err, wire.ErrTruncated) {
+		// The *response* was corrupted in flight and the decoder caught it.
+		return 0, true
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return 0, false
+	}
+	var st *StatusError
+	if errors.As(err, &st) {
+		switch {
+		case st.Code >= 500:
+			// Includes panics the server recovered into a 500: multiplies
+			// are pure, so re-running one is always safe — and a panic
+			// caused by the request itself will deterministically exhaust
+			// MaxAttempts rather than loop forever.
+			return 0, true
+		case st.Code == http.StatusBadRequest &&
+			(strings.Contains(st.Message, "checksum mismatch") || strings.Contains(st.Message, "truncated frame")):
+			// The *request* arrived corrupted and the server's decoder
+			// caught it; the retry re-encodes a clean body.
+			return 0, true
+		}
+		return 0, false
+	}
+	var ue *url.Error
+	if errors.As(err, &ue) {
+		// Connection-level failure (refused, reset, broken transport).
+		return 0, true
+	}
+	return 0, false
+}
+
+// backoff sleeps the full-jitter exponential delay for the given attempt
+// index, raised to the server's hint (both capped by MaxDelay), or returns
+// early with ctx's error.
+func (c *Client) backoff(ctx context.Context, attempt int, hint time.Duration) error {
+	base := c.retry.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxd := c.retry.MaxDelay
+	if maxd <= 0 {
+		maxd = 2 * time.Second
+	}
+	ceil := maxd
+	if attempt < 30 {
+		if d := base << attempt; d < ceil {
+			ceil = d
+		}
+	}
+	d := time.Duration(rand.Int63n(int64(ceil) + 1))
+	if hint > maxd {
+		hint = maxd
+	}
+	if d < hint {
+		d = hint
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// do runs one logical request through the retry loop: each attempt encodes
+// a fresh body (mkBody), posts it, and decodes the response; transient
+// failures back off and retry up to the policy's budget under ctx. The
+// body is re-encoded per attempt because a retry must never resend bytes a
+// previous attempt may have had corrupted in flight.
+func (c *Client) do(ctx context.Context, path string, mkBody func() []byte, decode func([]byte) error) error {
+	maxAttempts := c.retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var err error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
+		c.attempts.Add(1)
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if c.retry.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, c.retry.AttemptTimeout)
+		}
+		var data []byte
+		data, err = c.post(actx, path, mkBody())
+		if err == nil {
+			err = decode(data)
+		}
+		attemptTimedOut := cancel != nil && actx.Err() != nil && ctx.Err() == nil
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, wire.ErrChecksum) {
+			c.checksumErrs.Add(1)
+		}
+		if ctx.Err() != nil {
+			return err // the overall budget is spent; no point classifying
+		}
+		hint, ok := retryable(err)
+		if attemptTimedOut {
+			hint, ok = 0, true // per-attempt timeout under a healthy overall ctx
+		}
+		if !ok || attempt == maxAttempts-1 {
+			return err
+		}
+		if c.backoff(ctx, attempt, hint) != nil {
+			return err
+		}
+	}
+	return err
 }
 
 // frameError maps a FrameError payload onto the client error vocabulary.
@@ -84,22 +362,28 @@ func frameError(payload []byte) error {
 
 // Multiply runs one masked multiply on the server.
 func (c *Client) Multiply(ctx context.Context, req *wire.MultiplyReq) (*wire.MultiplyRes, error) {
-	data, err := c.post(ctx, "/v1/multiply", req.Encode(nil))
+	var out *wire.MultiplyRes
+	err := c.do(ctx, "/v1/multiply",
+		func() []byte { return wire.WithChecksum(req.Encode(nil)) },
+		func(data []byte) error {
+			t, payload, _, err := wire.DecodeFrame(data)
+			if err != nil {
+				return err
+			}
+			switch t {
+			case wire.FrameMultiplyRes:
+				out, err = wire.DecodeMultiplyRes(payload)
+				return err
+			case wire.FrameError:
+				return frameError(payload)
+			default:
+				return fmt.Errorf("server: unexpected frame type %d", t)
+			}
+		})
 	if err != nil {
 		return nil, err
 	}
-	t, payload, _, err := wire.DecodeFrame(data)
-	if err != nil {
-		return nil, err
-	}
-	switch t {
-	case wire.FrameMultiplyRes:
-		return wire.DecodeMultiplyRes(payload)
-	case wire.FrameError:
-		return nil, frameError(payload)
-	default:
-		return nil, fmt.Errorf("server: unexpected frame type %d", t)
-	}
+	return out, nil
 }
 
 // MultiplyOutcome is one frame's result within a batch response.
@@ -113,80 +397,101 @@ type MultiplyOutcome struct {
 
 // MultiplyBatch runs several multiplies in one request. Outcomes come
 // back in request order; a whole-batch refusal (429, malformed body)
-// returns a request-level error instead.
+// returns a request-level error instead. The retry loop retries
+// whole-request failures only; per-frame errors inside a delivered batch
+// are outcomes, not transport faults.
 func (c *Client) MultiplyBatch(ctx context.Context, reqs []*wire.MultiplyReq) ([]MultiplyOutcome, error) {
-	var body []byte
-	for _, r := range reqs {
-		body = r.Encode(body)
-	}
-	data, err := c.post(ctx, "/v1/multiply", body)
+	var out []MultiplyOutcome
+	err := c.do(ctx, "/v1/multiply",
+		func() []byte {
+			var body []byte
+			for _, r := range reqs {
+				body = r.Encode(body)
+			}
+			return wire.WithChecksum(body)
+		},
+		func(data []byte) error {
+			out = make([]MultiplyOutcome, 0, len(reqs))
+			for len(data) > 0 {
+				t, payload, rest, err := wire.DecodeFrame(data)
+				if err != nil {
+					return err
+				}
+				switch t {
+				case wire.FrameMultiplyRes:
+					res, err := wire.DecodeMultiplyRes(payload)
+					out = append(out, MultiplyOutcome{Res: res, Err: err})
+				case wire.FrameError:
+					out = append(out, MultiplyOutcome{Err: frameError(payload)})
+				default:
+					return fmt.Errorf("server: unexpected frame type %d", t)
+				}
+				data = rest
+			}
+			if len(out) != len(reqs) {
+				return fmt.Errorf("server: %d response frames for %d requests", len(out), len(reqs))
+			}
+			return nil
+		})
 	if err != nil {
 		return nil, err
-	}
-	out := make([]MultiplyOutcome, 0, len(reqs))
-	for len(data) > 0 {
-		t, payload, rest, err := wire.DecodeFrame(data)
-		if err != nil {
-			return nil, err
-		}
-		switch t {
-		case wire.FrameMultiplyRes:
-			res, err := wire.DecodeMultiplyRes(payload)
-			out = append(out, MultiplyOutcome{Res: res, Err: err})
-		case wire.FrameError:
-			out = append(out, MultiplyOutcome{Err: frameError(payload)})
-		default:
-			return nil, fmt.Errorf("server: unexpected frame type %d", t)
-		}
-		data = rest
-	}
-	if len(out) != len(reqs) {
-		return nil, fmt.Errorf("server: %d response frames for %d requests", len(out), len(reqs))
 	}
 	return out, nil
 }
 
 // TriangleCount runs a triangle count on the server.
 func (c *Client) TriangleCount(ctx context.Context, req *wire.TriangleCountReq) (*wire.TriangleCountRes, error) {
-	data, err := c.post(ctx, "/v1/triangle-count", req.Encode(nil))
+	var out *wire.TriangleCountRes
+	err := c.do(ctx, "/v1/triangle-count",
+		func() []byte { return wire.WithChecksum(req.Encode(nil)) },
+		func(data []byte) error {
+			t, payload, _, err := wire.DecodeFrame(data)
+			if err != nil {
+				return err
+			}
+			switch t {
+			case wire.FrameTriangleCountRes:
+				out, err = wire.DecodeTriangleCountRes(payload)
+				return err
+			case wire.FrameError:
+				return frameError(payload)
+			default:
+				return fmt.Errorf("server: unexpected frame type %d", t)
+			}
+		})
 	if err != nil {
 		return nil, err
 	}
-	t, payload, _, err := wire.DecodeFrame(data)
-	if err != nil {
-		return nil, err
-	}
-	switch t {
-	case wire.FrameTriangleCountRes:
-		return wire.DecodeTriangleCountRes(payload)
-	case wire.FrameError:
-		return nil, frameError(payload)
-	default:
-		return nil, fmt.Errorf("server: unexpected frame type %d", t)
-	}
+	return out, nil
 }
 
 // BFS runs a single-source BFS on the server.
 func (c *Client) BFS(ctx context.Context, req *wire.BFSReq) (*wire.BFSRes, error) {
-	data, err := c.post(ctx, "/v1/bfs", req.Encode(nil))
+	var out *wire.BFSRes
+	err := c.do(ctx, "/v1/bfs",
+		func() []byte { return wire.WithChecksum(req.Encode(nil)) },
+		func(data []byte) error {
+			t, payload, _, err := wire.DecodeFrame(data)
+			if err != nil {
+				return err
+			}
+			switch t {
+			case wire.FrameBFSRes:
+				out, err = wire.DecodeBFSRes(payload)
+				return err
+			case wire.FrameError:
+				return frameError(payload)
+			default:
+				return fmt.Errorf("server: unexpected frame type %d", t)
+			}
+		})
 	if err != nil {
 		return nil, err
 	}
-	t, payload, _, err := wire.DecodeFrame(data)
-	if err != nil {
-		return nil, err
-	}
-	switch t {
-	case wire.FrameBFSRes:
-		return wire.DecodeBFSRes(payload)
-	case wire.FrameError:
-		return nil, frameError(payload)
-	default:
-		return nil, fmt.Errorf("server: unexpected frame type %d", t)
-	}
+	return out, nil
 }
 
-// get fetches a non-wire endpoint.
+// get fetches a non-wire endpoint (no retries: callers poll these).
 func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
@@ -197,7 +502,7 @@ func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	data, err := c.readCapped(resp.Body)
 	if err != nil {
 		return nil, err
 	}

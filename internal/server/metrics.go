@@ -8,8 +8,10 @@ package server
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/masked"
 )
 
@@ -28,6 +30,15 @@ type MetricsSnapshot struct {
 	// Rejected counts whole-request 429s; Errors other 4xx/5xx responses.
 	Rejected int64 `json:"rejected"`
 	Errors   int64 `json:"errors"`
+	// HandlerPanics counts panics recovered by the handler-level barrier
+	// (decode/encode bugs, injected handler faults); SessionPanics those
+	// recovered at the session request boundary (kernel and worker panics).
+	// Both monotonic; nonzero outside chaos runs means a bug.
+	HandlerPanics int64 `json:"handler_panics"`
+	SessionPanics int64 `json:"session_panics"`
+	// FaultsInjected reports fired fault-injection points by name; nil when
+	// fault injection is disabled (the production state).
+	FaultsInjected map[string]int64 `json:"faults_injected,omitempty"`
 	// BytesIn and BytesOut count request body bytes read and response
 	// frame bytes written.
 	BytesIn  int64 `json:"bytes_in"`
@@ -48,6 +59,7 @@ type MetricsSnapshot struct {
 // Metrics reads one snapshot of all counters.
 func (sv *Server) Metrics() MetricsSnapshot {
 	in := sv.intern.stats()
+	sess := sv.sess.Stats()
 	return MetricsSnapshot{
 		UptimeSeconds:         time.Since(sv.start).Seconds(),
 		MultiplyRequests:      sv.nMultiply.Load(),
@@ -64,7 +76,10 @@ func (sv *Server) Metrics() MetricsSnapshot {
 		InternEvictions:       in.Evictions,
 		InternEntries:         in.Entries,
 		InternBytes:           in.Bytes,
-		Session:               sv.sess.Stats(),
+		HandlerPanics:         sv.nPanics.Load(),
+		SessionPanics:         sess.Panics,
+		FaultsInjected:        faultinject.Stats(),
+		Session:               sess,
 	}
 }
 
@@ -88,6 +103,22 @@ func writeProm(w io.Writer, m MetricsSnapshot) {
 	counter("mspgemm_multiply_frames_total", "Multiply request frames decoded (a batch is many).", m.MultiplyFrames)
 	counter("mspgemm_rejected_total", "Whole requests refused with 429 (admission saturated).", m.Rejected)
 	counter("mspgemm_errors_total", "Non-429 error responses.", m.Errors)
+
+	fmt.Fprintf(w, "# HELP mspgemm_panics_total Panics recovered at request boundaries.\n# TYPE mspgemm_panics_total counter\n")
+	fmt.Fprintf(w, "mspgemm_panics_total{scope=\"handler\"} %d\n", m.HandlerPanics)
+	fmt.Fprintf(w, "mspgemm_panics_total{scope=\"session\"} %d\n", m.SessionPanics)
+
+	if len(m.FaultsInjected) > 0 {
+		points := make([]string, 0, len(m.FaultsInjected))
+		for p := range m.FaultsInjected {
+			points = append(points, p)
+		}
+		sort.Strings(points)
+		fmt.Fprintf(w, "# HELP mspgemm_faults_injected_total Fired fault-injection points (chaos runs only).\n# TYPE mspgemm_faults_injected_total counter\n")
+		for _, p := range points {
+			fmt.Fprintf(w, "mspgemm_faults_injected_total{point=%q} %d\n", p, m.FaultsInjected[p])
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP mspgemm_bytes_total Wire bytes by direction.\n# TYPE mspgemm_bytes_total counter\n")
 	fmt.Fprintf(w, "mspgemm_bytes_total{direction=\"in\"} %d\n", m.BytesIn)

@@ -32,13 +32,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/matrix"
 	"repro/internal/wire"
 	"repro/masked"
@@ -140,6 +143,7 @@ type Server struct {
 	nMultiply, nFrames, nTC, nBFS atomic.Int64
 	nRejected, nErrors            atomic.Int64
 	bytesIn, bytesOut             atomic.Int64
+	nPanics                       atomic.Int64
 }
 
 // New builds a Server and its backing session from cfg.
@@ -167,13 +171,39 @@ func New(cfg Config) *Server {
 		sv.maxQueued = 4 * int64(sv.sess.ServingStats().MaxInflight)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/multiply", sv.handleMultiply)
-	mux.HandleFunc("/v1/triangle-count", sv.handleTriangleCount)
-	mux.HandleFunc("/v1/bfs", sv.handleBFS)
-	mux.HandleFunc("/metrics", sv.handleMetrics)
-	mux.HandleFunc("/healthz", sv.handleHealthz)
+	mux.HandleFunc("/v1/multiply", sv.guard(sv.handleMultiply))
+	mux.HandleFunc("/v1/triangle-count", sv.guard(sv.handleTriangleCount))
+	mux.HandleFunc("/v1/bfs", sv.guard(sv.handleBFS))
+	mux.HandleFunc("/metrics", sv.guard(sv.handleMetrics))
+	mux.HandleFunc("/healthz", sv.guard(sv.handleHealthz))
 	sv.mux = mux
 	return sv
+}
+
+// guard is the handler-level panic barrier: a panic anywhere in a handler
+// costs that request a 500 — stack to the log, mspgemm_panics_total bumped —
+// never the process. Most panics on the execution path are already
+// converted to errors one layer down (masked's request-boundary recover),
+// so what reaches this barrier is decode/encode bugs and the
+// server.handler.panic chaos point; without it net/http would kill the
+// connection without a response and log the stack only.
+//
+// The 500 is best-effort: if the handler panicked after writing its
+// response header, the write below is discarded by net/http — the client
+// still sees a broken body rather than a silent success, because the
+// Content-Length the handler declared no longer matches.
+func (sv *Server) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				sv.nPanics.Add(1)
+				log.Printf("mspgemm-server: panic serving %s: %v\n%s", r.URL.Path, v, debug.Stack())
+				sv.httpError(w, http.StatusInternalServerError,
+					fmt.Sprintf("internal panic serving %s (recovered)", r.URL.Path))
+			}
+		}()
+		h(w, r)
+	}
 }
 
 // Session exposes the backing session (tests and embedders share it for
@@ -306,8 +336,13 @@ func (sv *Server) reject(w http.ResponseWriter) {
 	http.Error(w, "admission saturated", http.StatusTooManyRequests)
 }
 
-// writeWire writes an encoded frame sequence as the response body.
+// writeWire writes an encoded frame sequence as the response body,
+// upgraded to checksummed version-2 frames (wire.WithChecksum) so the
+// client verifies payload integrity on decode. Checksumming is also where
+// the wire corruption chaos points fire, which is why Content-Length is
+// taken after it.
 func (sv *Server) writeWire(w http.ResponseWriter, frames []byte) {
+	frames = wire.WithChecksum(frames)
 	w.Header().Set("Content-Type", wireContentType)
 	w.Header().Set("Content-Length", strconv.Itoa(len(frames)))
 	n, _ := w.Write(frames)
@@ -373,7 +408,9 @@ func (sv *Server) internPattern(p *matrix.Pattern, what string) (*matrix.Pattern
 		return p, nil
 	}
 	key := patternKey(p)
-	if v, ok := sv.intern.lookup(key); ok {
+	// Chaos point: a forced miss sends an operand the table already holds
+	// down the full revalidate-and-copy path — which must stay equivalent.
+	if v, ok := sv.intern.lookup(key); ok && !faultinject.Fire(faultinject.PointInternMiss) {
 		return v.(*matrix.Pattern), nil
 	}
 	if err := validatePattern(p); err != nil {
@@ -392,7 +429,7 @@ func (sv *Server) internMatrix(a *matrix.CSR[float64], what string) (*matrix.CSR
 		return a, nil
 	}
 	key := matrixKey(a)
-	if v, ok := sv.intern.lookup(key); ok {
+	if v, ok := sv.intern.lookup(key); ok && !faultinject.Fire(faultinject.PointInternMiss) {
 		return v.(*matrix.CSR[float64]), nil
 	}
 	if err := validateMatrix(a); err != nil {
@@ -440,6 +477,15 @@ func (sv *Server) handleMultiply(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+
+	// Chaos points, inert unless armed: a forced handler panic after the
+	// body is read (the guard barrier must release the pooled buffer via the
+	// defer above and answer 500) and a latency stall (exercises deadlines
+	// and graceful drain under slow handlers).
+	if faultinject.Fire(faultinject.PointServerPanic) {
+		panic("faultinject: " + faultinject.PointServerPanic)
+	}
+	faultinject.Sleep(faultinject.PointServerSlow)
 
 	var frames []*wire.MultiplyReq
 	for data := body; len(data) > 0; {

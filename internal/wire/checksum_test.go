@@ -1,0 +1,114 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/matrix"
+)
+
+// TestChecksumRoundTrip checks WithChecksum upgrades every frame of a
+// batch to version 2 and the decoders verify and strip it transparently.
+func TestChecksumRoundTrip(t *testing.T) {
+	r1 := buildReq(6, 1, false, "plus-pair-f64")
+	r2 := buildReq(5, 2, true, "")
+	buf := WithChecksum(r2.Encode(r1.Encode(nil)))
+
+	typ, payload, rest, err := DecodeFrame(buf)
+	if err != nil || typ != FrameMultiplyReq {
+		t.Fatalf("frame 1: type %d err %v", typ, err)
+	}
+	d1, err := DecodeMultiplyReq(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(d1.A, r1.A, func(a, b float64) bool { return a == b }) {
+		t.Fatal("checksummed frame decoded to different operand")
+	}
+	if _, _, rest, err = DecodeFrame(rest); err != nil || len(rest) != 0 {
+		t.Fatalf("frame 2: err %v, %d trailing bytes", err, len(rest))
+	}
+
+	// The io.Reader form verifies too.
+	if _, _, err := ReadFrame(bytes.NewReader(buf), len(buf)); err != nil {
+		t.Fatalf("ReadFrame on checksummed frame: %v", err)
+	}
+}
+
+// TestChecksumDetectsBitFlip flips single bits across the frame and checks
+// every payload flip is caught as ErrChecksum (header flips are caught by
+// the structural checks instead).
+func TestChecksumDetectsBitFlip(t *testing.T) {
+	req := buildReq(5, 3, false, "arithmetic")
+	clean := WithChecksum(req.Encode(nil))
+	n := int(binary.LittleEndian.Uint32(clean[8:]))
+	for _, off := range []int{headerSize, headerSize + 1, headerSize + n/2, headerSize + n - 1} {
+		buf := append([]byte(nil), clean...)
+		buf[off] ^= 0x10
+		if _, _, _, err := DecodeFrame(buf); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d: err %v, want ErrChecksum", off, err)
+		}
+		if _, _, err := ReadFrame(bytes.NewReader(buf), len(buf)); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("ReadFrame flip at %d: err %v, want ErrChecksum", off, err)
+		}
+	}
+	// A version-1 frame with the same flipped payload still decodes: the
+	// flip is silent without checksums, which is the point of having them.
+	buf := append([]byte(nil), clean...)
+	buf[4] = Version
+	binary.LittleEndian.PutUint32(buf[12:], 0)
+	buf[headerSize+n/2] ^= 0x10
+	if _, _, _, err := DecodeFrame(buf); err != nil {
+		t.Fatalf("version-1 decode of flipped payload: %v", err)
+	}
+}
+
+// TestChecksumVersionCompat checks plain version-1 frames keep decoding
+// unchanged and unknown versions are rejected.
+func TestChecksumVersionCompat(t *testing.T) {
+	req := buildReq(4, 4, false, "")
+	buf := req.Encode(nil)
+	if buf[4] != Version {
+		t.Fatalf("plain encode version %d, want %d", buf[4], Version)
+	}
+	if _, _, _, err := DecodeFrame(buf); err != nil {
+		t.Fatalf("version-1 frame: %v", err)
+	}
+	buf[4] = 3
+	if _, _, _, err := DecodeFrame(buf); err == nil {
+		t.Fatal("version 3 accepted")
+	}
+}
+
+// TestInjectedWireFaults checks the two transport fault points: a bit flip
+// fires after checksumming (so CRC32-C catches it) and a truncation breaks
+// the frame length.
+func TestInjectedWireFaults(t *testing.T) {
+	req := buildReq(4, 5, false, "")
+
+	r := faultinject.New(1)
+	r.Add(faultinject.Rule{Point: faultinject.PointWireBitflip, Every: 1, Limit: 1})
+	faultinject.Set(r)
+	flipped := WithChecksum(req.Encode(nil))
+	faultinject.Set(nil)
+	if _, _, _, err := DecodeFrame(flipped); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("injected bit flip: err %v, want ErrChecksum", err)
+	}
+
+	r = faultinject.New(1)
+	r.Add(faultinject.Rule{Point: faultinject.PointWireTruncate, Every: 1, Limit: 1})
+	faultinject.Set(r)
+	short := WithChecksum(req.Encode(nil))
+	faultinject.Set(nil)
+	if _, _, _, err := DecodeFrame(short); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("injected truncation: err %v, want ErrTruncated", err)
+	}
+
+	// Disabled registry: WithChecksum output stays clean.
+	if _, _, _, err := DecodeFrame(WithChecksum(req.Encode(nil))); err != nil {
+		t.Fatalf("unfaulted checksummed frame: %v", err)
+	}
+}

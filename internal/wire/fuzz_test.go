@@ -21,6 +21,11 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add((&BFSReq{Source: 1, G: l}).Encode(nil))
 	f.Add((&BFSRes{Depth: 1, Level: []int32{0, -1}}).Encode(nil))
 	f.Add((&ErrorFrame{Code: 500, Message: "boom"}).Encode(nil))
+	f.Add(WithChecksum(req.Encode(nil)))
+	f.Add(WithChecksum((&TriangleCountReq{G: l}).Encode(nil)))
+	flipped := WithChecksum((&BFSReq{Source: 1, G: l}).Encode(nil))
+	flipped[headerSize+4] ^= 0x40 // checksummed frame whose payload lies
+	f.Add(flipped)
 	f.Add([]byte("MSPW"))
 	f.Add([]byte{})
 

@@ -10,16 +10,28 @@
 //
 //	offset  size  field
 //	0       4     magic "MSPW"
-//	4       1     version (currently 1)
+//	4       1     version (1 = plain, 2 = checksummed)
 //	5       1     frame type (FrameMultiplyReq, ...)
 //	6       2     flags (reserved, must be zero)
 //	8       4     payload length in bytes (unpadded)
-//	12      4     reserved (must be zero)
+//	12      4     version 1: reserved (zero); version 2: CRC32-C of payload
 //	16      -     payload, padded with zeros to a multiple of 8
 //
 // Frames are self-delimiting, so a batch is simply frames concatenated;
 // DecodeFrame returns the remainder after each frame for exactly that
 // loop.
+//
+// # Integrity checksums (version 2)
+//
+// Version 2 frames carry a CRC32-C (Castagnoli) checksum of the unpadded
+// payload in the header word that version 1 reserves. Encoders produce
+// version 1 by default; WithChecksum upgrades an encoded frame sequence to
+// version 2 in place. Decoders accept both versions — old frames still
+// decode — and verify version 2 checksums before returning the payload,
+// failing with ErrChecksum on a mismatch, so a bit flip anywhere between
+// encoder and decoder is detected instead of silently corrupting operands
+// that pass structural validation. The server and server.Client checksum
+// every frame they send by default.
 //
 // # Payload layout and zero-copy decoding
 //
@@ -49,7 +61,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+
+	"repro/internal/faultinject"
 )
 
 // FrameType identifies what a frame's payload encodes.
@@ -76,8 +91,14 @@ const (
 	FrameBFSRes FrameType = 7
 )
 
-// Version is the protocol version this package encodes and accepts.
+// Version is the protocol version plain frames carry; encoders produce it
+// by default and decoders accept it alongside VersionChecksum.
 const Version = 1
+
+// VersionChecksum is the protocol version of checksummed frames: the
+// reserved header word carries a CRC32-C of the unpadded payload, verified
+// on decode. Produced by WithChecksum.
+const VersionChecksum = 2
 
 // headerSize is the fixed frame header length.
 const headerSize = 16
@@ -92,6 +113,15 @@ var ErrTruncated = errors.New("wire: truncated frame")
 // ErrFrameTooLarge reports a frame whose payload exceeds the caller's
 // limit.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ErrChecksum reports a version-2 frame whose payload does not match its
+// CRC32-C header checksum: the frame was corrupted between encoder and
+// decoder. Pure requests are safe to retry on it, and server.Client does.
+var ErrChecksum = errors.New("wire: payload checksum mismatch")
+
+// crcTable is the Castagnoli (CRC32-C) polynomial table frame checksums
+// use — hardware-accelerated on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // pad8 returns n rounded up to a multiple of 8.
 func pad8(n int) int { return (n + 7) &^ 7 }
@@ -130,15 +160,73 @@ func DecodeFrame(data []byte) (t FrameType, payload, rest []byte, err error) {
 	if [4]byte(data[:4]) != magic {
 		return 0, nil, nil, fmt.Errorf("wire: bad magic %q", data[:4])
 	}
-	if data[4] != Version {
-		return 0, nil, nil, fmt.Errorf("wire: unsupported version %d (want %d)", data[4], Version)
+	if data[4] != Version && data[4] != VersionChecksum {
+		return 0, nil, nil, fmt.Errorf("wire: unsupported version %d (want %d or %d)", data[4], Version, VersionChecksum)
 	}
 	n := int(binary.LittleEndian.Uint32(data[8:]))
 	end := headerSize + pad8(n)
 	if n < 0 || end > len(data) {
 		return 0, nil, nil, fmt.Errorf("%w: payload claims %d bytes, %d available", ErrTruncated, n, len(data)-headerSize)
 	}
-	return FrameType(data[5]), data[headerSize : headerSize+n], data[end:], nil
+	payload = data[headerSize : headerSize+n]
+	if data[4] == VersionChecksum {
+		want := binary.LittleEndian.Uint32(data[12:])
+		if got := crc32.Checksum(payload, crcTable); got != want {
+			return 0, nil, nil, fmt.Errorf("%w: CRC32-C %08x, header claims %08x", ErrChecksum, got, want)
+		}
+	}
+	return FrameType(data[5]), payload, data[end:], nil
+}
+
+// WithChecksum upgrades an encoded frame sequence to checksummed version-2
+// frames in place: each frame's version byte becomes VersionChecksum and
+// its reserved header word the CRC32-C of its unpadded payload. Callers
+// apply it to a complete Encode output just before handing the bytes to
+// the transport; decoders verify automatically. It panics on bytes that
+// are not a well-formed frame sequence (callers checksum their own encode
+// output, never untrusted input).
+//
+// The wire.truncate and wire.bitflip fault-injection points live here —
+// after checksumming, so an injected bit flip is exactly the in-flight
+// corruption CRC32-C exists to catch.
+func WithChecksum(frames []byte) []byte {
+	for off := 0; off < len(frames); {
+		rest := frames[off:]
+		if len(rest) < headerSize || [4]byte(rest[:4]) != magic {
+			panic("wire: WithChecksum on a malformed frame sequence")
+		}
+		n := int(binary.LittleEndian.Uint32(rest[8:]))
+		end := headerSize + pad8(n)
+		if n < 0 || end > len(rest) {
+			panic("wire: WithChecksum on a truncated frame sequence")
+		}
+		rest[4] = VersionChecksum
+		binary.LittleEndian.PutUint32(rest[12:], crc32.Checksum(rest[headerSize:headerSize+n], crcTable))
+		off += end
+	}
+	return injectTransportFaults(frames)
+}
+
+// injectTransportFaults applies the armed wire corruption faults to an
+// outgoing frame sequence: a deterministic single-bit flip in the middle
+// of the first non-empty payload (caught by the checksum) or a one-byte
+// truncation of the tail (caught by the frame length). No-ops — one atomic
+// load each — when fault injection is disabled.
+func injectTransportFaults(frames []byte) []byte {
+	if faultinject.Fire(faultinject.PointWireBitflip) {
+		for off := 0; off < len(frames); {
+			n := int(binary.LittleEndian.Uint32(frames[off+8:]))
+			if n > 0 {
+				frames[off+headerSize+n/2] ^= 1 << 3
+				break
+			}
+			off += headerSize + pad8(n)
+		}
+	}
+	if faultinject.Fire(faultinject.PointWireTruncate) && len(frames) > 0 {
+		frames = frames[:len(frames)-1]
+	}
+	return frames
 }
 
 // MaxPayloadDefault is the payload limit ReadFrame applies when the
@@ -166,8 +254,8 @@ func ReadFrame(r io.Reader, maxPayload int) (FrameType, []byte, error) {
 	if [4]byte(h[:4]) != magic {
 		return 0, nil, fmt.Errorf("wire: bad magic %q", h[:4])
 	}
-	if h[4] != Version {
-		return 0, nil, fmt.Errorf("wire: unsupported version %d (want %d)", h[4], Version)
+	if h[4] != Version && h[4] != VersionChecksum {
+		return 0, nil, fmt.Errorf("wire: unsupported version %d (want %d or %d)", h[4], Version, VersionChecksum)
 	}
 	n := int(binary.LittleEndian.Uint32(h[8:]))
 	// n < 0 happens on 32-bit hosts, where int(uint32) can wrap negative.
@@ -178,6 +266,12 @@ func ReadFrame(r io.Reader, maxPayload int) (FrameType, []byte, error) {
 	buf := make([]byte, pad8(n))
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return 0, nil, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+	}
+	if h[4] == VersionChecksum {
+		want := binary.LittleEndian.Uint32(h[12:])
+		if got := crc32.Checksum(buf[:n], crcTable); got != want {
+			return 0, nil, fmt.Errorf("%w: CRC32-C %08x, header claims %08x", ErrChecksum, got, want)
+		}
 	}
 	return FrameType(h[5]), buf[:n], nil
 }

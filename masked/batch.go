@@ -28,6 +28,7 @@ import (
 	"reflect"
 	"sync"
 
+	"repro/internal/faultinject"
 	"repro/internal/parallel"
 )
 
@@ -194,7 +195,7 @@ func (s *Session) doOne(ctx context.Context, d opSpec, m *Pattern, a, b *Matrix,
 
 // lead computes one flight as its leader and publishes the outcome to any
 // coalesced followers.
-func (s *Session) lead(ctx context.Context, d opSpec, m *Pattern, a, b *Matrix, key flightKey, fc *flightCall, queue bool) BatchRes {
+func (s *Session) lead(ctx context.Context, d opSpec, m *Pattern, a, b *Matrix, key flightKey, fc *flightCall, queue bool) (res BatchRes) {
 	defer func() {
 		// Unlink before waking followers: a follower that rejects this
 		// outcome (context error) must find the map slot free to retry.
@@ -203,6 +204,25 @@ func (s *Session) lead(ctx context.Context, d opSpec, m *Pattern, a, b *Matrix, 
 		s.flightMu.Unlock()
 		close(fc.done)
 	}()
+	defer func() {
+		// The request-boundary panic barrier. Deferred after the unlink
+		// above, so it runs first (LIFO): fc.err is already the PanicError
+		// when close(fc.done) wakes coalesced followers, and they share the
+		// leader's panic outcome like any other error. The grant-release
+		// defer below it has already run by this point, so a panicked
+		// request leaks no arbiter budget. PanicError is not in doOne's
+		// transient set — followers must not retry a deterministic panic.
+		if v := recover(); v != nil {
+			pe := newPanicError(v)
+			s.panics.Add(1)
+			fc.err = pe
+			res = BatchRes{Err: pe, Workers: fc.workers}
+		}
+	}()
+
+	// Chaos point: stall before admission, exercising saturation and drain
+	// timing under slow admission. Inert unless a fault registry arms it.
+	faultinject.Sleep(faultinject.PointArbiterStall)
 
 	o := s.options(ctx, d)
 	var grant *parallel.Grant
@@ -300,7 +320,9 @@ func (s *Session) MultiplyBatch(ctx context.Context, reqs []BatchReq, opts ...Op
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			lead := members[0]
-			r := s.doOne(ctx, specs[lead], reqs[lead].M, reqs[lead].A, reqs[lead].B, true)
+			r := s.protect(func() BatchRes {
+				return s.doOne(ctx, specs[lead], reqs[lead].M, reqs[lead].A, reqs[lead].B, true)
+			})
 			r.Tag = reqs[lead].Tag
 			res[lead] = r
 			for _, i := range members[1:] {
@@ -348,7 +370,9 @@ func (s *Session) Serve(ctx context.Context, reqs <-chan BatchReq, opts ...Op) <
 						return
 					}
 					d := call.apply(req.Opts)
-					r := s.doOne(ctx, d, req.M, req.A, req.B, true)
+					r := s.protect(func() BatchRes {
+						return s.doOne(ctx, d, req.M, req.A, req.B, true)
+					})
 					r.Tag = req.Tag
 					// Prefer delivering the response even when ctx is already
 					// done (an accepted request owes its caller an answer);

@@ -1,0 +1,115 @@
+package masked
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// armKernelPanic installs a registry that panics the first n kernel
+// executions, then heals, and uninstalls it on cleanup.
+func armKernelPanic(t *testing.T, n int) {
+	t.Helper()
+	r := faultinject.New(1)
+	r.Add(faultinject.Rule{Point: faultinject.PointKernelPanic, Every: 1, Limit: n})
+	faultinject.Set(r)
+	t.Cleanup(func() { faultinject.Set(nil) })
+}
+
+// TestPanicIsolatedToRequest: an injected kernel panic costs exactly its
+// own request — it resolves to a *PanicError wrapping ErrPanic, the arbiter
+// budget drains fully, and the next identical request on the same session
+// succeeds with a bit-identical result to an unfaulted session.
+func TestPanicIsolatedToRequest(t *testing.T) {
+	ctx := context.Background()
+	lp, l := tcOperands(8, 4, 201)
+	want, err := NewSession(WithThreads(2)).Multiply(ctx, lp, l, l, WithAccumulate(PlusPair()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSession(WithThreads(4))
+	armKernelPanic(t, 1)
+	r := s.TryMultiply(ctx, lp, l, l, WithAccumulate(PlusPair()))
+	if !errors.Is(r.Err, ErrPanic) {
+		t.Fatalf("faulted request: err %v, want ErrPanic", r.Err)
+	}
+	var pe *PanicError
+	if !errors.As(r.Err, &pe) || len(pe.Stack) == 0 {
+		t.Fatalf("panic error carries no stack: %#v", r.Err)
+	}
+	if st := s.ServingStats(); st.Inflight != 0 || st.Free != st.Budget {
+		t.Fatalf("panicked request leaked arbiter budget: %+v", st)
+	}
+	if got := s.Panics(); got != 1 {
+		t.Fatalf("session counted %d panics, want 1", got)
+	}
+
+	// The registry's limit is spent; the same session must now succeed.
+	r = s.TryMultiply(ctx, lp, l, l, WithAccumulate(PlusPair()))
+	if r.Err != nil {
+		t.Fatalf("healed request: %v", r.Err)
+	}
+	sameCSR(t, "healed", r.C, want)
+	if st := s.Stats(); st.Panics != 1 {
+		t.Fatalf("Stats.Panics = %d, want 1", st.Panics)
+	}
+}
+
+// TestPanicSharedWithFollowers: coalesced followers of a panicked leader
+// receive the leader's PanicError (a deterministic outcome, not retried),
+// and the flight slot is free afterwards.
+func TestPanicSharedWithFollowers(t *testing.T) {
+	ctx := context.Background()
+	lp, l := tcOperands(8, 4, 202)
+	s := NewSession(WithThreads(4))
+	armKernelPanic(t, 1)
+
+	reqs := make([]BatchReq, 6)
+	for i := range reqs {
+		reqs[i] = BatchReq{M: lp, A: l, B: l, Opts: []Op{WithAccumulate(PlusPair())}, Tag: i}
+	}
+	res := s.MultiplyBatch(ctx, reqs, WithInflight(4))
+	for i, r := range res {
+		if !errors.Is(r.Err, ErrPanic) {
+			t.Fatalf("member %d: err %v, want shared ErrPanic", i, r.Err)
+		}
+	}
+	// One panic, shared: the leader recovered once, followers reused it.
+	if got := s.Panics(); got != 1 {
+		t.Fatalf("session counted %d panics for one coalesced group, want 1", got)
+	}
+	if st := s.ServingStats(); st.Inflight != 0 || st.Free != st.Budget {
+		t.Fatalf("arbiter did not drain after coalesced panic: %+v", st)
+	}
+}
+
+// TestWorkerPanicCrossesParallelBoundary: a panic injected on a parallel
+// worker goroutine (not the request goroutine) still resolves the request
+// with ErrPanic and the worker's own stack, via parallel.WorkerPanic.
+func TestWorkerPanicCrossesParallelBoundary(t *testing.T) {
+	ctx := context.Background()
+	// Big enough that the arbiter grants this request several workers
+	// (cost >= 2×parallel.CostPerWorker), so the kernels actually spawn
+	// worker goroutines for the fault point to fire on.
+	g := ErdosRenyi(16384, 10, 203)
+	s := NewSession(WithThreads(4))
+	r := faultinject.New(1)
+	r.Add(faultinject.Rule{Point: faultinject.PointWorkerPanic, Every: 1, Limit: 1})
+	faultinject.Set(r)
+	defer faultinject.Set(nil)
+
+	res := s.TryMultiply(ctx, g.Pattern(), g, g)
+	if !errors.Is(res.Err, ErrPanic) {
+		t.Fatalf("worker-panicked request: err %v, want ErrPanic", res.Err)
+	}
+	if st := s.ServingStats(); st.Inflight != 0 || st.Free != st.Budget {
+		t.Fatalf("worker panic leaked arbiter budget: %+v", st)
+	}
+	faultinject.Set(nil)
+	if res := s.TryMultiply(ctx, g.Pattern(), g, g); res.Err != nil {
+		t.Fatalf("session unusable after worker panic: %v", res.Err)
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/parallel"
 	"repro/internal/planner"
 )
@@ -62,6 +64,9 @@ type Session struct {
 	// flight coalesces identical in-flight requests (single-flight).
 	flight   map[flightKey]*flightCall
 	flightMu sync.Mutex
+	// panics counts request-boundary panics the serving layer recovered
+	// (Session.Panics, Stats.Panics).
+	panics atomic.Int64
 }
 
 // Op configures a session or one operation. Ops are created by the With*
@@ -319,6 +324,11 @@ func (s *Session) MultiplyAuto(ctx context.Context, m *Pattern, a, b *Matrix, op
 // the session cache. The single-call entry points and the serving layer
 // both run through it, so the two paths cannot drift apart.
 func (s *Session) execute(d opSpec, o Options, m *Pattern, a, b *Matrix) (*Matrix, *Plan, error) {
+	// Chaos point: a panic on the kernel path, under the serving layer's
+	// recover barriers and the arbiter grant. Inert unless armed.
+	if faultinject.Fire(faultinject.PointKernelPanic) {
+		panic("faultinject: " + faultinject.PointKernelPanic)
+	}
 	if d.pinned {
 		if d.sched == SchedCost && o.RowCosts == nil {
 			o.RowCosts = core.ComputeRowCosts(m, a.Pattern(), b.Pattern(), o.Workers())

@@ -36,6 +36,11 @@ type CalibrationStats struct {
 	// CostPerWorker is the admission cost unit the serving arbiter divides
 	// asks by.
 	CostPerWorker int64
+	// SaveError is why persisting a freshly probed model to the per-host
+	// cache failed ("" when it succeeded or nothing was saved). A nonempty
+	// value means every future process on this host re-probes (~10 ms) until
+	// the underlying problem — usually an unwritable cache dir — is fixed.
+	SaveError string
 }
 
 // Stats is one unified snapshot of a session's observability counters:
@@ -53,6 +58,9 @@ type Stats struct {
 	DriverPool DriverPoolStats
 	// Calibration describes the session's cost model.
 	Calibration CalibrationStats
+	// Panics counts request-boundary panics the serving layer recovered
+	// (monotonic; see Session.Panics).
+	Panics int64
 }
 
 // Stats returns one snapshot of all the session's observability counters.
@@ -64,11 +72,13 @@ func (s *Session) Stats() Stats {
 		Cache:      s.cache.Stats(),
 		Arbiter:    s.arb.Stats(),
 		DriverPool: s.ws.PoolStatsSnapshot(),
+		Panics:     s.panics.Load(),
 		Calibration: CalibrationStats{
 			Mode:          s.def.calib.String(),
 			Source:        s.model.Source,
 			NsPerUnit:     s.model.NsPerUnit,
 			CostPerWorker: s.model.CostPerWorker,
+			SaveError:     s.model.SaveErr,
 		},
 	}
 }
