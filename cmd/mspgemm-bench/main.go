@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|maskrep|schedule|serving|serve-load|kernels|calibration|all
+//	mspgemm-bench [flags] fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|maskrep|schedule|serving|serve-load|kernels|calibration|stream|all
 //
 // Flags:
 //
@@ -36,8 +36,8 @@
 //	             allocs/op, scheduling/serving metrics) plus host metadata
 //	             (Go version, GOMAXPROCS, CPU model) to FILE, e.g.
 //	             -json BENCH_PR8.json. Currently the maskrep, schedule,
-//	             serving, serve-load, kernels and calibration studies
-//	             record; fig7..fig16 emit TSV only
+//	             serving, serve-load, kernels, calibration and stream
+//	             studies record; fig7..fig16 emit TSV only
 //	-explain     print the adaptive plan for each corpus input to stderr
 //	-timeout D   abort the whole run after duration D (cooperative
 //	             cancellation of in-flight kernels), e.g. -timeout 90s
@@ -73,6 +73,11 @@
 // probe-measured coefficients — scores plan-identical cases exactly 1.0x,
 // times and bit-verifies the differing ones, and reports per-case and
 // geomean speedups plus the fitted coefficients.
+// The "stream" subcommand is the delta-CSR streaming study: it maintains the
+// triangle product incrementally under an edge stream mutating ~0.25% of
+// edges per batch, asserts every incremental output bit-identical to a
+// from-scratch recompute on the same session, and reports per-batch wall
+// time, edges/sec, and the speedup over recomputation.
 package main
 
 import (
@@ -112,7 +117,7 @@ func main() {
 	plotTables = *plot
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|maskrep|schedule|serving|serve-load|kernels|calibration|all")
+		fmt.Fprintln(os.Stderr, "usage: mspgemm-bench [flags] fig7|...|fig16|maskrep|schedule|serving|serve-load|kernels|calibration|stream|all")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -207,13 +212,15 @@ func main() {
 			emit(bench.KernelsStudy(cfg))
 		case "calibration":
 			emit(bench.CalibrationStudy(cfg))
+		case "stream":
+			emit(bench.StreamStudy(cfg))
 		default:
 			fatal(fmt.Errorf("unknown figure %q", name))
 		}
 	}
 	if which == "all" {
 		for _, name := range []string{"fig7", "fig8", "fig9", "fig10", "fig11",
-			"fig12", "fig13", "fig14", "fig15", "fig16", "maskrep", "schedule", "serving", "serve-load", "kernels", "calibration"} {
+			"fig12", "fig13", "fig14", "fig15", "fig16", "maskrep", "schedule", "serving", "serve-load", "kernels", "calibration", "stream"} {
 			run(name)
 		}
 	} else {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -36,7 +37,8 @@ func main() {
 	}
 
 	v, _ := masked.VariantByName("MSA-1P")
-	res, err := masked.BetweennessCentrality(g, sources, v, masked.Options{})
+	s := masked.NewSession()
+	res, err := s.BC(context.Background(), g, sources, masked.WithVariant(v))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -23,12 +24,14 @@ func main() {
 	g := masked.RMAT(*scale, *edgeFactor, *seed)
 	fmt.Printf("graph: %d vertices, %d directed edges, k=%d\n", g.NRows, g.NNZ(), *k)
 
+	ctx := context.Background()
+	s := masked.NewSession()
 	for _, name := range []string{"MSA-1P", "Hash-1P", "Inner-1P", "MCA-1P"} {
 		v, err := masked.VariantByName(name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		truss, res, err := masked.KTruss(g, *k, v, masked.Options{})
+		truss, res, err := s.KTruss(ctx, g, *k, masked.WithVariant(v))
 		if err != nil {
 			log.Fatal(err)
 		}

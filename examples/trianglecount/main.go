@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,9 +23,11 @@ func main() {
 	fmt.Printf("graph: R-MAT scale %d, %d vertices, %d directed edges\n",
 		*scale, g.NRows, g.NNZ())
 
+	ctx := context.Background()
+	s := masked.NewSession()
 	var want int64 = -1
 	for _, v := range masked.Variants() {
-		res, err := masked.TriangleCount(g, v, masked.Options{})
+		res, err := s.TriangleCount(ctx, g, masked.WithVariant(v))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package repro_test
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -34,9 +35,11 @@ func TestPipelineGenerateWriteReadCount(t *testing.T) {
 		t.Fatal("matrix market round trip changed the graph")
 	}
 	exact := apps.TriangleCountExact(back)
-	// Facade.
+	// Facade (session API; the deprecated free wrappers are not used here
+	// so they can carry a removal deadline).
 	v, _ := masked.VariantByName("Hash-1P")
-	fres, err := masked.TriangleCount(back, v, masked.Options{})
+	s := masked.NewSession()
+	fres, err := s.TriangleCount(context.Background(), back, masked.WithVariant(v))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,9 +100,11 @@ func TestPipelineBFSAcrossAPIs(t *testing.T) {
 		grgen.Grid2D(15, 20),
 		grgen.BarabasiAlbert(300, 2, 4),
 	}
+	ctx := context.Background()
+	s := masked.NewSession()
 	for gi, g := range graphs {
 		want := apps.BFSExact(g, 0)
-		fres, err := masked.BFS(g, 0, masked.Options{})
+		fres, err := s.BFS(ctx, g, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,7 +113,7 @@ func TestPipelineBFSAcrossAPIs(t *testing.T) {
 			t.Fatal(err)
 		}
 		v, _ := masked.VariantByName("MSA-1P")
-		mres, err := masked.MultiSourceBFS(g, []matrix.Index{0}, v, masked.Options{})
+		mres, err := s.MultiSourceBFS(ctx, g, []matrix.Index{0}, masked.WithVariant(v))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -132,7 +137,9 @@ func TestPipelineBFSAcrossAPIs(t *testing.T) {
 func TestPipelineKTrussConsistency(t *testing.T) {
 	mesh := grgen.Grid2D(12, 12)
 	v, _ := masked.VariantByName("MCA-1P")
-	truss, _, err := masked.KTruss(mesh, 3, v, masked.Options{})
+	ctx := context.Background()
+	s := masked.NewSession()
+	truss, _, err := s.KTruss(ctx, mesh, 3, masked.WithVariant(v))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +148,7 @@ func TestPipelineKTrussConsistency(t *testing.T) {
 	}
 	ws := grgen.WattsStrogatz(200, 8, 0.05, 6)
 	want := apps.KTrussExact(ws, 4)
-	got, _, err := masked.KTruss(ws, 4, v, masked.Options{})
+	got, _, err := s.KTruss(ctx, ws, 4, masked.WithVariant(v))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,10 +171,12 @@ func TestPipelineBCDeterminism(t *testing.T) {
 	g := grgen.WattsStrogatz(150, 4, 0.3, 8)
 	sources := []matrix.Index{0, 10, 20, 30}
 	want := apps.BrandesExact(g, sources)
+	ctx := context.Background()
+	s := masked.NewSession()
 	for _, name := range []string{"MSA-1P", "Hash-2P", "HeapDot-1P"} {
 		v, _ := masked.VariantByName(name)
 		for _, threads := range []int{1, 4} {
-			res, err := masked.BetweennessCentrality(g, sources, v, masked.Options{Threads: threads})
+			res, err := s.BC(ctx, g, sources, masked.WithVariant(v), masked.WithThreads(threads))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -228,11 +237,16 @@ func TestPipelineAutoMatchesEveryVariant(t *testing.T) {
 	}
 	sr := semiring.PlusPairF()
 	eq := func(a, b float64) bool { return a == b }
+	ctx := context.Background()
+	s := masked.NewSession()
 	for gi, g := range graphs {
 		l := matrix.Tril(g)
 		for _, complement := range []bool{false, true} {
-			opt := masked.Options{Complement: complement}
-			got, plan, err := masked.MultiplyAuto(l.Pattern(), l, l, sr, opt)
+			opts := []masked.Op{masked.WithAccumulate(sr)}
+			if complement {
+				opts = append(opts, masked.WithComplement())
+			}
+			got, plan, err := s.MultiplyAuto(ctx, l.Pattern(), l, l, opts...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -240,7 +254,7 @@ func TestPipelineAutoMatchesEveryVariant(t *testing.T) {
 				if complement && !v.SupportsComplement() {
 					continue
 				}
-				want, err := masked.MultiplyVariant(v, l.Pattern(), l, l, sr, opt)
+				want, err := s.Multiply(ctx, l.Pattern(), l, l, append(opts, masked.WithVariant(v))...)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -1,0 +1,267 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grgen"
+	"repro/internal/matrix"
+)
+
+// shadowGraph is the brute-force mirror of a streamed graph: a symmetric
+// adjacency set the exact references run on after every prefix.
+type shadowGraph struct {
+	n   Index
+	adj map[Index]map[Index]bool
+}
+
+func newShadowGraph(g *matrix.CSR[float64]) *shadowGraph {
+	s := &shadowGraph{n: g.NRows, adj: make(map[Index]map[Index]bool)}
+	for i := Index(0); i < g.NRows; i++ {
+		cols, _ := g.Row(i)
+		for _, j := range cols {
+			if i != j {
+				s.link(i, j)
+			}
+		}
+	}
+	return s
+}
+
+func (s *shadowGraph) link(u, v Index) {
+	for _, p := range [2][2]Index{{u, v}, {v, u}} {
+		if s.adj[p[0]] == nil {
+			s.adj[p[0]] = make(map[Index]bool)
+		}
+		s.adj[p[0]][p[1]] = true
+	}
+}
+
+func (s *shadowGraph) apply(edges []StreamEdge) {
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		if e.Delete {
+			delete(s.adj[e.U], e.V)
+			delete(s.adj[e.V], e.U)
+		} else {
+			s.link(e.U, e.V)
+		}
+	}
+}
+
+func (s *shadowGraph) csr() *matrix.CSR[float64] {
+	coo := &matrix.COO[float64]{NRows: s.n, NCols: s.n}
+	for u, row := range s.adj {
+		for v := range row {
+			coo.Row = append(coo.Row, u)
+			coo.Col = append(coo.Col, v)
+			coo.Val = append(coo.Val, 1)
+		}
+	}
+	return matrix.NewCSRFromCOO(coo, func(a, b float64) float64 { return 1 })
+}
+
+// randomEdges draws a mixed insert/delete batch; deletes target existing
+// edges so they actually exercise removal.
+func (s *shadowGraph) randomEdges(rng *rand.Rand, count int) []StreamEdge {
+	out := make([]StreamEdge, 0, count)
+	for k := 0; k < count; k++ {
+		if rng.Intn(3) == 0 {
+			if e, ok := s.someEdge(rng); ok {
+				out = append(out, StreamEdge{U: e[0], V: e[1], Delete: true})
+				continue
+			}
+		}
+		out = append(out, StreamEdge{
+			U: Index(rng.Intn(int(s.n))), V: Index(rng.Intn(int(s.n)))})
+	}
+	return out
+}
+
+func (s *shadowGraph) someEdge(rng *rand.Rand) ([2]Index, bool) {
+	for tries := 0; tries < 50; tries++ {
+		u := Index(rng.Intn(int(s.n)))
+		for v := range s.adj[u] {
+			return [2]Index{u, v}, true
+		}
+	}
+	return [2]Index{}, false
+}
+
+// TestTriangleCountStreamMatchesExact drives a mixed insert/delete stream
+// and checks the maintained count against the brute-force reference after
+// every batch, across the planner-backed and a pinned engine, including a
+// mid-stream Compact.
+func TestTriangleCountStreamMatchesExact(t *testing.T) {
+	ses := NewSession(core.Options{Threads: 2})
+	engines := []Engine{
+		ses.EngineAuto(),
+		ses.EngineVariant(core.Variant{Alg: core.MSA, Phase: core.OnePhase}),
+	}
+	for _, eng := range engines {
+		t.Run(eng.Name, func(t *testing.T) {
+			base := grgen.ErdosRenyiSym(80, 6, 11)
+			shadow := newShadowGraph(base)
+			st, err := TriangleCountStream(base, eng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := st.Count(), TriangleCountExact(shadow.csr()); got != want {
+				t.Fatalf("initial count = %d, want %d", got, want)
+			}
+			rng := rand.New(rand.NewSource(42))
+			const rounds = 8
+			for r := 0; r < rounds; r++ {
+				batch := shadow.randomEdges(rng, 6)
+				shadow.apply(batch)
+				got, err := st.ApplyEdges(batch)
+				if err != nil {
+					t.Fatalf("round %d: %v", r, err)
+				}
+				if got != st.Count() {
+					t.Fatalf("round %d: ApplyEdges returned %d, Count says %d", r, got, st.Count())
+				}
+				if want := TriangleCountExact(shadow.csr()); got != want {
+					t.Fatalf("round %d: count = %d, want %d", r, got, want)
+				}
+				if r == rounds/2 {
+					st.Compact()
+				}
+			}
+			if st.Stats().Batches != rounds {
+				t.Fatalf("stats counted %d batches, want %d", st.Stats().Batches, rounds)
+			}
+		})
+	}
+}
+
+// TestTriangleCountStreamKnownTransitions pins down the count across
+// hand-checked transitions: closing a triangle, then reopening it.
+func TestTriangleCountStreamKnownTransitions(t *testing.T) {
+	eng := NewSession(core.Options{Threads: 2}).EngineAuto()
+	st, err := TriangleCountStream(pathGraph(6), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Count() != 0 {
+		t.Fatalf("path graph counted %d triangles", st.Count())
+	}
+	// Close 0-1-2 into a triangle.
+	if got, err := st.ApplyEdges([]StreamEdge{{U: 0, V: 2}}); err != nil || got != 1 {
+		t.Fatalf("after closing a triangle: count %d err %v, want 1", got, err)
+	}
+	// Self-loops and duplicate inserts change nothing.
+	if got, err := st.ApplyEdges([]StreamEdge{{U: 3, V: 3}, {U: 0, V: 2}}); err != nil || got != 1 {
+		t.Fatalf("after no-op batch: count %d err %v, want 1", got, err)
+	}
+	// Deleting the spanning edge reopens it.
+	if got, err := st.ApplyEdges([]StreamEdge{{U: 1, V: 2, Delete: true}}); err != nil || got != 0 {
+		t.Fatalf("after deleting an edge: count %d err %v, want 0", got, err)
+	}
+	// Out-of-range batches reject whole without corrupting the count.
+	if _, err := st.ApplyEdges([]StreamEdge{{U: 0, V: 99}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if st.Count() != 0 {
+		t.Fatalf("rejected batch changed the count to %d", st.Count())
+	}
+}
+
+// TestKTrussStreamMatchesExact drives a mixed stream and checks the
+// maintained truss against the brute-force reference after every batch.
+func TestKTrussStreamMatchesExact(t *testing.T) {
+	eq := func(a, b float64) bool { return a == b }
+	ses := NewSession(core.Options{Threads: 2})
+	engines := []Engine{
+		ses.EngineAuto(),
+		ses.EngineVariant(core.Variant{Alg: core.Hash, Phase: core.TwoPhase}),
+	}
+	for _, eng := range engines {
+		for _, k := range []int{3, 4} {
+			t.Run(fmt.Sprintf("%s/k%d", eng.Name, k), func(t *testing.T) {
+				base := grgen.ErdosRenyiSym(48, 8, 7)
+				shadow := newShadowGraph(base)
+				st, err := NewKTrussStream(base, k, eng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !matrix.Equal(st.Truss(), KTrussExact(shadow.csr(), k), eq) {
+					t.Fatal("initial truss diverges from exact reference")
+				}
+				rng := rand.New(rand.NewSource(int64(13 * k)))
+				for r := 0; r < 6; r++ {
+					batch := shadow.randomEdges(rng, 5)
+					shadow.apply(batch)
+					got, err := st.ApplyEdges(batch)
+					if err != nil {
+						t.Fatalf("round %d: %v", r, err)
+					}
+					if want := KTrussExact(shadow.csr(), k); !matrix.Equal(got, want, eq) {
+						t.Fatalf("round %d: truss (%d edges) diverges from exact reference (%d edges)",
+							r, got.NNZ(), want.NNZ())
+					}
+					if r == 3 {
+						st.Compact()
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestKTrussStreamDeletionWarmPath asserts the monotonicity optimization:
+// deletion-only batches must peel the maintained truss product forward
+// (no full-graph peel restart), and still match the exact reference.
+func TestKTrussStreamDeletionWarmPath(t *testing.T) {
+	eq := func(a, b float64) bool { return a == b }
+	eng := NewSession(core.Options{Threads: 2}).EngineAuto()
+	base := grgen.ErdosRenyiSym(40, 8, 19)
+	shadow := newShadowGraph(base)
+	const k = 4
+	st, err := NewKTrussStream(base, k, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().FullPeels != 0 {
+		t.Fatalf("constructor counted %d full peels, want 0", st.Stats().FullPeels)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for r := 0; r < 4; r++ {
+		var batch []StreamEdge
+		for len(batch) < 3 {
+			if e, ok := shadow.someEdge(rng); ok {
+				batch = append(batch, StreamEdge{U: e[0], V: e[1], Delete: true})
+			} else {
+				t.Skip("graph ran out of edges")
+			}
+		}
+		shadow.apply(batch)
+		got, err := st.ApplyEdges(batch)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if want := KTrussExact(shadow.csr(), k); !matrix.Equal(got, want, eq) {
+			t.Fatalf("round %d: deletion-only truss diverges from exact reference", r)
+		}
+	}
+	if n := st.Stats().FullPeels; n != 0 {
+		t.Fatalf("deletion-only stream triggered %d full peels, want 0", n)
+	}
+	// An insertion batch takes the restart path — and still matches.
+	ins := []StreamEdge{{U: 1, V: 2}, {U: 2, V: 3}, {U: 1, V: 3}}
+	shadow.apply(ins)
+	got, err := st.ApplyEdges(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := KTrussExact(shadow.csr(), k); !matrix.Equal(got, want, eq) {
+		t.Fatal("post-insertion truss diverges from exact reference")
+	}
+	if n := st.Stats().FullPeels; n != 1 {
+		t.Fatalf("insertion batch counted %d full peels, want 1", n)
+	}
+}

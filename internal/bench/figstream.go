@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/grgen"
+	"repro/internal/matrix"
+	"repro/masked"
+)
+
+// StreamStudy measures the delta-CSR streaming path: the triangle product
+// C = L .* (L·L) maintained incrementally under an edge stream versus
+// recomputed from scratch after every batch. Each batch mutates about
+// 0.25% of the graph's lower-triangular edges — the dirty frontier grows
+// much faster than the batch (a row of A is dirty if ANY neighbor lands in
+// a changed row of B, so at average degree d a batch fraction f dirties
+// roughly 1-(1-f·n/nnz)^d of all rows); 0.25% keeps the frontier around
+// 5-10% of rows, the regime incremental recompute is built for. The
+// incremental side applies the batch through Session.Update (frontier-row
+// recompute + splice), the baseline multiplies the full current graph
+// through the same session.
+// Both outputs are asserted bit-identical every round before timing counts
+// — the streaming path's correctness contract, not just its speed, is on
+// the line in this study. Every case lands in cfg.Recorder for
+// BENCH_PR10.json, plus a final geomean record.
+func StreamStudy(cfg Config) (*Table, error) {
+	t := &Table{
+		Title: "Stream study: incremental (delta-CSR) vs from-scratch recompute, TC product under an edge stream",
+		Notes: []string{
+			"per round: one batch of ~0.25% of L's edges (1/3 deletes), Update vs full Multiply on the same session",
+			"bit-identity incremental == rebuild asserted every round before the timings count",
+			"speedup = rebuild_s / incremental_s, geomean over rounds; edges/s = batch edges / incremental_s",
+		},
+		Header: []string{"graph", "nnz(L)", "batch", "rounds", "inc_s", "rebuild_s", "speedup", "edges/s"},
+	}
+	type spec struct {
+		name  string
+		graph *matrix.CSR[float64]
+	}
+	var specs []spec
+	rounds := 6
+	if cfg.Quick {
+		rounds = 3
+		specs = []spec{
+			{"rmat-s9-d8", grgen.RMAT(9, 8, cfg.Seed+1)},
+			{"er-s9-d8", grgen.ErdosRenyiSym(1<<9, 8, cfg.Seed+2)},
+		}
+	} else {
+		specs = []spec{
+			{"rmat-s12-d8", grgen.RMAT(12, 8, cfg.Seed+1)},
+			{"rmat-s13-d8", grgen.RMAT(13, 8, cfg.Seed+2)},
+			{"rmat-s13-d16", grgen.RMAT(13, 16, cfg.Seed+3)},
+			{"er-s13-d8", grgen.ErdosRenyiSym(1<<13, 8, cfg.Seed+4)},
+		}
+		if cfg.MaxScale >= 14 {
+			specs = append(specs, spec{"rmat-s14-d8", grgen.RMAT(14, 8, cfg.Seed+5)})
+		}
+	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s := masked.NewSession(masked.WithThreads(cfg.Threads))
+	opts := []masked.Op{masked.WithAccumulate(masked.PlusPair())}
+	var allSpeedups []float64
+	for _, sp := range specs {
+		l := matrix.Tril(sp.graph)
+		for i := range l.Val {
+			l.Val[i] = 1
+		}
+		d, err := masked.NewDeltaMatrix(l)
+		if err != nil {
+			return nil, fmt.Errorf("stream %s: %w", sp.name, err)
+		}
+		p := s.NewDeltaProduct(d, d, d, opts...)
+		if _, err := s.MultiplyDelta(ctx, p); err != nil {
+			return nil, fmt.Errorf("stream %s initial: %w", sp.name, err)
+		}
+		n := int(l.NRows)
+		batchEdges := maxInt(8, l.NNZ()/400)
+		rng := rand.New(rand.NewSource(int64(cfg.Seed) + int64(l.NNZ())))
+		var incTotal, rebTotal float64
+		var speedups []float64
+		for r := 0; r < rounds; r++ {
+			batch := make([]masked.Update, batchEdges)
+			for k := range batch {
+				// Strictly lower-triangular entries keep L's shape invariant.
+				i := matrix.Index(rng.Intn(n-1)) + 1
+				j := matrix.Index(rng.Intn(int(i)))
+				batch[k] = masked.Update{Row: i, Col: j, Val: 1, Delete: rng.Intn(3) == 0}
+			}
+			t0 := time.Now()
+			got, err := s.Update(ctx, p, batch)
+			incSec := time.Since(t0).Seconds()
+			if err != nil {
+				return nil, fmt.Errorf("stream %s round %d: %w", sp.name, r, err)
+			}
+			cur := d.Current()
+			t1 := time.Now()
+			want, err := s.Multiply(ctx, cur.Pattern(), cur, cur, opts...)
+			rebSec := time.Since(t1).Seconds()
+			if err != nil {
+				return nil, fmt.Errorf("stream %s round %d rebuild: %w", sp.name, r, err)
+			}
+			eq := func(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+			if !matrix.Equal(got, want, eq) {
+				return nil, fmt.Errorf("stream %s round %d: incremental output not bit-identical to rebuild", sp.name, r)
+			}
+			incTotal += incSec
+			rebTotal += rebSec
+			speedups = append(speedups, rebSec/incSec)
+		}
+		incMean := incTotal / float64(rounds)
+		rebMean := rebTotal / float64(rounds)
+		geo := geomean(speedups)
+		allSpeedups = append(allSpeedups, speedups...)
+		edgesPerSec := float64(batchEdges) / incMean
+		t.Rows = append(t.Rows, []string{
+			sp.name, fmt.Sprintf("%d", l.NNZ()), fmt.Sprintf("%d", batchEdges),
+			fmt.Sprintf("%d", rounds),
+			fmt.Sprintf("%.5f", incMean), fmt.Sprintf("%.5f", rebMean),
+			fmt.Sprintf("%.2fx", geo), fmt.Sprintf("%.0f", edgesPerSec),
+		})
+		cfg.Recorder.Add(Record{
+			Study:   "stream",
+			Case:    sp.name,
+			NsPerOp: int64(incMean * 1e9),
+			Metrics: map[string]float64{
+				"rebuild_ns":      rebMean * 1e9,
+				"speedup_geomean": geo,
+				"edges_per_sec":   edgesPerSec,
+				"batch_edges":     float64(batchEdges),
+				"rounds":          float64(rounds),
+				"nnz":             float64(l.NNZ()),
+			},
+		})
+	}
+	geo := geomean(allSpeedups)
+	t.Rows = append(t.Rows, []string{"geomean", "", "", "", "", "", fmt.Sprintf("%.2fx", geo), ""})
+	cfg.Recorder.Add(Record{
+		Study:   "stream",
+		Case:    "geomean",
+		NsPerOp: -1,
+		Metrics: map[string]float64{"speedup_geomean": geo, "cases": float64(len(allSpeedups))},
+	})
+	return t, nil
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// Incremental (delta) execution — the operand view the blocked drivers
+// read when operands change under an edge stream. The overlays
+// (matrix.DeltaCSR) never mutate their base; each refresh materializes the
+// current operands as plain sorted CSR snapshots, derives the dirty-row
+// frontier, extracts the frontier rows of the mask and A into small
+// sub-operands, runs the ordinary masked product on them, and splices the
+// recomputed rows over the previous output. Because every kernel in this
+// repository produces bit-identical rows for identical (mask row, A row,
+// B) inputs, the spliced output is bit-identical to a from-scratch multiply
+// on the compacted operands — the property delta_equiv_test.go asserts.
+
+// DeltaOperand selects which operand of a DeltaProduct an update batch
+// targets.
+type DeltaOperand int
+
+const (
+	// DeltaAll applies a batch to every distinct overlay of the product —
+	// the graph-stream mode, where M, A and B are views of one evolving
+	// graph.
+	DeltaAll DeltaOperand = iota
+	// DeltaM targets the mask overlay only.
+	DeltaM
+	// DeltaA targets the A overlay only.
+	DeltaA
+	// DeltaB targets the B overlay only.
+	DeltaB
+)
+
+// DeltaProduct tracks one incrementally maintained masked product
+// C = M .* (A·B) over delta-CSR overlays. M, A and B may alias the same
+// overlay (the graph workloads use one graph for all three). All content
+// mutations must flow through Apply; mutating an overlay behind the
+// product's back desynchronizes the dirty-row tracking. Not safe for
+// concurrent use; callers (masked.Session) serialize.
+type DeltaProduct[T any] struct {
+	m, a, b *matrix.DeltaCSR[T]
+	// c is the last full output (nil before the first Refresh).
+	c *matrix.CSR[T]
+	// dirtyAM collects rows of M or A whose content changed since the last
+	// refresh; dirtyB collects changed rows of B (columns of A).
+	dirtyAM map[Index]struct{}
+	dirtyB  map[Index]struct{}
+}
+
+// NewDeltaProduct tracks C = M .* (A·B) over the given overlays (which may
+// alias each other). The first Refresh computes the full product.
+func NewDeltaProduct[T any](m, a, b *matrix.DeltaCSR[T]) *DeltaProduct[T] {
+	return &DeltaProduct[T]{
+		m: m, a: a, b: b,
+		dirtyAM: make(map[Index]struct{}),
+		dirtyB:  make(map[Index]struct{}),
+	}
+}
+
+// NewDeltaProductSeeded is NewDeltaProduct with a known-valid output for
+// the overlays' current content, so the first Refresh is incremental
+// instead of from scratch. The incremental k-truss peel seeds its
+// speculative per-batch product with the maintained support matrix this
+// way. The caller owns the claim that c equals the product of the current
+// operands.
+func NewDeltaProductSeeded[T any](m, a, b *matrix.DeltaCSR[T], c *matrix.CSR[T]) *DeltaProduct[T] {
+	p := NewDeltaProduct(m, a, b)
+	p.c = c
+	return p
+}
+
+// Overlays returns the product's distinct overlays (deduplicated by
+// identity, in M, A, B order).
+func (p *DeltaProduct[T]) Overlays() []*matrix.DeltaCSR[T] {
+	out := []*matrix.DeltaCSR[T]{p.m}
+	if p.a != p.m {
+		out = append(out, p.a)
+	}
+	if p.b != p.m && p.b != p.a {
+		out = append(out, p.b)
+	}
+	return out
+}
+
+// targets resolves which distinct overlays an operand selector names.
+func (p *DeltaProduct[T]) targets(op DeltaOperand) ([]*matrix.DeltaCSR[T], error) {
+	switch op {
+	case DeltaAll:
+		return p.Overlays(), nil
+	case DeltaM:
+		return []*matrix.DeltaCSR[T]{p.m}, nil
+	case DeltaA:
+		return []*matrix.DeltaCSR[T]{p.a}, nil
+	case DeltaB:
+		return []*matrix.DeltaCSR[T]{p.b}, nil
+	}
+	return nil, fmt.Errorf("core: unknown delta operand %d", op)
+}
+
+// Apply applies one batch of edge updates to the selected operand's
+// overlay(s) and accumulates the touched rows into the dirty frontier.
+// The batch is validated against every target overlay first, so a
+// rejected batch (out-of-range index) mutates nothing. Aliased overlays
+// receive the batch once but dirty both roles they play.
+func (p *DeltaProduct[T]) Apply(op DeltaOperand, batch []matrix.Update[T]) error {
+	targets, err := p.targets(op)
+	if err != nil {
+		return err
+	}
+	for _, d := range targets {
+		nr, nc := d.Dims()
+		for k, u := range batch {
+			if u.Row < 0 || u.Row >= nr || u.Col < 0 || u.Col >= nc {
+				return fmt.Errorf("core: delta update %d: index (%d, %d) out of range %dx%d",
+					k, u.Row, u.Col, nr, nc)
+			}
+		}
+	}
+	for _, d := range targets {
+		touched, err := d.ApplyBatch(batch)
+		if err != nil {
+			// Unreachable after the pre-validation above; surface it anyway.
+			return err
+		}
+		for _, i := range touched {
+			if d == p.m || d == p.a {
+				p.dirtyAM[i] = struct{}{}
+			}
+			if d == p.b {
+				p.dirtyB[i] = struct{}{}
+			}
+		}
+	}
+	return nil
+}
+
+// Compact folds the pending logs of every overlay into fresh bases. The
+// matrix content — and therefore the next Refresh's output — is unchanged;
+// only storage identity moves.
+func (p *DeltaProduct[T]) Compact() {
+	for _, d := range p.Overlays() {
+		d.Compact()
+	}
+}
+
+// Output returns the last refreshed output (nil before the first Refresh).
+// Callers must not mutate it.
+func (p *DeltaProduct[T]) Output() *matrix.CSR[T] { return p.c }
+
+// Dirty reports the number of accumulated dirty rows (M/A rows plus B
+// rows) awaiting the next Refresh.
+func (p *DeltaProduct[T]) Dirty() int { return len(p.dirtyAM) + len(p.dirtyB) }
+
+// DirtyFrontier derives the output rows an update round must recompute:
+// the changed rows of M and A (dirtyAM), plus every row of the current A
+// whose columns hit a changed row of B. The scan is O(nnz(A)) with
+// early exit per row; rows already dirty are not rescanned.
+func DirtyFrontier(a *matrix.Pattern, dirtyAM, dirtyB map[Index]struct{}) []Index {
+	frontier := make([]Index, 0, len(dirtyAM))
+	for i := range dirtyAM {
+		frontier = append(frontier, i)
+	}
+	if len(dirtyB) > 0 {
+		hit := make([]bool, a.NCols)
+		for k := range dirtyB {
+			hit[k] = true
+		}
+		for i := Index(0); i < a.NRows; i++ {
+			if _, dirty := dirtyAM[i]; dirty {
+				continue
+			}
+			for _, j := range a.Row(i) {
+				if hit[j] {
+					frontier = append(frontier, i)
+					break
+				}
+			}
+		}
+	}
+	sort.Slice(frontier, func(x, y int) bool { return frontier[x] < frontier[y] })
+	return frontier
+}
+
+// DeltaMult is the multiply callback Refresh recomputes frontier rows
+// with: it computes msub .* (asub · b) where msub and asub hold only the
+// frontier rows (b is the full current B). masked.Session supplies its
+// planner path; the apps layer supplies an Engine.
+type DeltaMult[T any] func(msub *matrix.Pattern, asub, b *matrix.CSR[T]) (*matrix.CSR[T], error)
+
+// Refresh brings the output up to date with the overlays' current content:
+// the first call computes the full product, later calls recompute only the
+// dirty-row frontier and splice it into the previous output. It returns
+// the full current output and the recomputed rows (every row on the first
+// call, empty when already clean) — the recomputed-row list is what lets
+// iterative consumers like the k-truss peel bound their own scans. On
+// error the dirty frontier is retained, so a failed or panicked refresh
+// can be retried.
+func (p *DeltaProduct[T]) Refresh(mult DeltaMult[T]) (*matrix.CSR[T], []Index, error) {
+	curM := p.m.Current().Pattern()
+	curA, curB := p.a.Current(), p.b.Current()
+	if p.c == nil {
+		c, err := mult(curM, curA, curB)
+		if err != nil {
+			return nil, nil, err
+		}
+		p.c = c
+		p.resetDirty()
+		all := make([]Index, curM.NRows)
+		for i := range all {
+			all[i] = Index(i)
+		}
+		return c, all, nil
+	}
+	if len(p.dirtyAM) == 0 && len(p.dirtyB) == 0 {
+		return p.c, nil, nil
+	}
+	frontier := DirtyFrontier(curA.Pattern(), p.dirtyAM, p.dirtyB)
+	if len(frontier) == 0 {
+		p.resetDirty()
+		return p.c, nil, nil
+	}
+	msub := matrix.ExtractRowsPattern(curM, frontier)
+	asub := matrix.ExtractRows(curA, frontier)
+	csub, err := mult(msub, asub, curB)
+	if err != nil {
+		return nil, nil, err
+	}
+	p.c = matrix.SpliceRows(p.c, frontier, csub)
+	p.resetDirty()
+	return p.c, frontier, nil
+}
+
+func (p *DeltaProduct[T]) resetDirty() {
+	clear(p.dirtyAM)
+	clear(p.dirtyB)
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/semiring"
+)
+
+// deltaStream is a deterministic pre-generated update stream: one batch
+// per round per operand, shared by every configuration of the battery so
+// all configs replay the identical edge history.
+type deltaStream struct {
+	m, a, b [][]matrix.Update[float64]
+}
+
+func genDeltaStream(rng *rand.Rand, rounds, per int, mr, mc, ar, ac, br, bc Index) deltaStream {
+	gen := func(nr, nc Index) [][]matrix.Update[float64] {
+		out := make([][]matrix.Update[float64], rounds)
+		for r := range out {
+			batch := make([]matrix.Update[float64], per)
+			for k := range batch {
+				batch[k] = matrix.Update[float64]{
+					Row: Index(rng.Intn(int(nr))), Col: Index(rng.Intn(int(nc))),
+					Val:    rng.Float64()*2 - 1,
+					Delete: rng.Intn(3) == 0,
+				}
+			}
+			out[r] = batch
+		}
+		return out
+	}
+	return deltaStream{m: gen(mr, mc), a: gen(ar, ac), b: gen(br, bc)}
+}
+
+// deltaEquivConfig replays the stream under one (variant, complement, rep,
+// sched, semiring) configuration: after every prefix — including a
+// mid-stream Compact — the incrementally refreshed output must be
+// bit-identical to a from-scratch multiply on the overlays' current
+// (compacted) content.
+func deltaEquivConfig(t *testing.T, v Variant, comp bool, rep MaskRep, sched Sched,
+	sr semiring.Semiring[float64], baseM, baseA, baseB *matrix.CSR[float64], stream deltaStream) {
+	t.Helper()
+	newOverlay := func(base *matrix.CSR[float64]) *matrix.DeltaCSR[float64] {
+		d, err := matrix.NewDeltaCSR(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.SetMergeThreshold(0.1) // small threshold: exercise auto-compact too
+		return d
+	}
+	dm, da, db := newOverlay(baseM), newOverlay(baseA), newOverlay(baseB)
+	p := NewDeltaProduct(dm, da, db)
+	opt := func(m *matrix.Pattern, a, b *matrix.CSR[float64]) Options {
+		o := Options{Threads: 2, Grain: 3, Complement: comp, MaskRep: rep, Sched: sched}
+		if sched == SchedCost {
+			o.RowCosts = ComputeRowCosts(m, a.Pattern(), b.Pattern(), o.Workers())
+		}
+		return o
+	}
+	mult := func(msub *matrix.Pattern, asub, b *matrix.CSR[float64]) (*matrix.CSR[float64], error) {
+		return MaskedSpGEMM(v, msub, asub, b, sr, opt(msub, asub, b))
+	}
+	eqBits := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	check := func(round int) {
+		t.Helper()
+		got, _, err := p.Refresh(mult)
+		if err != nil {
+			t.Fatalf("round %d: incremental refresh: %v", round, err)
+		}
+		cm, ca, cb := dm.Current().Pattern(), da.Current(), db.Current()
+		want, err := MaskedSpGEMM(v, cm, ca, cb, sr, opt(cm, ca, cb))
+		if err != nil {
+			t.Fatalf("round %d: rebuild: %v", round, err)
+		}
+		if !matrix.Equal(got, want, eqBits) {
+			t.Fatalf("round %d: incremental output not bit-identical to rebuild", round)
+		}
+	}
+	check(-1) // initial full product
+	rounds := len(stream.m)
+	for r := 0; r < rounds; r++ {
+		if err := p.Apply(DeltaM, stream.m[r]); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Apply(DeltaA, stream.a[r]); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Apply(DeltaB, stream.b[r]); err != nil {
+			t.Fatal(err)
+		}
+		if r == rounds/2 {
+			// Mid-stream compaction with dirty rows pending must not
+			// change the refreshed output.
+			p.Compact()
+		}
+		check(r)
+	}
+}
+
+// TestDeltaEquivalenceBattery is the incremental-vs-rebuild property test:
+// across all 12 variants × 3 mask representations × 3 named semirings ×
+// both schedulers, plus complemented masks and a mid-stream Compact, every
+// prefix of a seeded random insert/delete stream yields an incremental
+// output bit-identical to a from-scratch multiply on the compacted
+// operands.
+func TestDeltaEquivalenceBattery(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const m, k, n = 29, 23, 31
+	baseM := randFloatCSR(rng, m, n, 0.3)
+	baseA := randFloatCSR(rng, m, k, 0.25)
+	baseB := randFloatCSR(rng, k, n, 0.25)
+	stream := genDeltaStream(rng, 5, 4, m, n, m, k, k, n)
+	semirings := []semiring.Semiring[float64]{
+		semiring.Arithmetic(), semiring.PlusPairF(), semiring.MinPlus(),
+	}
+	for _, sr := range semirings {
+		sr := sr
+		t.Run(sr.Name, func(t *testing.T) {
+			for _, v := range AllVariants() {
+				for _, comp := range []bool{false, true} {
+					if comp && !v.SupportsComplement() {
+						continue
+					}
+					for _, rep := range []MaskRep{RepCSR, RepBitmap, RepDense} {
+						for _, sched := range []Sched{SchedEqualRow, SchedCost} {
+							deltaEquivConfig(t, v, comp, rep, sched, sr,
+								baseM, baseA, baseB, stream)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaAliasedOverlays runs the graph-stream shape — M, A and B are
+// one overlay — asserting per-prefix bit-identity and that DeltaAll
+// batches dirty both operand roles exactly once.
+func TestDeltaAliasedOverlays(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 31
+	base := randFloatCSR(rng, n, n, 0.2)
+	g, err := matrix.NewDeltaCSR(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewDeltaProduct(g, g, g)
+	if len(p.Overlays()) != 1 {
+		t.Fatalf("aliased product tracks %d overlays, want 1", len(p.Overlays()))
+	}
+	sr := semiring.PlusPairF()
+	mult := func(msub *matrix.Pattern, asub, b *matrix.CSR[float64]) (*matrix.CSR[float64], error) {
+		return MaskedSpGEMM(Variant{Alg: Hash, Phase: TwoPhase}, msub, asub, b, sr,
+			Options{Threads: 2})
+	}
+	eqBits := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	if _, rows, err := p.Refresh(mult); err != nil || len(rows) != n {
+		t.Fatalf("initial refresh: rows=%d err=%v", len(rows), err)
+	}
+	for round := 0; round < 6; round++ {
+		batch := make([]matrix.Update[float64], 5)
+		for k := range batch {
+			batch[k] = matrix.Update[float64]{
+				Row: Index(rng.Intn(n)), Col: Index(rng.Intn(n)),
+				Val: 1, Delete: rng.Intn(3) == 0,
+			}
+		}
+		if err := p.Apply(DeltaAll, batch); err != nil {
+			t.Fatal(err)
+		}
+		got, recomputed, err := p.Refresh(mult)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recomputed) == 0 {
+			t.Fatalf("round %d: refresh recomputed no rows after a batch", round)
+		}
+		cur := g.Current()
+		want, err := MaskedSpGEMM(Variant{Alg: Hash, Phase: TwoPhase},
+			cur.Pattern(), cur, cur, sr, Options{Threads: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.Equal(got, want, eqBits) {
+			t.Fatalf("round %d: aliased incremental output diverged from rebuild", round)
+		}
+	}
+}
+
+// TestDeltaApplyAtomicAcrossOverlays: a batch that is in range for A but
+// out of range for B must reject without mutating either overlay when
+// applied with DeltaAll.
+func TestDeltaApplyAtomicAcrossOverlays(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	baseA := randFloatCSR(rng, 10, 8, 0.3) // 10x8
+	baseB := randFloatCSR(rng, 8, 6, 0.3)  // 8x6
+	baseM := randFloatCSR(rng, 10, 6, 0.3)
+	dm, _ := matrix.NewDeltaCSR(baseM)
+	da, _ := matrix.NewDeltaCSR(baseA)
+	db, _ := matrix.NewDeltaCSR(baseB)
+	p := NewDeltaProduct(dm, da, db)
+	// Row 9 exists in M and A but not in B (8 rows).
+	err := p.Apply(DeltaAll, []matrix.Update[float64]{{Row: 9, Col: 5, Val: 1}})
+	if err == nil {
+		t.Fatal("cross-overlay out-of-range batch accepted")
+	}
+	if dm.Pending() != 0 || da.Pending() != 0 || db.Pending() != 0 || p.Dirty() != 0 {
+		t.Fatal("rejected batch left pending state behind")
+	}
+	// Targeted application to A alone is fine.
+	if err := p.Apply(DeltaA, []matrix.Update[float64]{{Row: 9, Col: 5, Val: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Dirty() != 1 {
+		t.Fatalf("dirty rows = %d, want 1", p.Dirty())
+	}
+}
+
+// TestDirtyFrontierDerivation checks the frontier rule directly: changed
+// A/M rows are included, and a changed B row pulls in exactly the A rows
+// whose columns reference it.
+func TestDirtyFrontierDerivation(t *testing.T) {
+	// A: row 0 -> {1}, row 1 -> {2}, row 2 -> {0, 2}, row 3 -> {}.
+	a := &matrix.Pattern{NRows: 4, NCols: 3,
+		RowPtr: []Index{0, 1, 2, 4, 4}, Col: []Index{1, 2, 0, 2}}
+	got := DirtyFrontier(a,
+		map[Index]struct{}{3: {}},
+		map[Index]struct{}{2: {}})
+	// Row 3 is dirty directly; B row 2 is referenced by A rows 1 and 2.
+	want := []Index{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("frontier = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frontier = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestDeltaSeededProduct: a product seeded with a known-valid output skips
+// the full first compute and still refreshes incrementally to the right
+// bits.
+func TestDeltaSeededProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 24
+	base := randFloatCSR(rng, n, n, 0.25)
+	sr := semiring.PlusPairF()
+	v := Variant{Alg: MSA, Phase: OnePhase}
+	seed, err := MaskedSpGEMM(v, base.Pattern(), base, base, sr, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := matrix.NewDeltaCSR(base)
+	p := NewDeltaProductSeeded(g, g, g, seed)
+	mult := func(msub *matrix.Pattern, asub, b *matrix.CSR[float64]) (*matrix.CSR[float64], error) {
+		return MaskedSpGEMM(v, msub, asub, b, sr, Options{Threads: 2})
+	}
+	if c, rows, err := p.Refresh(mult); err != nil || len(rows) != 0 || c != seed {
+		t.Fatalf("seeded refresh recomputed rows=%d err=%v", len(rows), err)
+	}
+	if err := p.Apply(DeltaAll, []matrix.Update[float64]{{Row: 3, Col: 7, Val: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := p.Refresh(mult)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := g.Current()
+	want, err := MaskedSpGEMM(v, cur.Pattern(), cur, cur, sr, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqBits := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	if !matrix.Equal(got, want, eqBits) {
+		t.Fatal("seeded incremental output diverged from rebuild")
+	}
+}

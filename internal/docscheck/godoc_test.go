@@ -12,13 +12,19 @@ import (
 
 // godocPackages are the packages the godoc-coverage gate enforces: the
 // public API surface, the planner (whose Plan/Stats/Cache types render
-// on pkg.go.dev through the masked re-exports), and the network serving
+// on pkg.go.dev through the masked re-exports), the network serving
 // surface (the wire protocol other implementations must interoperate
-// with, and the server/client embedders build on). Every exported
-// identifier in them — functions, methods on exported types, types, and
-// package-level const/var specs — must carry a doc comment.
+// with, and the server/client embedders build on), and — since the
+// PR 10 delta/streaming surface (matrix.DeltaCSR, core.DeltaProduct,
+// apps.TCStream/KTrussStream) — the storage, kernel and application
+// layers it spans. Every exported identifier in them — functions,
+// methods on exported types, types, and package-level const/var specs
+// — must carry a doc comment.
 var godocPackages = []string{
+	"internal/apps",
+	"internal/core",
 	"internal/faultinject",
+	"internal/matrix",
 	"masked",
 	"internal/planner",
 	"internal/server",

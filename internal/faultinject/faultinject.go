@@ -65,6 +65,11 @@ const (
 	// PointWorkerPanic panics on a parallel worker goroutine, exercising
 	// the re-panic-to-coordinator machinery in internal/parallel.
 	PointWorkerPanic = "parallel.worker.panic"
+	// PointDeltaApply panics inside Session.Update after the edge batch
+	// has landed in the delta overlays but before the incremental
+	// recompute (tests that a mid-update panic retains the dirty frontier
+	// so a retried refresh recovers bit-identically).
+	PointDeltaApply = "delta.apply"
 )
 
 // Rule arms one injection point.

@@ -1,0 +1,267 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// deltaFromCOO builds a small delta overlay over a COO-built base.
+func deltaFromCOO(t *testing.T, n Index, rows, cols []Index, vals []float64) *DeltaCSR[float64] {
+	t.Helper()
+	coo := &COO[float64]{NRows: n, NCols: n, Row: rows, Col: cols, Val: vals}
+	base := NewCSRFromCOO(coo, func(a, b float64) float64 { return a + b })
+	d, err := NewDeltaCSR(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeltaApplySemantics(t *testing.T) {
+	d := deltaFromCOO(t, 4,
+		[]Index{0, 0, 1, 2}, []Index{1, 3, 2, 0}, []float64{1, 2, 3, 4})
+	if d.NNZ() != 4 {
+		t.Fatalf("seed nnz = %d, want 4", d.NNZ())
+	}
+	// Insert new, overwrite existing, delete existing, delete absent,
+	// duplicate insert (last wins) — all in one batch.
+	touched, err := d.ApplyBatch([]Update[float64]{
+		{Row: 3, Col: 3, Val: 9},                           // new entry
+		{Row: 0, Col: 1, Val: 7},                           // overwrite base entry
+		{Row: 1, Col: 2, Delete: true},                     // delete base entry
+		{Row: 2, Col: 3, Delete: true},                     // delete absent: no-op
+		{Row: 3, Col: 0, Val: 1}, {Row: 3, Col: 0, Val: 5}, // dup insert
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []Index{0, 1, 2, 3}; len(touched) != 4 || touched[0] != want[0] || touched[3] != want[3] {
+		t.Fatalf("touched = %v, want %v", touched, want)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NNZ() != 5 {
+		t.Fatalf("nnz = %d, want 5", d.NNZ())
+	}
+	cur := d.Current()
+	wantRow := func(i Index, cols []Index, vals []float64) {
+		t.Helper()
+		c, v := cur.Row(i)
+		if len(c) != len(cols) {
+			t.Fatalf("row %d = %v/%v, want %v/%v", i, c, v, cols, vals)
+		}
+		for k := range c {
+			if c[k] != cols[k] || v[k] != vals[k] {
+				t.Fatalf("row %d = %v/%v, want %v/%v", i, c, v, cols, vals)
+			}
+		}
+	}
+	wantRow(0, []Index{1, 3}, []float64{7, 2})
+	wantRow(1, []Index{}, []float64{})
+	wantRow(2, []Index{0}, []float64{4})
+	wantRow(3, []Index{0, 3}, []float64{5, 9})
+
+	// Re-inserting a deleted entry brings it back with the new value.
+	if _, err := d.ApplyBatch([]Update[float64]{{Row: 1, Col: 2, Val: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	c, v := d.MergedRow(1, nil, nil)
+	if len(c) != 1 || c[0] != 2 || v[0] != 8 {
+		t.Fatalf("revived row 1 = %v/%v, want [2]/[8]", c, v)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaOutOfRangeRejectsWholeBatch(t *testing.T) {
+	d := deltaFromCOO(t, 3, []Index{0}, []Index{1}, []float64{1})
+	gen := d.Gen()
+	_, err := d.ApplyBatch([]Update[float64]{
+		{Row: 1, Col: 1, Val: 2}, // valid
+		{Row: 3, Col: 0, Val: 1}, // out of range
+	})
+	if err == nil {
+		t.Fatal("out-of-range update accepted")
+	}
+	if d.Gen() != gen || d.Pending() != 0 || d.NNZ() != 1 {
+		t.Fatalf("rejected batch mutated state: gen %d→%d pending=%d nnz=%d",
+			gen, d.Gen(), d.Pending(), d.NNZ())
+	}
+	if _, err := d.ApplyBatch([]Update[float64]{{Row: 1, Col: -1, Delete: true}}); err == nil {
+		t.Fatal("negative column accepted")
+	}
+}
+
+func TestDeltaCompactEquivalence(t *testing.T) {
+	d := deltaFromCOO(t, 5,
+		[]Index{0, 1, 2, 3, 4}, []Index{1, 2, 3, 4, 0}, []float64{1, 2, 3, 4, 5})
+	d.SetMergeThreshold(1e9) // no auto-compact; exercise explicit Compact
+	if _, err := d.ApplyBatch([]Update[float64]{
+		{Row: 0, Col: 4, Val: 6},
+		{Row: 2, Col: 3, Delete: true},
+		{Row: 4, Col: 4, Val: 7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Current().Clone()
+	nnz, gen := d.NNZ(), d.Gen()
+	base := d.Compact()
+	if d.Pending() != 0 {
+		t.Fatalf("pending after Compact = %d", d.Pending())
+	}
+	if d.Gen() != gen {
+		t.Fatal("Compact advanced the generation")
+	}
+	if d.Base() != base || d.Current() != base {
+		t.Fatal("Compact did not install the merged matrix as base")
+	}
+	if d.NNZ() != nnz || base.NNZ() != nnz {
+		t.Fatalf("nnz drifted across Compact: %d vs %d", d.NNZ(), base.NNZ())
+	}
+	if !Equal(before, base, func(a, b float64) bool { return a == b }) {
+		t.Fatal("Compact changed matrix content")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaAutoCompactThreshold(t *testing.T) {
+	d := deltaFromCOO(t, 8,
+		[]Index{0, 1, 2, 3}, []Index{1, 2, 3, 4}, []float64{1, 1, 1, 1})
+	d.SetMergeThreshold(0.5) // base nnz 4 → compact once pending > 2
+	if _, err := d.ApplyBatch([]Update[float64]{{Row: 5, Col: 5, Val: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1 (below threshold)", d.Pending())
+	}
+	if _, err := d.ApplyBatch([]Update[float64]{
+		{Row: 6, Col: 6, Val: 1}, {Row: 7, Col: 7, Val: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0 (auto-compacted)", d.Pending())
+	}
+	if d.Base().NNZ() != 7 {
+		t.Fatalf("base nnz after auto-compact = %d, want 7", d.Base().NNZ())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaCurrentCachedPerGeneration(t *testing.T) {
+	d := deltaFromCOO(t, 3, []Index{0, 1}, []Index{1, 2}, []float64{1, 2})
+	base := d.Base()
+	if d.Current() != base {
+		t.Fatal("Current with no pending logs should return the base")
+	}
+	if _, err := d.ApplyBatch([]Update[float64]{{Row: 2, Col: 0, Val: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	s1 := d.Current()
+	if s1 == base {
+		t.Fatal("Current returned the stale base after an update")
+	}
+	if s2 := d.Current(); s2 != s1 {
+		t.Fatal("Current rebuilt the snapshot within one generation")
+	}
+	if base.NNZ() != 2 {
+		t.Fatal("update mutated the base")
+	}
+}
+
+func TestDeltaMergedRowAgainstReference(t *testing.T) {
+	const n = 32
+	rng := rand.New(rand.NewSource(7))
+	d := deltaFromCOO(t, n, []Index{0}, []Index{0}, []float64{1})
+	d.SetMergeThreshold(1e9)
+	ref := map[[2]Index]float64{{0, 0}: 1}
+	for step := 0; step < 200; step++ {
+		u := Update[float64]{
+			Row: Index(rng.Intn(n)), Col: Index(rng.Intn(n)),
+			Val: float64(step), Delete: rng.Intn(3) == 0,
+		}
+		if _, err := d.ApplyBatch([]Update[float64]{u}); err != nil {
+			t.Fatal(err)
+		}
+		if u.Delete {
+			delete(ref, [2]Index{u.Row, u.Col})
+		} else {
+			ref[[2]Index{u.Row, u.Col}] = u.Val
+		}
+		if rng.Intn(40) == 0 {
+			d.Compact()
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NNZ() != len(ref) {
+		t.Fatalf("nnz = %d, reference has %d", d.NNZ(), len(ref))
+	}
+	got := 0
+	for i := Index(0); i < n; i++ {
+		cols, vals := d.MergedRow(i, nil, nil)
+		for k, j := range cols {
+			want, ok := ref[[2]Index{i, j}]
+			if !ok || vals[k] != want {
+				t.Fatalf("entry (%d,%d)=%v, reference %v (present=%v)", i, j, vals[k], want, ok)
+			}
+			got++
+		}
+	}
+	if got != len(ref) {
+		t.Fatalf("merged rows yield %d entries, reference has %d", got, len(ref))
+	}
+}
+
+func TestExtractAndSpliceRows(t *testing.T) {
+	coo := &COO[float64]{NRows: 5, NCols: 4,
+		Row: []Index{0, 0, 1, 3, 4}, Col: []Index{0, 2, 1, 3, 0},
+		Val: []float64{1, 2, 3, 4, 5}}
+	a := NewCSRFromCOO(coo, func(x, y float64) float64 { return x + y })
+	rows := []Index{0, 3}
+	sub := ExtractRows(a, rows)
+	if sub.NRows != 2 || sub.NNZ() != 3 {
+		t.Fatalf("extracted %dx nnz=%d, want 2 rows nnz=3", sub.NRows, sub.NNZ())
+	}
+	if p := ExtractRowsPattern(a.Pattern(), rows); p.NNZ() != 3 || p.Validate() != nil {
+		t.Fatalf("pattern extraction inconsistent: nnz=%d", p.NNZ())
+	}
+	// Replace the extracted rows with new content and splice back.
+	repl := NewCSRFromCOO(&COO[float64]{NRows: 2, NCols: 4,
+		Row: []Index{0, 1, 1}, Col: []Index{3, 0, 2}, Val: []float64{9, 8, 7}},
+		func(x, y float64) float64 { return x + y })
+	out := SpliceRows(a, rows, repl)
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := NewCSRFromCOO(&COO[float64]{NRows: 5, NCols: 4,
+		Row: []Index{0, 1, 3, 3, 4}, Col: []Index{3, 1, 0, 2, 0},
+		Val: []float64{9, 3, 8, 7, 5}},
+		func(x, y float64) float64 { return x + y })
+	if !Equal(out, want, func(x, y float64) bool { return x == y }) {
+		t.Fatal("splice produced wrong matrix")
+	}
+	// Inputs untouched.
+	if a.NNZ() != 5 || repl.NNZ() != 3 {
+		t.Fatal("splice mutated an input")
+	}
+}
+
+func TestNewDeltaCSRRejectsUnsortedBase(t *testing.T) {
+	base := &CSR[float64]{NRows: 1, NCols: 3,
+		RowPtr: []Index{0, 2}, Col: []Index{2, 0}, Val: []float64{1, 2}}
+	if _, err := NewDeltaCSR(base); err == nil {
+		t.Fatal("unsorted base accepted")
+	}
+	base.SortRows()
+	if _, err := NewDeltaCSR(base); err != nil {
+		t.Fatal(err)
+	}
+}

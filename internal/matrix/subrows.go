@@ -1,0 +1,83 @@
+package matrix
+
+// Row extraction and splicing — the operand views of the incremental
+// (delta) execution path. A dirty-row frontier is materialized as a small
+// rows×ncols CSR holding only the frontier rows (ExtractRows), the masked
+// product runs on that sub-operand with the ordinary blocked drivers, and
+// the recomputed rows are spliced back over the previous output
+// (SpliceRows). Both are pure copies: the inputs are never mutated.
+
+// ExtractRows returns the len(rows)×(a.NCols) CSR whose row r is row
+// rows[r] of a. rows must be in-range; duplicates are allowed (each
+// occurrence copies the row). The result shares no storage with a.
+func ExtractRows[T any](a *CSR[T], rows []Index) *CSR[T] {
+	out := &CSR[T]{
+		NRows:  Index(len(rows)),
+		NCols:  a.NCols,
+		RowPtr: make([]Index, len(rows)+1),
+	}
+	nnz := Index(0)
+	for r, i := range rows {
+		nnz += a.RowPtr[i+1] - a.RowPtr[i]
+		out.RowPtr[r+1] = nnz
+	}
+	out.Col = make([]Index, nnz)
+	out.Val = make([]T, nnz)
+	for r, i := range rows {
+		lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+		copy(out.Col[out.RowPtr[r]:], a.Col[lo:hi])
+		copy(out.Val[out.RowPtr[r]:], a.Val[lo:hi])
+	}
+	return out
+}
+
+// ExtractRowsPattern is ExtractRows for a structure-only pattern.
+func ExtractRowsPattern(p *Pattern, rows []Index) *Pattern {
+	out := &Pattern{
+		NRows:  Index(len(rows)),
+		NCols:  p.NCols,
+		RowPtr: make([]Index, len(rows)+1),
+	}
+	nnz := Index(0)
+	for r, i := range rows {
+		nnz += p.RowPtr[i+1] - p.RowPtr[i]
+		out.RowPtr[r+1] = nnz
+	}
+	out.Col = make([]Index, nnz)
+	for r, i := range rows {
+		copy(out.Col[out.RowPtr[r]:], p.Col[p.RowPtr[i]:p.RowPtr[i+1]])
+	}
+	return out
+}
+
+// SpliceRows returns a copy of old with row rows[r] replaced by row r of
+// sub, for every r. rows must be strictly increasing and in-range, and sub
+// must have len(rows) rows and old's column count. Neither input is
+// mutated.
+func SpliceRows[T any](old *CSR[T], rows []Index, sub *CSR[T]) *CSR[T] {
+	out := &CSR[T]{
+		NRows:  old.NRows,
+		NCols:  old.NCols,
+		RowPtr: make([]Index, old.NRows+1),
+	}
+	nnzOld := Index(len(old.Col))
+	nnzSub := Index(len(sub.Col))
+	// Upper bound; exact when no row both shrinks and grows — trim below.
+	out.Col = make([]Index, 0, int(nnzOld+nnzSub))
+	out.Val = make([]T, 0, int(nnzOld+nnzSub))
+	r := 0
+	for i := Index(0); i < old.NRows; i++ {
+		if r < len(rows) && rows[r] == i {
+			lo, hi := sub.RowPtr[r], sub.RowPtr[r+1]
+			out.Col = append(out.Col, sub.Col[lo:hi]...)
+			out.Val = append(out.Val, sub.Val[lo:hi]...)
+			r++
+		} else {
+			lo, hi := old.RowPtr[i], old.RowPtr[i+1]
+			out.Col = append(out.Col, old.Col[lo:hi]...)
+			out.Val = append(out.Val, old.Val[lo:hi]...)
+		}
+		out.RowPtr[i+1] = Index(len(out.Col))
+	}
+	return out
+}

@@ -48,3 +48,56 @@ func TestSpecializedKernelsZeroAllocsPerRow(t *testing.T) {
 		})
 	}
 }
+
+// TestStreamingLoopDriverPoolWarm guards the streaming path's share of the
+// steady-state allocation contract: once a delta product has seen one full
+// insert/delete cycle of a fixed edge set (warming every driver buffer
+// size class the frontier sub-products use), further cycles must take zero
+// driver pool misses — the frontier extraction and splice allocate their
+// own small arrays, but the kernels' accumulator and output buffers all
+// come from the warmed pools.
+func TestStreamingLoopDriverPoolWarm(t *testing.T) {
+	if raceEnabled {
+		t.Skip("exact pool-miss counts do not hold under -race (sync.Pool drops Puts)")
+	}
+	ctx := context.Background()
+	_, l := tcOperands(9, 8, 23)
+	s := NewSession(WithThreads(2), WithAccumulate(PlusPair()))
+	g, err := NewDeltaMatrix(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.NewDeltaProduct(g, g, g)
+	if _, err := s.MultiplyDelta(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	// A fixed edge set toggled on and off: each cycle returns the graph to
+	// its base content, so every iteration's frontier — and therefore the
+	// driver buffer size classes — repeats exactly.
+	edges := []Update{
+		{Row: 40, Col: 3, Val: 1}, {Row: 41, Col: 7, Val: 1}, {Row: 42, Col: 11, Val: 1},
+	}
+	cycle := func() {
+		t.Helper()
+		if _, err := s.Update(ctx, p, edges); err != nil {
+			t.Fatal(err)
+		}
+		dels := make([]Update, len(edges))
+		for i, e := range edges {
+			dels[i] = Update{Row: e.Row, Col: e.Col, Delete: true}
+		}
+		if _, err := s.Update(ctx, p, dels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle() // warm the frontier-shaped pools
+	_, missBefore := s.ws.DriverPoolStats()
+	for i := 0; i < 8; i++ {
+		cycle()
+	}
+	gets, missAfter := s.ws.DriverPoolStats()
+	if missAfter != missBefore {
+		t.Fatalf("warmed streaming loop performed %d driver pool misses over 16 updates (gets %d); want 0",
+			missAfter-missBefore, gets)
+	}
+}

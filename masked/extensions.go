@@ -64,7 +64,8 @@ type BFSResult = apps.BFSResult
 
 // BFS runs a single-source direction-optimized breadth-first search.
 //
-// Deprecated: use Session.BFS.
+// Deprecated: use Session.BFS. Scheduled for removal in v2 (no earlier
+// than 2027-02); the last in-repo callers migrated in PR 10.
 func BFS(g *Matrix, source Index, opt Options) (BFSResult, error) {
 	return DefaultSession().BFS(legacyCtx(opt), g, source, legacyOps(opt)...)
 }
@@ -75,7 +76,8 @@ type MultiSourceBFSResult = apps.MultiSourceBFSResult
 // MultiSourceBFS runs BFS from every source simultaneously with
 // complement-masked SpGEMM, using variant v (or the planner with opt.Auto).
 //
-// Deprecated: use Session.MultiSourceBFS.
+// Deprecated: use Session.MultiSourceBFS. Scheduled for removal in v2 (no earlier
+// than 2027-02); the last in-repo callers migrated in PR 10.
 func MultiSourceBFS(g *Matrix, sources []Index, v Variant, opt Options) (MultiSourceBFSResult, error) {
 	return DefaultSession().MultiSourceBFS(legacyCtx(opt), g, sources,
 		legacyOps(opt, legacyVariant(v, opt))...)
@@ -88,7 +90,8 @@ type SimilarityResult = apps.SimilarityResult
 // normalization via masked SpGEMM, using variant v (or the planner with
 // opt.Auto).
 //
-// Deprecated: use Session.CosineSimilarity.
+// Deprecated: use Session.CosineSimilarity. Scheduled for removal in v2 (no earlier
+// than 2027-02); the last in-repo callers migrated in PR 10.
 func CosineSimilarity(f *Matrix, candidates *Pattern, v Variant, opt Options) (SimilarityResult, error) {
 	return DefaultSession().CosineSimilarity(legacyCtx(opt), f, candidates,
 		legacyOps(opt, legacyVariant(v, opt))...)
@@ -112,7 +115,8 @@ type MCLResult = apps.MCLResult
 // iterate's own pattern; inflation = element-wise powering) with variant v
 // supplying the masked expansion (or the planner with opt.Auto).
 //
-// Deprecated: use Session.MCL.
+// Deprecated: use Session.MCL. Scheduled for removal in v2 (no earlier
+// than 2027-02); the last in-repo callers migrated in PR 10.
 func MCL(g *Matrix, o MCLOptions, v Variant, opt Options) (MCLResult, error) {
 	return DefaultSession().MCL(legacyCtx(opt), g, o,
 		legacyOps(opt, legacyVariant(v, opt))...)

@@ -269,6 +269,8 @@ func legacyVariant(v Variant, opt Options) Op {
 //
 // Deprecated: use Session.Multiply, which scopes the plan cache and
 // workspaces and takes a context; this wrapper runs on DefaultSession.
+// Scheduled for removal in v2 (no earlier than 2027-02); the last
+// in-repo callers migrated in PR 10.
 func Multiply(m *Pattern, a, b *Matrix, sr Semiring, opt Options) (*Matrix, error) {
 	c, _, err := MultiplyAuto(m, a, b, sr, opt)
 	return c, err
@@ -277,7 +279,8 @@ func Multiply(m *Pattern, a, b *Matrix, sr Semiring, opt Options) (*Matrix, erro
 // MultiplyAuto computes C = M .* (A·B) like Multiply and returns the plan
 // that was executed alongside the product.
 //
-// Deprecated: use Session.MultiplyAuto.
+// Deprecated: use Session.MultiplyAuto. Scheduled for removal in v2 (no earlier
+// than 2027-02); the last in-repo callers migrated in PR 10.
 func MultiplyAuto(m *Pattern, a, b *Matrix, sr Semiring, opt Options) (*Matrix, *Plan, error) {
 	return DefaultSession().MultiplyAuto(legacyCtx(opt), m, a, b,
 		legacyOps(opt, WithAccumulate(sr))...)
@@ -286,7 +289,8 @@ func MultiplyAuto(m *Pattern, a, b *Matrix, sr Semiring, opt Options) (*Matrix, 
 // Explain analyzes C = M .* (A·B) without executing it and returns the plan
 // the adaptive path would run.
 //
-// Deprecated: use Session.Explain.
+// Deprecated: use Session.Explain. Scheduled for removal in v2 (no earlier
+// than 2027-02); the last in-repo callers migrated in PR 10.
 func Explain(m *Pattern, a, b *Matrix, opt Options) *Plan {
 	return planner.Analyze(m, a.Pattern(), b.Pattern(), opt)
 }
@@ -294,7 +298,8 @@ func Explain(m *Pattern, a, b *Matrix, opt Options) *Plan {
 // MultiplyVariant computes C = M .* (A·B) with an explicit algorithm
 // variant. MCA does not support opt.Complement.
 //
-// Deprecated: use Session.Multiply with WithVariant.
+// Deprecated: use Session.Multiply with WithVariant. Scheduled for removal in v2 (no earlier
+// than 2027-02); the last in-repo callers migrated in PR 10.
 func MultiplyVariant(v Variant, m *Pattern, a, b *Matrix, sr Semiring, opt Options) (*Matrix, error) {
 	return DefaultSession().Multiply(legacyCtx(opt), m, a, b,
 		legacyOps(opt, WithAccumulate(sr), WithVariant(v))...)
@@ -364,7 +369,8 @@ type BCResult = apps.BCResult
 // TriangleCount counts triangles via sum(L .* (L·L)) with degree-descending
 // relabeling, using variant v (or the planner with opt.Auto).
 //
-// Deprecated: use Session.TriangleCount.
+// Deprecated: use Session.TriangleCount. Scheduled for removal in v2 (no earlier
+// than 2027-02); the last in-repo callers migrated in PR 10.
 func TriangleCount(g *Matrix, v Variant, opt Options) (TCResult, error) {
 	return DefaultSession().TriangleCount(legacyCtx(opt), g,
 		legacyOps(opt, legacyVariant(v, opt))...)
@@ -373,7 +379,8 @@ func TriangleCount(g *Matrix, v Variant, opt Options) (TCResult, error) {
 // KTruss computes the k-truss subgraph by iterated masked support counting,
 // using variant v (or the planner with opt.Auto).
 //
-// Deprecated: use Session.KTruss.
+// Deprecated: use Session.KTruss. Scheduled for removal in v2 (no earlier
+// than 2027-02); the last in-repo callers migrated in PR 10.
 func KTruss(g *Matrix, k int, v Variant, opt Options) (*Matrix, KTrussResult, error) {
 	return DefaultSession().KTruss(legacyCtx(opt), g, k,
 		legacyOps(opt, legacyVariant(v, opt))...)
@@ -383,7 +390,8 @@ func KTruss(g *Matrix, k int, v Variant, opt Options) (*Matrix, KTrussResult, er
 // contributions for the given sources, using variant v (which must support
 // complemented masks — any variant except MCA).
 //
-// Deprecated: use Session.BC.
+// Deprecated: use Session.BC. Scheduled for removal in v2 (no earlier
+// than 2027-02); the last in-repo callers migrated in PR 10.
 func BetweennessCentrality(g *Matrix, sources []Index, v Variant, opt Options) (BCResult, error) {
 	return DefaultSession().BC(legacyCtx(opt), g, sources,
 		legacyOps(opt, legacyVariant(v, opt))...)
@@ -394,7 +402,8 @@ func BetweennessCentrality(g *Matrix, sources []Index, v Variant, opt Options) (
 // SSDot is the SuiteSparse:GraphBLAS-style dot-product baseline.
 //
 // Deprecated: use Session.SSDot, which takes a context and can be
-// cancelled.
+// cancelled. Scheduled for removal in v2 (no earlier than 2027-02); the
+// last in-repo callers migrated in PR 10.
 func SSDot(m *Pattern, a, b *Matrix, sr Semiring, threads int) *Matrix {
 	return baseline.SSDot(m, a, b, sr, baseline.Options{Threads: threads})
 }
@@ -403,7 +412,8 @@ func SSDot(m *Pattern, a, b *Matrix, sr Semiring, threads int) *Matrix {
 // at gather, not during accumulation).
 //
 // Deprecated: use Session.SSSaxpy, which takes a context and can be
-// cancelled.
+// cancelled. Scheduled for removal in v2 (no earlier than 2027-02); the
+// last in-repo callers migrated in PR 10.
 func SSSaxpy(m *Pattern, a, b *Matrix, sr Semiring, threads int) *Matrix {
 	return baseline.SSSaxpy(m, a, b, sr, baseline.Options{Threads: threads})
 }

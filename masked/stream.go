@@ -1,0 +1,204 @@
+package masked
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/matrix"
+	"repro/internal/planner"
+)
+
+// Streaming (incremental) execution. A DeltaMatrix overlays a base graph
+// with batched edge insert/delete logs; a DeltaProduct tracks one masked
+// product over such overlays and Session.Update / Session.MultiplyDelta
+// recompute only the dirty-row frontier of each batch — the rows of M or A
+// that changed plus the rows whose A columns hit changed rows of B —
+// splicing the recomputed rows into the cached output. Rows outside the
+// frontier reuse their previously computed output unchanged; the frontier
+// rows re-plan through the ordinary planner stats path on the extracted
+// sub-operands. Because every kernel produces bit-identical rows for
+// identical inputs, the incremental output is bit-identical to a
+// from-scratch multiply on the compacted operands (masked/stream_test.go
+// and internal/core/delta_equiv_test.go assert this per stream prefix).
+
+// Update is one streamed edge mutation: set entry (Row, Col) to Val, or
+// remove it when Delete is true. Deletes of absent entries are no-ops.
+type Update = matrix.Update[float64]
+
+// DeltaMatrix is a dynamic sparse matrix: an immutable base CSR overlaid
+// with batched per-row insert/delete logs and a bounded merge threshold
+// (see matrix.DeltaCSR). Build one with NewDeltaMatrix.
+type DeltaMatrix = matrix.DeltaCSR[float64]
+
+// NewDeltaMatrix wraps base — which must have sorted, duplicate-free rows
+// and must not be mutated afterwards — in a delta overlay for streaming
+// updates.
+func NewDeltaMatrix(base *Matrix) (*DeltaMatrix, error) {
+	return matrix.NewDeltaCSR(base)
+}
+
+// DeltaOperand selects which operand of a DeltaProduct an update batch
+// targets (UpdateOperand); Update itself always targets DeltaAll.
+type DeltaOperand = core.DeltaOperand
+
+// Delta operand selectors.
+const (
+	// DeltaAll applies a batch to every distinct overlay of the product —
+	// the graph-stream mode, where the mask and both operands are views of
+	// one evolving graph.
+	DeltaAll = core.DeltaAll
+	// DeltaM targets the mask overlay only.
+	DeltaM = core.DeltaM
+	// DeltaA targets the A overlay only.
+	DeltaA = core.DeltaA
+	// DeltaB targets the B overlay only.
+	DeltaB = core.DeltaB
+)
+
+// DeltaProduct is an incrementally maintained masked product
+// C = M .* (A·B) over delta overlays, created by Session.NewDeltaProduct.
+// Its descriptor (variant or Auto, complement, semiring, mask rep,
+// scheduler, threads) is pinned at creation so every refresh of the
+// product computes the same function. Update, MultiplyDelta, Compact and
+// Output serialize on an internal lock, so a DeltaProduct is safe for
+// concurrent use alongside the session's other operations.
+type DeltaProduct struct {
+	mu    sync.Mutex
+	owner *Session
+	d     opSpec
+	inner *core.DeltaProduct[float64]
+}
+
+// NewDeltaProduct tracks C = M .* (A·B) over the given overlays, which may
+// alias each other (pass the same overlay three times for graph workloads
+// like streaming triangle counting). The options pin the product's
+// descriptor on top of the session defaults; the first Update or
+// MultiplyDelta computes the full product, later calls recompute only
+// dirty frontiers. All content mutations must flow through
+// Update/UpdateOperand — mutating an overlay directly desynchronizes the
+// product's dirty-row tracking.
+func (s *Session) NewDeltaProduct(m, a, b *DeltaMatrix, opts ...Op) *DeltaProduct {
+	return &DeltaProduct{
+		owner: s,
+		d:     s.def.apply(opts),
+		inner: core.NewDeltaProduct(m, a, b),
+	}
+}
+
+// Output returns the product's last refreshed output (nil before the first
+// Update/MultiplyDelta). Callers must not mutate it.
+func (p *DeltaProduct) Output() *Matrix {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.inner.Output()
+}
+
+// Compact folds every overlay's pending logs into fresh bases. Content —
+// and the next refresh's output — is unchanged; use it to bound
+// merged-row read cost on long streams (see PERFORMANCE.md).
+func (p *DeltaProduct) Compact() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inner.Compact()
+}
+
+// Update applies one batch of edge updates to every distinct overlay of
+// the product (the graph-stream mode) and returns the refreshed output,
+// recomputing only the dirty-row frontier. A batch with an out-of-range
+// index is rejected whole, mutating nothing. A panic during the refresh is
+// recovered at this boundary into a *PanicError with the batch retained in
+// the dirty frontier, so a retried MultiplyDelta completes the update.
+func (s *Session) Update(ctx context.Context, p *DeltaProduct, batch []Update) (*Matrix, error) {
+	return s.UpdateOperand(ctx, p, DeltaAll, batch)
+}
+
+// UpdateOperand is Update targeting one operand overlay (DeltaM, DeltaA,
+// DeltaB) instead of all of them — for products whose mask or operands
+// evolve independently.
+func (s *Session) UpdateOperand(ctx context.Context, p *DeltaProduct, op DeltaOperand, batch []Update) (*Matrix, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := s.owns(p); err != nil {
+		return nil, err
+	}
+	if err := p.inner.Apply(op, batch); err != nil {
+		return nil, err
+	}
+	return s.refreshLocked(ctx, p)
+}
+
+// MultiplyDelta brings the product's output up to date with its overlays'
+// current content: the first call computes the full product through the
+// session's plan cache, later calls recompute only the accumulated dirty
+// frontier (no-op when clean). It is Update with an empty batch — use it
+// to (re)compute after a recovered mid-update panic or after seeding.
+func (s *Session) MultiplyDelta(ctx context.Context, p *DeltaProduct) (*Matrix, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := s.owns(p); err != nil {
+		return nil, err
+	}
+	return s.refreshLocked(ctx, p)
+}
+
+// owns guards against a product refreshing through a foreign session,
+// which would silently split plan-cache and workspace ownership.
+func (s *Session) owns(p *DeltaProduct) error {
+	if p.owner != s {
+		return fmt.Errorf("masked: delta product belongs to another session")
+	}
+	return nil
+}
+
+// refreshLocked refreshes p under its lock, recovering panics (the
+// delta.apply chaos point and kernel-path panics alike) at this boundary:
+// the dirty frontier survives a panic, so the caller can retry.
+func (s *Session) refreshLocked(ctx context.Context, p *DeltaProduct) (c *Matrix, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.panics.Add(1)
+			c, err = nil, newPanicError(v)
+		}
+	}()
+	// Chaos point: a panic after the batch landed in the overlays but
+	// before the incremental recompute. Inert unless armed.
+	if faultinject.Fire(faultinject.PointDeltaApply) {
+		panic("faultinject: " + faultinject.PointDeltaApply)
+	}
+	first := p.inner.Output() == nil
+	c, _, err = p.inner.Refresh(func(msub *Pattern, asub, b *Matrix) (*Matrix, error) {
+		o := s.options(ctx, p.d)
+		if first {
+			// The full initial product goes through the ordinary session
+			// path: plan cache, feedback recording, chaos point.
+			c, _, err := s.execute(p.d, o, msub, asub, b)
+			return c, err
+		}
+		return s.deltaExecute(p.d, o, msub, asub, b)
+	})
+	return c, err
+}
+
+// deltaExecute runs one frontier sub-product. It mirrors Session.execute's
+// two paths, but plans the extracted sub-operands directly with the
+// session's cost model instead of through the plan cache: frontier
+// sub-operands are freshly materialized every batch, so caching their
+// plans would only churn the LRU that iterative full products rely on.
+// Unchanged rows never reach this path at all — their cached output rows
+// (and the full product's cached plan) are reused as-is.
+func (s *Session) deltaExecute(d opSpec, o Options, m *Pattern, a, b *Matrix) (*Matrix, error) {
+	if faultinject.Fire(faultinject.PointKernelPanic) {
+		panic("faultinject: " + faultinject.PointKernelPanic)
+	}
+	if d.pinned {
+		if d.sched == SchedCost && o.RowCosts == nil {
+			o.RowCosts = core.ComputeRowCosts(m, a.Pattern(), b.Pattern(), o.Workers())
+		}
+		return core.MaskedSpGEMM(d.variant, m, a, b, d.semiring(), o)
+	}
+	pl := planner.AnalyzeModel(m, a.Pattern(), b.Pattern(), o, s.model)
+	return planner.Execute(pl, m, a, b, d.semiring(), o, nil)
+}

@@ -1,0 +1,323 @@
+package masked
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/matrix"
+)
+
+// sameBits asserts bit-identical matrices (pattern and Float64bits).
+func sameBits(t *testing.T, label string, got, want *Matrix) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("%s: nil matrix (got %v, want %v)", label, got == nil, want == nil)
+	}
+	eq := func(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+	if !matrix.Equal(got, want, eq) {
+		t.Fatalf("%s: results differ (got nnz=%d, want nnz=%d)", label, got.NNZ(), want.NNZ())
+	}
+}
+
+// graphStream builds a deterministic insert/delete stream over an n×n
+// graph: symmetric pairs so graph invariants (masks = adjacency) hold.
+func graphStream(rng *rand.Rand, n Index, rounds, per int) [][]Update {
+	out := make([][]Update, rounds)
+	for r := range out {
+		batch := make([]Update, 0, 2*per)
+		for k := 0; k < per; k++ {
+			u := Index(rng.Intn(int(n)))
+			v := Index(rng.Intn(int(n)))
+			if u == v {
+				continue
+			}
+			del := rng.Intn(3) == 0
+			batch = append(batch,
+				Update{Row: u, Col: v, Val: 1, Delete: del},
+				Update{Row: v, Col: u, Val: 1, Delete: del})
+		}
+		out[r] = batch
+	}
+	return out
+}
+
+// TestStreamEquivalence is the session-level half of the incremental-vs-
+// rebuild battery (internal/core/delta_equiv_test.go covers the full
+// pinned-variant × rep × semiring × sched matrix): the planner path and a
+// sample of pinned variants, under normal and complemented masks and all
+// three named semirings, must produce per-prefix output bit-identical to
+// a from-scratch Multiply on the compacted graph — including across a
+// mid-stream Compact.
+func TestStreamEquivalence(t *testing.T) {
+	ctx := context.Background()
+	const n = 96
+	base := Tril(ErdosRenyi(n, 6, 11))
+	rng := rand.New(rand.NewSource(77))
+	stream := make([][]Update, 6)
+	for r := range stream {
+		batch := make([]Update, 4)
+		for k := range batch {
+			// Strictly-lower-triangular entries keep L shape under updates.
+			i := Index(rng.Intn(n-1)) + 1
+			j := Index(rng.Intn(int(i)))
+			batch[k] = Update{Row: i, Col: j, Val: 1, Delete: rng.Intn(3) == 0}
+		}
+		stream[r] = batch
+	}
+	configs := []struct {
+		name string
+		opts []Op
+	}{
+		{"auto", nil},
+		{"auto-complement", []Op{WithComplement()}},
+		{"auto-bitmap-cost", []Op{WithMaskRep(RepBitmap), WithSched(SchedCost)}},
+		{"pinned-msa1p", []Op{WithVariant(Variant{Alg: MSA, Phase: OnePhase})}},
+		{"pinned-heap2p-dense", []Op{WithVariant(Variant{Alg: Heap, Phase: TwoPhase}), WithMaskRep(RepDense)}},
+	}
+	semirings := []struct {
+		name string
+		op   Op
+	}{
+		{"arithmetic", WithAccumulate(Arithmetic())},
+		{"plus-pair", WithAccumulate(PlusPair())},
+		{"min-plus", WithAccumulate(MinPlus())},
+	}
+	for _, cfg := range configs {
+		for _, sr := range semirings {
+			t.Run(cfg.name+"/"+sr.name, func(t *testing.T) {
+				s := NewSession(WithThreads(2))
+				g, err := NewDeltaMatrix(base.Clone())
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := append([]Op{sr.op}, cfg.opts...)
+				p := s.NewDeltaProduct(g, g, g, opts...)
+				check := func(round int) {
+					t.Helper()
+					got, err := s.MultiplyDelta(ctx, p)
+					if err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+					cur := g.Current()
+					want, err := s.Multiply(ctx, cur.Pattern(), cur, cur, opts...)
+					if err != nil {
+						t.Fatalf("round %d rebuild: %v", round, err)
+					}
+					sameBits(t, cfg.name+"/"+sr.name, got, want)
+				}
+				check(-1)
+				for r, batch := range stream {
+					if _, err := s.Update(ctx, p, batch); err != nil {
+						t.Fatalf("round %d update: %v", r, err)
+					}
+					if r == len(stream)/2 {
+						p.Compact()
+					}
+					check(r)
+				}
+			})
+		}
+	}
+}
+
+// TestStreamUpdateReturnsRefreshedOutput: Update's return value is the
+// refreshed full output (same matrix Output() then reports), and clean
+// refreshes are no-ops returning the cached output.
+func TestStreamUpdateReturnsRefreshedOutput(t *testing.T) {
+	ctx := context.Background()
+	_, l := tcOperands(7, 4, 5)
+	s := NewSession(WithThreads(2))
+	g, err := NewDeltaMatrix(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.NewDeltaProduct(g, g, g, WithAccumulate(PlusPair()))
+	c1, err := s.Update(ctx, p, []Update{{Row: 1, Col: 0, Val: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Output() != c1 {
+		t.Fatal("Output() disagrees with Update's return")
+	}
+	c2, err := s.MultiplyDelta(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 != c1 {
+		t.Fatal("clean MultiplyDelta rebuilt the output")
+	}
+}
+
+// TestStreamForeignSessionRejected: refreshing a product through a session
+// that did not create it must error rather than split cache ownership.
+func TestStreamForeignSessionRejected(t *testing.T) {
+	ctx := context.Background()
+	_, l := tcOperands(6, 4, 3)
+	s1, s2 := NewSession(), NewSession()
+	g, _ := NewDeltaMatrix(l)
+	p := s1.NewDeltaProduct(g, g, g)
+	if _, err := s2.MultiplyDelta(ctx, p); err == nil {
+		t.Fatal("foreign session accepted the product")
+	}
+}
+
+// armDeltaApplyPanic arms the delta.apply chaos point for n firings.
+func armDeltaApplyPanic(t *testing.T, n int) {
+	t.Helper()
+	r := faultinject.New(1)
+	r.Add(faultinject.Rule{Point: faultinject.PointDeltaApply, Every: 1, Limit: n})
+	faultinject.Set(r)
+	t.Cleanup(func() { faultinject.Set(nil) })
+}
+
+// TestStreamPanicRecoveryMidUpdate: an injected panic between batch apply
+// and incremental recompute resolves to a *PanicError, retains the batch
+// in the dirty frontier, and a retried MultiplyDelta completes the update
+// bit-identically to a rebuild — with no arbiter-budget leak and the
+// session's panic counter advanced.
+func TestStreamPanicRecoveryMidUpdate(t *testing.T) {
+	ctx := context.Background()
+	_, l := tcOperands(7, 4, 31)
+	s := NewSession(WithThreads(2))
+	g, err := NewDeltaMatrix(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.NewDeltaProduct(g, g, g, WithAccumulate(PlusPair()))
+	if _, err := s.MultiplyDelta(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+
+	armDeltaApplyPanic(t, 1)
+	_, err = s.Update(ctx, p, []Update{{Row: 2, Col: 1, Val: 1}, {Row: 3, Col: 0, Val: 1}})
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("faulted update: err %v, want ErrPanic", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || len(pe.Stack) == 0 {
+		t.Fatalf("panic error carries no stack: %#v", err)
+	}
+	if got := s.Panics(); got != 1 {
+		t.Fatalf("session counted %d panics, want 1", got)
+	}
+	if st := s.ServingStats(); st.Inflight != 0 || st.Free != st.Budget {
+		t.Fatalf("panicked update leaked arbiter budget: %+v", st)
+	}
+
+	// The batch landed before the panic; the retry must fold it in.
+	got, err := s.MultiplyDelta(ctx, p)
+	if err != nil {
+		t.Fatalf("retry after recovered panic: %v", err)
+	}
+	cur := g.Current()
+	want, err := s.Multiply(ctx, cur.Pattern(), cur, cur, WithAccumulate(PlusPair()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "retry", got, want)
+}
+
+// TestStreamConcurrentUpdateMultiplyServe mirrors the PR 9 chaos-test
+// style for the streaming path: one goroutine streams Updates on a
+// DeltaProduct while others run one-shot Multiplies and a Serve stream on
+// the same session, under -race in CI. Afterwards the incremental output
+// must be bit-identical to a rebuild, every goroutine must exit (leak
+// check), and the arbiter budget must drain fully.
+func TestStreamConcurrentUpdateMultiplyServe(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx := context.Background()
+	const rounds = 20
+	s := NewSession(WithThreads(4), WithInflight(2))
+	_, l := tcOperands(8, 6, 17)
+	g, err := NewDeltaMatrix(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.NewDeltaProduct(g, g, g, WithAccumulate(PlusPair()))
+	if _, err := s.MultiplyDelta(ctx, p); err != nil {
+		t.Fatal(err)
+	}
+	stream := graphStream(rand.New(rand.NewSource(4)), l.NRows, rounds, 3)
+	// Keep streamed edges strictly lower-triangular (graph = L).
+	for r := range stream {
+		keep := stream[r][:0]
+		for _, u := range stream[r] {
+			if u.Col < u.Row {
+				keep = append(keep, u)
+			}
+		}
+		stream[r] = keep
+	}
+
+	lp2, l2 := tcOperands(7, 4, 99)
+	var wg sync.WaitGroup
+	errc := make(chan error, 3)
+	wg.Add(2)
+	go func() { // streaming updates
+		defer wg.Done()
+		for _, batch := range stream {
+			if _, err := s.Update(ctx, p, batch); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	go func() { // one-shot multiplies on unrelated operands
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if _, err := s.Multiply(ctx, lp2, l2, l2, WithAccumulate(PlusPair())); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	reqs := make(chan BatchReq)
+	resc := s.Serve(ctx, reqs)
+	wg.Add(1)
+	go func() { // serve stream on the same session
+		defer wg.Done()
+		defer close(reqs)
+		for i := 0; i < rounds; i++ {
+			reqs <- BatchReq{M: lp2, A: l2, B: l2, Opts: []Op{WithAccumulate(PlusPair())}, Tag: i}
+		}
+	}()
+	served := 0
+	for res := range resc {
+		if res.Err != nil {
+			t.Fatalf("serve response %v: %v", res.Tag, res.Err)
+		}
+		served++
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if served != rounds {
+		t.Fatalf("served %d responses, want %d", served, rounds)
+	}
+
+	got, err := s.MultiplyDelta(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := g.Current()
+	want, err := s.Multiply(ctx, cur.Pattern(), cur, cur, WithAccumulate(PlusPair()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "concurrent stream", got, want)
+	if st := s.ServingStats(); st.Inflight != 0 || st.Free != st.Budget {
+		t.Fatalf("arbiter budget leaked: %+v", st)
+	}
+	if n := s.Panics(); n != 0 {
+		t.Fatalf("unexpected recovered panics: %d", n)
+	}
+	waitGoroutines(t, base, 2)
+}
